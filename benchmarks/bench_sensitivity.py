@@ -1,0 +1,28 @@
+"""Frequency-sensitivity bench: the paper's recurring explanatory
+variable ("frequent message passing") as an explicit sweep."""
+
+from repro.harness.experiments import sensitivity_message_frequency
+
+
+def test_sensitivity_frequency(benchmark, figure_report):
+    result = benchmark(
+        sensitivity_message_frequency,
+        8,                       # nprocs
+        (2e-3, 5e-4, 1e-4, 2e-5),
+        40,                      # rounds
+        2,                       # fanout
+        1,                       # seed
+        0.01,                    # checkpoint interval
+    )
+    for protocol in ("tdi", "tel", "tag"):
+        rows = sorted((r for r in result.rows if r["protocol"] == protocol),
+                      key=lambda r: r["frequency_hz"])
+        figure_report.append(
+            f"sensitivity {protocol}: "
+            + "  ".join(f"{r['frequency_hz'] / 1e3:7.1f}k/s:{r['value']:7.1f}"
+                        for r in rows)
+        )
+        if protocol == "tdi":
+            assert max(r["value"] for r in rows) == min(r["value"] for r in rows)
+        else:
+            assert rows[-1]["value"] >= rows[0]["value"]

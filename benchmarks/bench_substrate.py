@@ -1,0 +1,58 @@
+"""Throughput benches for the simulation substrate itself.
+
+Not a paper figure — these keep the simulator honest as a tool: event
+throughput of the engine, frame throughput of the network, and the
+end-to-end simulation rate (simulated messages per wall second) that the
+figure sweeps depend on.
+"""
+
+from repro.config import SimulationConfig
+from repro.mpi.cluster import run_simulation
+from repro.simnet.engine import Engine
+from repro.simnet.network import Frame, Network, NetworkConfig
+from repro.simnet.node import NodeSet
+from repro.simnet.rng import RngStreams
+from repro.workloads.presets import workload_factory
+
+
+def test_engine_event_throughput(benchmark):
+    def burn():
+        engine = Engine()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20_000:
+                engine.schedule(1e-6, tick)
+
+        engine.schedule(0.0, tick)
+        engine.run()
+        return count[0]
+
+    assert benchmark(burn) == 20_000
+
+
+def test_network_frame_throughput(benchmark):
+    def pump():
+        engine = Engine()
+        nodes = NodeSet(2)
+        net = Network(engine, nodes, NetworkConfig(), RngStreams(0))
+        got = [0]
+        net.attach(1, lambda f: got.__setitem__(0, got[0] + 1))
+        for i in range(10_000):
+            net.transmit(Frame("app", 0, 1, i, 64))
+        engine.run()
+        return got[0]
+
+    assert benchmark(pump) == 10_000
+
+def test_end_to_end_simulation_rate(benchmark):
+    """Messages simulated per benchmark round: LU, 8 ranks, TDI."""
+
+    def run():
+        config = SimulationConfig(nprocs=8, protocol="tdi", seed=1,
+                                  checkpoint_interval=0.02)
+        result = run_simulation(config, workload_factory("lu", scale="paper"))
+        return result.stats.messages_total
+
+    assert benchmark(run) > 1000

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Choosing the checkpoint interval: analytic model vs simulation.
+
+The paper fixes its interval at 180 s; its reference [21] (El-Sayed &
+Schroeder, TDSC 2016) is about how that choice trades checkpoint tax
+against lost work.  This example:
+
+1. computes the Young/Daly optimum for the LU workload's checkpoint cost
+   and an assumed system MTBF;
+2. sweeps the interval empirically — same workload, same Poisson failure
+   schedule, different intervals — and reports the accomplishment times;
+3. shows the analytic optimum lands near the empirical sweet spot.
+
+Run:  python examples/checkpoint_tuning.py
+"""
+
+from repro import api
+from repro.faults.schedules import poisson_schedule
+from repro.harness.tables import format_table
+from repro.protocols.daly import EfficiencyModel, daly_interval, young_interval
+from repro.simnet.rng import RngStreams
+
+NPROCS = 8
+MTBF = 0.06            # system MTBF (simulated seconds; time base is compressed)
+ITERATIONS = 24
+SEED = 3
+
+
+def run_with_interval(interval: float, faults) -> float:
+    result = api.run_workload(
+        "lu", nprocs=NPROCS, protocol="tdi", seed=SEED,
+        iterations=ITERATIONS, checkpoint_interval=interval,
+        faults=faults,
+    )
+    return result.accomplishment_time
+
+
+def main() -> None:
+    # checkpoint write cost for LU's image at the configured storage speed
+    from repro.metrics.costs import CostModel
+    from repro.workloads.lu import LuParams
+
+    costs = CostModel()
+    ckpt_cost = costs.ckpt_write_time(LuParams().ckpt_bytes)
+    restart_cost = 2e-3 + costs.ckpt_read_time(LuParams().ckpt_bytes)
+
+    t_young = young_interval(ckpt_cost, MTBF)
+    t_daly = daly_interval(ckpt_cost, MTBF)
+    print(f"checkpoint cost C = {ckpt_cost * 1e3:.2f} ms, "
+          f"system MTBF M = {MTBF * 1e3:.0f} ms")
+    print(f"Young optimum  sqrt(2CM) = {t_young * 1e3:.2f} ms")
+    print(f"Daly optimum             = {t_daly * 1e3:.2f} ms\n")
+
+    faults = poisson_schedule(RngStreams(SEED), NPROCS, horizon=0.5, mtbf=MTBF)
+    print(f"injecting {len(faults)} Poisson failures over the run\n")
+
+    candidates = [t_young / 8, t_young / 3, t_young, 3 * t_young,
+                  8 * t_young, 24 * t_young]
+    model = EfficiencyModel(ckpt_cost=ckpt_cost, restart_cost=restart_cost,
+                            mtbf=MTBF)
+    rows = []
+    for tau in candidates:
+        time = run_with_interval(tau, faults)
+        rows.append({
+            "interval ms": tau * 1e3,
+            "modelled efficiency": model.efficiency(tau),
+            "measured time ms": time * 1e3,
+        })
+    print(format_table(rows, list(rows[0].keys())))
+
+    best_measured = min(rows, key=lambda r: r["measured time ms"])
+    print(f"\nempirical best interval: {best_measured['interval ms']:.2f} ms "
+          f"(Young predicted {t_young * 1e3:.2f} ms)")
+    ratio = best_measured["interval ms"] / (t_young * 1e3)
+    assert 1 / 10 <= ratio <= 10, "analytic optimum should be in the right region"
+    print(
+        "OK: the analytic optimum lands in the empirically good region.\n"
+        "Note the flat plateau around it: in a tightly coupled code the\n"
+        "survivors wait for the victim's rolling forward either way, so the\n"
+        "first-order model's sharp optimum smears out — the effect the\n"
+        "paper's reference [21] studies on real checkpoint-scheduling data."
+    )
+
+
+if __name__ == "__main__":
+    main()

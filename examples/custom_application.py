@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Fault-tolerant custom application on the public API.
+
+Implements a token-ring workload from scratch against the
+:class:`repro.workloads.base.Application` interface: a token circulates
+the ring accumulating per-rank stamps; every rank also periodically
+all-reduces a checksum.  The kernel is restartable (explicit state +
+checkpoint points), which is all TDI needs to make it fault tolerant —
+we kill two ranks and the final tally is still exact.
+
+Run:  python examples/custom_application.py
+"""
+
+from repro import api
+from repro.config import SimulationConfig
+from repro.workloads.base import Application
+
+TOKEN_TAG = 7
+
+
+class TokenRing(Application):
+    """Pass a token around the ring ``laps`` times."""
+
+    name = "token-ring"
+
+    def __init__(self, rank: int, nprocs: int, laps: int = 12) -> None:
+        super().__init__(rank, nprocs)
+        self.laps = laps
+        self.lap = 0
+        self.stamps = 0
+
+    # --- checkpointable state ----------------------------------------
+    def snapshot(self):
+        return {"lap": self.lap, "stamps": self.stamps}
+
+    def restore(self, state):
+        self.lap = state["lap"]
+        self.stamps = state["stamps"]
+
+    def snapshot_size_bytes(self):
+        return 256
+
+    # --- kernel --------------------------------------------------------
+    def run(self, ctx):
+        left = (self.rank - 1) % self.nprocs
+        right = (self.rank + 1) % self.nprocs
+        while self.lap < self.laps:
+            yield ctx.checkpoint_point()
+            if self.rank == 0:
+                token = self.lap * 1000  # rank 0 mints the lap's token
+                yield ctx.send(right, token + 1, tag=TOKEN_TAG, size_bytes=128)
+                d = yield ctx.recv(source=left, tag=TOKEN_TAG)
+                token = d.payload
+            else:
+                d = yield ctx.recv(source=left, tag=TOKEN_TAG)
+                token = d.payload
+                yield ctx.send(right, token + 1, tag=TOKEN_TAG, size_bytes=128)
+            self.stamps += token
+            yield ctx.compute(5e-5)
+            self.lap += 1
+        total = yield from ctx.allreduce(self.stamps, lambda a, b: a + b, size_bytes=16)
+        return {"laps": self.lap, "stamps": self.stamps, "total": total}
+
+
+def expected_total(nprocs: int, laps: int) -> int:
+    # rank 0 reads token lap*1000 + nprocs; rank k reads lap*1000 + k
+    total = 0
+    for lap in range(laps):
+        total += lap * 1000 + nprocs            # rank 0
+        total += sum(lap * 1000 + k for k in range(1, nprocs))
+    return total
+
+
+def main() -> None:
+    nprocs, laps = 6, 12
+    config = SimulationConfig(nprocs=nprocs, protocol="tdi", seed=13,
+                              checkpoint_interval=0.003)
+
+    def factory(rank, n, rng):
+        return TokenRing(rank, n, laps=laps)
+
+    clean = api.run_app(factory, config)
+    faulted = api.run_app(
+        factory,
+        config,
+        faults=[api.FaultSpec(rank=2, at_time=0.004),
+                api.FaultSpec(rank=5, at_time=0.009)],
+    )
+
+    print(f"expected ring total:      {expected_total(nprocs, laps)}")
+    print(f"failure-free total:       {clean.answer['total']}")
+    print(f"total with two failures:  {faulted.answer['total']}")
+    print(f"checkpoints written:      {faulted.checkpoint_writes}")
+    print(f"recoveries:               {int(faulted.stats.total('recovery_count'))}")
+
+    assert clean.answer["total"] == expected_total(nprocs, laps)
+    assert faulted.results == clean.results
+    print("\nOK: a 60-line custom kernel became fault tolerant with no "
+          "protocol-specific code.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Multiple simultaneous failures (paper §III.D, Fig. 2).
+
+Three of eight processes die at the same instant, taking their volatile
+message logs with them.  The paper's argument: the lost logs are
+regenerated while the failed processes roll forward (re-executed sends
+are re-logged even when their transmission is suppressed), so recovery
+still converges with no orphan, lost or duplicate message.  To prove the
+logs really are rebuilt, we kill one of the same ranks *again* later —
+its second recovery is served from its peers' regenerated state.
+
+Run:  python examples/multi_failure_recovery.py
+"""
+
+from repro import api
+
+NPROCS = 8
+
+
+def main() -> None:
+    reference = api.run_workload("lu", nprocs=NPROCS, protocol="tdi", seed=9,
+                                 iterations=14)
+
+    faults = api.simultaneous([1, 2, 5], at_time=0.004) + [
+        api.FaultSpec(rank=2, at_time=0.02)
+    ]
+    faulted = api.run_workload("lu", nprocs=NPROCS, protocol="tdi", seed=9,
+                               iterations=14, trace=True, faults=faults)
+
+    print("fault schedule:")
+    for spec in faults:
+        print(f"  kill rank {spec.rank} at t={spec.at_time * 1e3:.1f} ms")
+
+    print("\nrecovery timeline:")
+    for ev in faulted.detector.recoveries:
+        print(f"  rank {ev.rank} incarnation (epoch {ev.epoch}) up "
+              f"at t={ev.recovered_at * 1e3:.2f} ms")
+
+    print("\noutcome:")
+    print(f"  answers match failure-free run: {faulted.results == reference.results}")
+    print(f"  recoveries:            {int(faulted.stats.total('recovery_count'))}")
+    print(f"  messages re-sent:      {int(faulted.stats.total('resends'))}")
+    print(f"  suppressed duplicates: {int(faulted.stats.total('app_sends_suppressed'))}"
+          "  (re-executed sends whose receivers already had them)")
+    print(f"  discarded duplicates:  {int(faulted.stats.total('duplicates_discarded'))}")
+    rollbacks = faulted.trace.count("proto.rollback_bcast")
+    print(f"  ROLLBACK broadcasts:   {rollbacks} "
+          "(includes retries covering the simultaneous-failure window)")
+
+    assert faulted.results == reference.results
+    assert faulted.stats.total("recovery_count") == 4
+
+    from repro.metrics.timeline import render_timeline
+
+    print("\ntimeline:")
+    print(render_timeline(faulted))
+    print("\nOK: simultaneous failures recovered; regenerated logs served "
+          "the later repeat failure.")
+
+
+if __name__ == "__main__":
+    main()

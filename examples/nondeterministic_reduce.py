@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The paper's §II.C motivating scenario, end to end.
+
+Every rank ships a contribution straight to rank 0, which accumulates
+them with ANY_SOURCE receives — the program itself declares that the
+delivery order is irrelevant.  We kill rank 0 mid-reduction and let TDI
+recover it.  The replay is *not* forced into the historical order (the
+dependent-interval gate only constrains counts), yet the total is exact.
+
+Run:  python examples/nondeterministic_reduce.py
+"""
+
+from repro import api
+from repro.workloads.reduce_tree import NonDeterministicReduce
+
+NPROCS = 8
+ITERATIONS = 10
+
+
+def delivery_order(result, rank=0):
+    """Sequence of senders rank 0 delivered from, per the trace."""
+    return [ev["src"] for ev in result.trace.select("proto.deliver", rank=rank)]
+
+
+def main() -> None:
+    expected = NonDeterministicReduce.expected_total(NPROCS, ITERATIONS)
+
+    clean = api.run_workload("reduce", nprocs=NPROCS, protocol="tdi", seed=4,
+                             iterations=ITERATIONS, trace=True)
+    faulted = api.run_workload("reduce", nprocs=NPROCS, protocol="tdi", seed=4,
+                               iterations=ITERATIONS, trace=True,
+                               faults=[api.FaultSpec(rank=0, at_time=0.004)])
+
+    print(f"closed-form expected total:   {expected}")
+    print(f"failure-free total:           {clean.answer['total']}")
+    print(f"total after killing rank 0:   {faulted.answer['total']}")
+    assert clean.answer["total"] == faulted.answer["total"] == expected
+
+    before = delivery_order(clean)
+    after = delivery_order(faulted)
+    print(f"\nrank 0 deliveries, failure-free run:   {len(before)}")
+    print(f"rank 0 deliveries, faulted run:        {len(after)} "
+          "(includes re-deliveries during rolling forward)")
+
+    # Show the first divergence between original and replayed order —
+    # allowed under TDI because the receives are ANY_SOURCE.
+    replay = after[len(after) - len(before):]
+    for i, (a, b) in enumerate(zip(before, after)):
+        if a != b:
+            print(f"\nfirst order difference at delivery #{i}: "
+                  f"originally from rank {a}, now from rank {b}")
+            break
+    else:
+        print("\n(replay happened to use the same order this time; "
+              "the gate merely permits differences, it does not force them)")
+
+    print("\nOK: non-deterministic delivery stayed valid across recovery, "
+          "and the sum is exact.")
+    _ = replay
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Compare the three causal message logging protocols on one workload.
+
+Reproduces the essence of the paper's Figs. 6 and 7 at a single point:
+TDI (the paper's dependent-interval tracking) against TAG (antecedence
+graph) and TEL (event logger) on LU, the benchmark with the most
+frequent message passing.
+
+Run:  python examples/protocol_comparison.py
+"""
+
+from repro import api
+from repro.harness.tables import format_table
+
+
+def main() -> None:
+    rows = []
+    answers = set()
+    for protocol in ("none", "tdi", "tel", "tag", "pess"):
+        r = api.run_workload("lu", nprocs=16, protocol=protocol, seed=1,
+                             checkpoint_interval=0.02, scale="paper")
+        answers.add(round(r.answer["rnorm"], 12))
+        rows.append({
+            "protocol": protocol,
+            "piggyback ids/msg": r.stats.piggyback_identifiers_per_message,
+            "piggyback KiB total": r.stats.total("piggyback_bytes") / 1024,
+            "tracking ms": r.stats.tracking_time_total * 1e3,
+            "graph nodes scanned": int(r.stats.total("graph_nodes_scanned")),
+            "sim time ms": r.sim_time * 1e3,
+        })
+
+    print("LU, 16 processes, paper-scale instance, checkpoint every 20 ms\n")
+    print(format_table(rows, list(rows[0].keys())))
+
+    assert len(answers) == 1, "protocols must not perturb the numerics"
+    print("\nAll five runs produced the identical residual "
+          "(the protocols are numerically transparent).")
+
+    tdi = rows[1]
+    tag = rows[3]
+    pess = rows[4]
+    print(f"\nTDI piggybacks {tag['piggyback ids/msg'] / tdi['piggyback ids/msg']:.0f}x "
+          f"fewer identifiers per message than TAG, and spends "
+          f"{tag['tracking ms'] / tdi['tracking ms']:.0f}x less time tracking "
+          f"dependencies — the paper's headline result.")
+    print(f"Pessimistic logging piggybacks almost nothing "
+          f"({pess['piggyback ids/msg']:.0f} id/msg) yet finishes "
+          f"{pess['sim time ms'] / tdi['sim time ms']:.1f}x later than TDI: "
+          f"its synchronous stable writes sit on the critical path.")
+
+
+if __name__ == "__main__":
+    main()

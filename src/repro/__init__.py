@@ -1,0 +1,57 @@
+"""repro — reproduction of the CLUSTER 2016 paper
+"A Lightweight Causal Message Logging Protocol to Lower Fault Tolerance
+Overhead" (Jin-Min Yang).
+
+The package is organised in layers, bottom-up:
+
+``repro.simnet``
+    A deterministic discrete-event simulation substrate: event engine,
+    coroutine processes, a network model with per-channel FIFO delivery,
+    node failure/incarnation epochs, seeded random substreams and tracing.
+
+``repro.mpi``
+    A simulated MPI layer on top of ``simnet``: point-to-point send/recv
+    with tags and ``ANY_SOURCE``, eager/rendezvous blocking semantics, and
+    collectives (bcast, reduce, allreduce, barrier, gather, allgather,
+    alltoall) built on point-to-point.
+
+``repro.protocols``
+    The rollback-recovery protocol framework (hook interface, checkpoint
+    storage, cost accounting) plus the two comparison baselines from the
+    paper's evaluation: TAG (antecedence-graph causal logging in the style
+    of Manetho/LogOn) and TEL (event-logger-based causal logging), and a
+    no-fault-tolerance pass-through.
+
+``repro.core``
+    The paper's contribution: the TDI (Tracking based on Dependent
+    Interval) lightweight causal message logging protocol — Algorithm 1 of
+    the paper — and the fully non-blocking middleware of §III.E.
+
+``repro.workloads``
+    Communication-accurate NPB2.3-like kernels (LU, BT, SP), a synthetic
+    parametrised message-pattern generator, and the non-deterministic
+    reduce-tree example that motivates the paper's relaxation.
+
+``repro.faults``
+    Fault injection (single and multiple simultaneous failures) and the
+    failure-detection / incarnation machinery.
+
+``repro.metrics`` and ``repro.harness``
+    Instrumentation and the experiment harness regenerating every result
+    figure of the paper's evaluation (Fig. 6, Fig. 7, Fig. 8).
+
+Quickstart::
+
+    from repro import api
+
+    result = api.run_workload(
+        workload="lu", nprocs=4, protocol="tdi", seed=1,
+        faults=[api.FaultSpec(rank=1, at_time=3.0)],
+    )
+    print(result.answer, result.stats.piggyback_identifiers_per_message)
+"""
+
+from repro._version import __version__
+from repro import api
+
+__all__ = ["__version__", "api"]

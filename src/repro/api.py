@@ -1,0 +1,80 @@
+"""Public convenience API.
+
+Most downstream uses need exactly one call::
+
+    from repro import api
+
+    result = api.run_workload("lu", nprocs=8, protocol="tdi", seed=1,
+                              faults=[api.FaultSpec(rank=3, at_time=2.0)])
+    print(result.answer)
+    print(result.stats.piggyback_identifiers_per_message)
+
+For custom applications, implement
+:class:`repro.workloads.base.Application` and call :func:`run_app` with
+your own factory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.config import SimulationConfig
+from repro.faults.injector import FaultSpec, simultaneous, staggered
+from repro.mpi.cluster import AppFactory, Cluster, RunResult, run_simulation
+from repro.protocols.registry import available_protocols
+from repro.workloads.presets import WORKLOADS, workload_factory
+
+__all__ = [
+    "run_workload",
+    "run_app",
+    "FaultSpec",
+    "simultaneous",
+    "staggered",
+    "SimulationConfig",
+    "RunResult",
+    "available_protocols",
+    "WORKLOADS",
+]
+
+
+def run_workload(
+    workload: str,
+    nprocs: int = 4,
+    protocol: str = "tdi",
+    *,
+    seed: int = 0,
+    scale: str = "fast",
+    comm_mode: str = "nonblocking",
+    checkpoint_interval: float = 5.0,
+    faults: Sequence[FaultSpec] | None = None,
+    trace: bool = False,
+    config: SimulationConfig | None = None,
+    **workload_overrides: Any,
+) -> RunResult:
+    """Run one of the named workloads under one of the protocols.
+
+    ``config`` overrides the assembled :class:`SimulationConfig` wholesale
+    when provided; otherwise one is built from the keyword arguments.
+    Extra keyword arguments override workload preset fields (e.g.
+    ``iterations=50``).
+    """
+    if config is None:
+        config = SimulationConfig(
+            nprocs=nprocs,
+            protocol=protocol,
+            comm_mode=comm_mode,
+            checkpoint_interval=checkpoint_interval,
+            seed=seed,
+            trace_enabled=trace,
+        )
+    factory = workload_factory(workload, scale=scale, **workload_overrides)
+    return run_simulation(config, factory, faults)
+
+
+def run_app(
+    app_factory: AppFactory,
+    config: SimulationConfig,
+    faults: Sequence[FaultSpec] | None = None,
+) -> RunResult:
+    """Run a custom :class:`~repro.workloads.base.Application`."""
+    return Cluster(config, app_factory).run(faults)

@@ -1,0 +1,67 @@
+"""Top-level simulation configuration.
+
+One :class:`SimulationConfig` fully determines a run together with the
+workload factory and the fault schedule; the same config + seed always
+reproduces the same trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.metrics.costs import CostModel
+from repro.simnet.network import NetworkConfig
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything the cluster needs besides the application itself."""
+
+    nprocs: int = 4
+    #: one of ``"tdi"``, ``"tag"``, ``"tel"``, ``"none"``
+    protocol: str = "tdi"
+    #: ``"blocking"`` (paper Fig. 4a) or ``"nonblocking"`` (Fig. 4b)
+    comm_mode: str = "nonblocking"
+    #: seconds of simulated time between checkpoints (paper: 180 s)
+    checkpoint_interval: float = 5.0
+    #: sends larger than this block until *delivery* at the receiver
+    #: (rendezvous); smaller ones complete locally but count against the
+    #: per-peer send window — blocking mode only
+    eager_threshold_bytes: int = 8192
+    #: blocking mode: max unacknowledged eager sends per destination
+    #: before the sender stalls (transport backpressure, as with a TCP
+    #: window in MPICH's ch3/sock); a dead peer stops acknowledging, the
+    #: window fills, and senders block — the paper's Fig. 8 phenomenon
+    send_window: int = 4
+    #: detection + node allocation + process restart lead time.  The
+    #: whole time base is compressed relative to the paper (checkpoint
+    #: interval 180 s -> 0.05 s by default), and this is scaled with it.
+    restart_delay: float = 2e-3
+    #: incarnations re-broadcast ROLLBACK to unresponsive peers at this
+    #: period (covers simultaneous-failure races, §III.D)
+    rollback_retry_interval: float = 5e-3
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    costs: CostModel = field(default_factory=CostModel)
+    seed: int = 0
+    trace_enabled: bool = False
+    #: capture per-rank application-visible message streams for the
+    #: record/replay debugger (repro.debug)
+    record: bool = False
+    #: hard wall for the simulated clock (None = run to completion)
+    max_sim_time: float | None = None
+    #: engine runaway backstop
+    max_events: int = 50_000_000
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        if self.comm_mode not in ("blocking", "nonblocking"):
+            raise ValueError(f"unknown comm_mode {self.comm_mode!r}")
+        if self.checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be > 0")
+        if self.restart_delay < 0:
+            raise ValueError("restart_delay must be >= 0")
+
+    def with_(self, **changes) -> "SimulationConfig":
+        """Functional update (frozen dataclass convenience)."""
+        return replace(self, **changes)

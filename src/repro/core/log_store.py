@@ -1,0 +1,101 @@
+"""Sender-based volatile message log (paper §III.C.1).
+
+Every application send is logged in the sender's memory — payload,
+destination, per-destination send index, and the dependency piggyback
+captured at send time (Algorithm 1 line 12).  The log serves two
+purposes:
+
+* on a receiver's failure, logged messages are re-sent in send-index
+  order (lines 47–51);
+* it is garbage-collected when the receiver checkpoints past a message
+  (CHECKPOINT_ADVANCE, lines 38–39), which bounds memory growth.
+
+The log is *volatile*: it dies with its process.  It is also part of the
+checkpoint (line 33), and is regenerated during the owner's own rolling
+forward because re-executed sends are re-logged even when their
+transmission is suppressed — that is how the multi-simultaneous-failure
+case of §III.D rebuilds lost logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.protocols.base import LoggedMessage
+
+
+class SenderLog:
+    """Per-destination, send-index-ordered log of sent messages."""
+
+    def __init__(self, nprocs: int) -> None:
+        self.nprocs = nprocs
+        self._by_dest: dict[int, list[LoggedMessage]] = {}
+        self._nbytes: int = 0
+
+    # ------------------------------------------------------------------
+    def append(self, item: LoggedMessage) -> None:
+        """Log one sent message (Algorithm 1 line 12); idempotent for re-logged rolling-forward sends."""
+        chain = self._by_dest.setdefault(item.dest, [])
+        if chain and item.send_index <= chain[-1].send_index:
+            # Re-logged during rolling forward: the re-executed send
+            # regenerates an item that is already present (restored from
+            # the checkpoint or logged before the failure). Keep the
+            # existing copy — contents are identical by send-determinism.
+            if item.send_index >= chain[0].send_index:
+                return
+            raise ValueError(
+                f"log append out of order: dest={item.dest} "
+                f"send_index={item.send_index} after {chain[-1].send_index}"
+            )
+        chain.append(item)
+        self._nbytes += item.size_bytes
+
+    def release_upto(self, dest: int, send_index: int) -> int:
+        """Drop items for ``dest`` with index <= ``send_index``; returns
+        how many were released (Algorithm 1 line 39)."""
+        chain = self._by_dest.get(dest)
+        if not chain:
+            return 0
+        keep = [m for m in chain if m.send_index > send_index]
+        released = len(chain) - len(keep)
+        if released:
+            self._nbytes -= sum(m.size_bytes for m in chain if m.send_index <= send_index)
+            self._by_dest[dest] = keep
+        return released
+
+    def items_for(self, dest: int, after_index: int) -> Iterator[LoggedMessage]:
+        """Logged messages to ``dest`` with send_index > ``after_index``,
+        in send-index order — the resend stream of lines 49–51."""
+        for item in self._by_dest.get(dest, []):
+            if item.send_index > after_index:
+                yield item
+
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        return self._nbytes
+
+    def __len__(self) -> int:
+        return sum(len(chain) for chain in self._by_dest.values())
+
+    def all_items(self) -> list[LoggedMessage]:
+        """Every logged item, ordered by (destination, send index)."""
+        out: list[LoggedMessage] = []
+        for dest in sorted(self._by_dest):
+            out.extend(self._by_dest[dest])
+        return out
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list[LoggedMessage]:
+        """Items to embed in a checkpoint.  LoggedMessage payloads are
+        never mutated after logging, so sharing references is safe."""
+        return self.all_items()
+
+    @classmethod
+    def from_snapshot(cls, nprocs: int, items: list[LoggedMessage]) -> "SenderLog":
+        log = cls(nprocs)
+        for item in sorted(items, key=lambda m: (m.dest, m.send_index)):
+            log.append(item)
+        return log

@@ -1,0 +1,109 @@
+"""The complete non-blocking middleware (paper §III.E, Fig. 4b).
+
+In the blocking architecture (Fig. 4a) the application thread performs
+the send itself: it pays the tracking cost inline and then stalls until
+the transport acknowledges — which, when the receiver has failed, means
+stalling until the receiver's incarnation comes back.  The paper
+interposes two memory queues and two helper threads: the application
+appends the outgoing message to queue A and returns immediately; the
+*sending thread* drains queue A, running the logging protocol
+(piggyback + log item) and pushing frames to the transport.  The
+receiving thread and queue B are modelled by
+:class:`repro.protocols.queue.ReceivingQueue`, which both architectures
+share (an MPI receive blocks the application in either case until a
+matching message is delivered).
+
+:class:`SendPump` is the sending thread + queue A.  It runs in simulated
+time concurrently with the application — the paper's point is precisely
+that computing, sending and receiving proceed in parallel — so the
+tracking cost is paid on the pump's clock, not the application's.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.simnet.engine import Engine
+
+
+@dataclass
+class SendRequest:
+    """One application-level send parked in queue A."""
+
+    dest: int
+    tag: int
+    payload: Any
+    size_bytes: int
+    #: invoked when the pump has handed the frame to the transport
+    #: (used by tests; the application does NOT wait for it)
+    on_sent: Callable[[], None] | None = None
+
+
+class SendPump:
+    """Queue A plus the sending thread.
+
+    ``process_send`` is supplied by the endpoint and performs the actual
+    protocol work for one request, returning the simulated CPU time the
+    sending thread spends on it.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        process_send: Callable[[SendRequest], float],
+    ) -> None:
+        self.engine = engine
+        self.process_send = process_send
+        self._queue: deque[SendRequest] = deque()
+        self._busy = False
+        self._dead = False
+        self.submitted = 0
+        self.peak_depth = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, request: SendRequest) -> None:
+        """Append to queue A and return immediately (the application
+        thread's entire involvement)."""
+        if self._dead:
+            return
+        self._queue.append(request)
+        self.submitted += 1
+        self.peak_depth = max(self.peak_depth, len(self._queue))
+        if not self._busy:
+            self._busy = True
+            self.engine.schedule(0.0, self._drain_head)
+
+    def kill(self) -> None:
+        """The hosting process failed: queue A is volatile state."""
+        self._dead = True
+        self._queue.clear()
+
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def idle(self) -> bool:
+        return not self._busy and not self._queue
+
+    # ------------------------------------------------------------------
+    def _drain_head(self) -> None:
+        if self._dead:
+            return
+        if not self._queue:
+            self._busy = False
+            return
+        request = self._queue[0]
+        cost = self.process_send(request)
+        self.engine.schedule(cost, lambda: self._finish(request))
+
+    def _finish(self, request: SendRequest) -> None:
+        if self._dead:
+            return
+        if self._queue and self._queue[0] is request:
+            self._queue.popleft()
+        if request.on_sent is not None:
+            request.on_sent()
+        self._drain_head()

@@ -1,0 +1,104 @@
+"""The rollback side of Algorithm 1 (lines 40–53), as a mixin.
+
+Split out of :mod:`repro.core.tdi` so the normal-execution path and the
+failure path read independently.  The mixin assumes the host class
+provides the TDI state (``vectors``, ``depend_interval``, ``log``,
+``rollback_last_send_index``) and the :class:`Protocol` plumbing
+(``services``, ``metrics``, ``costs``, ``trace``).
+
+Control-frame vocabulary:
+
+``ROLLBACK``
+    Broadcast by an incarnation; payload is its checkpointed
+    ``last_deliver_index`` vector.  Tells every peer which messages the
+    failed process has lost (line 46).
+``RESPONSE``
+    A peer's answer; payload is the peer's ``last_deliver_index[failed]``
+    — how many of the failed process's messages it has delivered so far.
+    Used to suppress repetitive sends during rolling forward (lines 48,
+    52–53).  The peer also re-sends its logged messages for the failed
+    process, in send-index order (lines 49–51).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+ROLLBACK = "ROLLBACK"
+RESPONSE = "RESPONSE"
+CHECKPOINT_ADVANCE = "CKPT_ADV"
+
+
+class TdiRecoveryMixin:
+    """Recovery behaviour for :class:`repro.core.tdi.TdiProtocol`."""
+
+    # --- state contributed by the mixin -------------------------------
+    def _init_recovery_state(self) -> None:
+        #: peers whose RESPONSE we are still waiting for (empty when not
+        #: recovering); drives the rollback retry timer
+        self._awaiting_response: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Incarnation side
+    # ------------------------------------------------------------------
+    def begin_recovery(self) -> None:
+        """Line 46: broadcast ROLLBACK with the checkpointed
+        last_deliver_index so peers know which messages were lost."""
+        self.metrics.recovery_count += 1
+        self._awaiting_response = {
+            r for r in range(self.nprocs) if r != self.rank
+        }
+        self._broadcast_rollback(self._awaiting_response)
+
+    def recovery_pending(self) -> bool:
+        """True while some peer has not answered our ROLLBACK yet."""
+        return bool(self._awaiting_response)
+
+    def retry_recovery(self) -> None:
+        """Re-issue ROLLBACK to unresponsive peers.  A peer that was
+        itself down when the first broadcast went out (simultaneous
+        failures, §III.D) answers one of the retries once its own
+        incarnation is up."""
+        if self._awaiting_response:
+            self._broadcast_rollback(self._awaiting_response)
+
+    def _broadcast_rollback(self, targets: set[int]) -> None:
+        payload = list(self.vectors.last_deliver_index)
+        size = self.nprocs * self.costs.identifier_bytes
+        for dst in sorted(targets):
+            self.services.send_control(dst, ROLLBACK, payload, size)
+        self.trace.emit("proto.rollback_bcast", self.rank, targets=sorted(targets))
+
+    # ------------------------------------------------------------------
+    # Survivor side
+    # ------------------------------------------------------------------
+    def _handle_rollback(self, src: int, lost_deliver_index: list[Any]) -> None:
+        """Lines 47–51: answer with RESPONSE, then re-send every logged
+        message the failed process has not covered by its checkpoint."""
+        delivered_from_src = self.vectors.last_deliver_index[src]
+        self.services.send_control(
+            src, RESPONSE, delivered_from_src, self.costs.identifier_bytes
+        )
+        resent = 0
+        for item in self.log.items_for(src, after_index=lost_deliver_index[self.rank]):
+            self.services.resend_logged(item)
+            resent += 1
+        self.metrics.resends += resent
+        self.trace.emit("proto.resend", self.rank, to=src, count=resent)
+
+    def _handle_response(self, src: int, last_receive_index: int) -> None:
+        """Lines 52–53: remember how much of our output the peer already
+        delivered, so re-executed sends to it can be suppressed."""
+        if last_receive_index > self.rollback_last_send_index[src]:
+            self.rollback_last_send_index[src] = last_receive_index
+        self._awaiting_response.discard(src)
+
+    # ------------------------------------------------------------------
+    # Shared control dispatch (checkpoint GC lives here too since it is
+    # part of the same control vocabulary)
+    # ------------------------------------------------------------------
+    def _handle_checkpoint_advance(self, src: int, upto_send_index: int) -> None:
+        """Line 39: the peer's checkpoint now covers our messages up to
+        ``upto_send_index`` — release them from the volatile log."""
+        released = self.log.release_upto(src, upto_send_index)
+        self.metrics.log_items_released += released

@@ -1,0 +1,29 @@
+"""Record/replay debugging on top of message logging.
+
+The paper motivates causal message logging not only for fault tolerance
+but for *parallel program debugging*: with every delivered message
+logged, any single process can be re-executed deterministically in
+isolation — no cluster, no timing, just the recorded message stream.
+This package provides exactly that workflow:
+
+* :class:`~repro.debug.recorder.RunRecording` — per-rank streams of
+  deliveries and sends captured during a live run (enable with
+  ``SimulationConfig(record=True)``);
+* :func:`~repro.debug.replay.replay_rank` — re-execute one rank's
+  kernel standalone, feeding it the recorded deliveries and checking
+  its sends against the recorded ones (a send-determinism audit);
+* :func:`~repro.debug.replay.replay_all` — audit every rank.
+"""
+
+from repro.debug.recorder import DeliveryRecord, RankRecording, RunRecording, SendRecord
+from repro.debug.replay import ReplayDivergence, replay_all, replay_rank
+
+__all__ = [
+    "RunRecording",
+    "RankRecording",
+    "DeliveryRecord",
+    "SendRecord",
+    "replay_rank",
+    "replay_all",
+    "ReplayDivergence",
+]

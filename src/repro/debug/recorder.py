@@ -1,0 +1,94 @@
+"""Recording of per-rank message streams during a live run.
+
+The recorder captures, for every rank, the *application-visible*
+history: each delivery (what ``recv`` returned) and each send the
+application issued.  That history is exactly what a message-logging
+debugger persists; replaying it through the kernel reproduces the
+original execution of that rank without the rest of the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One message as the application received it."""
+
+    source: int
+    tag: int
+    payload: Any
+    send_index: int
+
+
+@dataclass(frozen=True)
+class SendRecord:
+    """One application-level send (suppressed re-sends included: they
+    are part of the application's deterministic behaviour)."""
+
+    dest: int
+    tag: int
+    payload: Any
+    size_bytes: int
+
+
+@dataclass
+class RankRecording:
+    """One rank's application-visible history, in program order."""
+
+    rank: int
+    deliveries: list[DeliveryRecord] = field(default_factory=list)
+    sends: list[SendRecord] = field(default_factory=list)
+    result: Any = None
+
+    def __len__(self) -> int:
+        return len(self.deliveries) + len(self.sends)
+
+
+class RunRecording:
+    """All ranks' histories for one run.
+
+    On a faulted run, a victim's pre-failure events are *replaced* when
+    its incarnation re-executes — the recording keeps the last
+    incarnation's history (the one that completed), which is the stream
+    a debugger would replay.
+    """
+
+    def __init__(self, nprocs: int) -> None:
+        self.nprocs = nprocs
+        self._ranks: dict[int, RankRecording] = {
+            r: RankRecording(rank=r) for r in range(nprocs)
+        }
+
+    def rank(self, rank: int) -> RankRecording:
+        """The recording for one rank."""
+        return self._ranks[rank]
+
+    def reset_rank(self, rank: int) -> None:
+        """A new incarnation starts a fresh history for ``rank``."""
+        self._ranks[rank] = RankRecording(rank=rank)
+
+    def record_delivery(self, rank: int, source: int, tag: int,
+                        payload: Any, send_index: int) -> None:
+        """Append one delivery to ``rank``'s stream."""
+        self._ranks[rank].deliveries.append(
+            DeliveryRecord(source, tag, payload, send_index)
+        )
+
+    def record_send(self, rank: int, dest: int, tag: int, payload: Any,
+                    size_bytes: int) -> None:
+        """Append one application send to ``rank``'s stream."""
+        self._ranks[rank].sends.append(SendRecord(dest, tag, payload, size_bytes))
+
+    def record_result(self, rank: int, result: Any) -> None:
+        """Store the rank's final return value."""
+        self._ranks[rank].result = result
+
+    def totals(self) -> dict[str, int]:
+        """Aggregate event counts, for reports and tests."""
+        return {
+            "deliveries": sum(len(r.deliveries) for r in self._ranks.values()),
+            "sends": sum(len(r.sends) for r in self._ranks.values()),
+        }

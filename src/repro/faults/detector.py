@@ -1,0 +1,58 @@
+"""Failure detection bookkeeping.
+
+The paper assumes fail-stop processes with external detection (the
+incarnation is simply "created in a spare normal node").  The detector
+records the failure/recovery timeline that the injector and endpoints
+produce, so experiments and tests can reason about downtime windows
+without scraping the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    rank: int
+    failed_at: float
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    rank: int
+    recovered_at: float
+    epoch: int
+
+
+@dataclass
+class FailureDetector:
+    """Timeline of failures and incarnations."""
+
+    failures: list[FailureEvent] = field(default_factory=list)
+    recoveries: list[RecoveryEvent] = field(default_factory=list)
+
+    def observe_failure(self, rank: int, now: float) -> None:
+        """Record a kill at simulated time ``now``."""
+        self.failures.append(FailureEvent(rank, now))
+
+    def observe_recovery(self, rank: int, now: float, epoch: int) -> None:
+        """Record an incarnation coming up."""
+        self.recoveries.append(RecoveryEvent(rank, now, epoch))
+
+    # ------------------------------------------------------------------
+    def failure_count(self, rank: int | None = None) -> int:
+        """Failures observed, overall or for one rank."""
+        if rank is None:
+            return len(self.failures)
+        return sum(1 for e in self.failures if e.rank == rank)
+
+    def downtime_windows(self, rank: int) -> list[tuple[float, float]]:
+        """(failed_at, recovered_at) pairs for ``rank``, in order."""
+        fails = [e.failed_at for e in self.failures if e.rank == rank]
+        recs = [e.recovered_at for e in self.recoveries if e.rank == rank]
+        return list(zip(fails, recs))
+
+    def total_downtime(self, rank: int) -> float:
+        """Seconds ``rank`` spent dead across all windows."""
+        return sum(end - start for start, end in self.downtime_windows(rank))

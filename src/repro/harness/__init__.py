@@ -1,0 +1,17 @@
+"""Experiment harness: regenerates every result figure of the paper.
+
+* :mod:`repro.harness.config` — experiment matrices and defaults;
+* :mod:`repro.harness.runner` — run-matrix execution;
+* :mod:`repro.harness.experiments` — Fig. 6 (piggyback amount), Fig. 7
+  (tracking time), Fig. 8 (blocking vs non-blocking gain) plus the
+  ablation studies DESIGN.md lists;
+* :mod:`repro.harness.tables` — paper-style series printing;
+* :mod:`repro.harness.cli` — the ``repro-harness`` command /
+  ``python -m repro.harness``.
+"""
+
+from repro.harness.config import ExperimentOptions
+from repro.harness.experiments import fig6, fig7, fig8
+from repro.harness.tables import FigureResult, format_table
+
+__all__ = ["ExperimentOptions", "fig6", "fig7", "fig8", "FigureResult", "format_table"]

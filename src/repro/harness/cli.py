@@ -1,0 +1,126 @@
+"""Command-line entry point: ``repro-harness`` / ``python -m repro.harness``.
+
+Examples::
+
+    repro-harness fig6                        # full paper matrix
+    repro-harness fig7 --preset fast --scales 4,8
+    repro-harness fig8 --seed 7
+    repro-harness all --json results.json
+    repro-harness ablations
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.harness import experiments
+from repro.harness.config import ExperimentOptions
+from repro.harness.tables import FigureResult
+
+FIGURES = {
+    "fig6": (experiments.fig6, "protocol"),
+    "fig7": (experiments.fig7, "protocol"),
+    "fig8": (experiments.fig8, "mode"),
+    "overhead": (experiments.overhead, "protocol"),
+}
+
+ABLATIONS = {
+    "ablation-ckpt-interval": experiments.ablation_checkpoint_interval,
+    "ablation-log-gc": experiments.ablation_log_gc,
+    "ablation-evlog-latency": experiments.ablation_evlog_latency,
+    "sensitivity-frequency": experiments.sensitivity_message_frequency,
+}
+
+
+def _parse_args(argv: list[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description="Regenerate the figures of 'A Lightweight Causal Message "
+        "Logging Protocol to Lower Fault Tolerance Overhead' (CLUSTER 2016).",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(FIGURES) + ["all", "ablations"],
+        help="which experiment to run",
+    )
+    parser.add_argument("--preset", choices=("fast", "paper"), default="paper",
+                        help="workload instance size (default: paper)")
+    parser.add_argument("--scales", default="4,8,16,32",
+                        help="comma-separated process counts (default: 4,8,16,32)")
+    parser.add_argument("--workloads", default="lu,bt,sp",
+                        help="comma-separated benchmarks (default: lu,bt,sp)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--checkpoint-interval", type=float, default=0.05,
+                        help="simulated seconds between checkpoints")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also dump the raw rows as JSON")
+    parser.add_argument("--plot", action="store_true",
+                        help="also render each figure as an ASCII chart")
+    parser.add_argument("--check", action="store_true",
+                        help="validate the generated figures against the "
+                        "paper's qualitative claims; non-zero exit on violation")
+    return parser.parse_args(argv)
+
+
+def _options(args: argparse.Namespace) -> ExperimentOptions:
+    return ExperimentOptions(
+        workloads=tuple(args.workloads.split(",")),
+        scales=tuple(int(s) for s in args.scales.split(",")),
+        preset=args.preset,
+        checkpoint_interval=args.checkpoint_interval,
+        seed=args.seed,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _parse_args(argv)
+    options = _options(args)
+    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    collected: list[FigureResult] = []
+
+    def show(result: FigureResult, line_key: str, name: str, t0: float) -> None:
+        print(result.render(line_key=line_key))
+        if args.plot:
+            from repro.harness.plots import render_all
+
+            print(render_all(result, line_key=line_key))
+            print()
+        print(f"[{name} took {time.time() - t0:.1f}s]\n")
+        collected.append(result)
+
+    if args.figure == "ablations":
+        for name, fn in ABLATIONS.items():
+            t0 = time.time()
+            show(fn(), "protocol", name, t0)
+    else:
+        for name in names:
+            fn, line_key = FIGURES[name]
+            t0 = time.time()
+            show(fn(options), line_key, name, t0)
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump([r.to_dict() for r in collected], fh, indent=2)
+        print(f"wrote {args.json}")
+
+    if args.check:
+        from repro.harness.validate import validate_figure
+
+        violations: list[str] = []
+        for result in collected:
+            violations.extend(validate_figure(result))
+        if violations:
+            print("shape validation FAILED:")
+            for v in violations:
+                print(f"  - {v}")
+            return 1
+        print("shape validation passed: the paper's qualitative claims hold.")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

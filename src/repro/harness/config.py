@@ -1,0 +1,55 @@
+"""Experiment matrices and defaults.
+
+The paper's evaluation runs LU, BT and SP at 4, 8, 16 and 32 processes
+with a 180-second checkpoint interval on 100 Mb Ethernet.  We keep the
+process scales and the benchmark set, and scale the time base down: the
+``fast`` preset gives sub-second sanity runs, the ``paper`` preset keeps
+several checkpoint intervals per run and the same communication-signature
+ratios the figures are sensitive to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SimulationConfig
+
+PAPER_SCALES = (4, 8, 16, 32)
+PAPER_WORKLOADS = ("lu", "bt", "sp")
+FIGURE_PROTOCOLS = ("tdi", "tag", "tel")
+
+
+@dataclass(frozen=True)
+class ExperimentOptions:
+    """Knobs shared by all figure experiments."""
+
+    workloads: tuple[str, ...] = PAPER_WORKLOADS
+    scales: tuple[int, ...] = PAPER_SCALES
+    protocols: tuple[str, ...] = FIGURE_PROTOCOLS
+    #: workload preset scale: "fast" or "paper"
+    preset: str = "paper"
+    #: simulated seconds between checkpoints (the paper's 180 s, scaled)
+    checkpoint_interval: float = 0.05
+    seed: int = 1
+    #: Fig. 8 only: where in the checkpoint cycle the fault lands, as a
+    #: fraction of the interval past the last checkpoint (the paper lets
+    #: a full interval of work accumulate before killing)
+    fault_fraction: float = 0.95
+    #: Fig. 8 only: which rank is killed
+    fault_rank: int | None = None
+    extra: dict = field(default_factory=dict)
+
+    def sim_config(self, workload: str, nprocs: int, protocol: str,
+                   comm_mode: str = "nonblocking") -> SimulationConfig:
+        """Materialise a SimulationConfig for one experiment cell."""
+        return SimulationConfig(
+            nprocs=nprocs,
+            protocol=protocol,
+            comm_mode=comm_mode,
+            checkpoint_interval=self.checkpoint_interval,
+            seed=self.seed,
+        )
+
+
+FAST_OPTIONS = ExperimentOptions(preset="fast", scales=(4, 8), checkpoint_interval=0.02)
+PAPER_OPTIONS = ExperimentOptions()

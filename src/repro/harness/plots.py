@@ -1,0 +1,107 @@
+"""ASCII charts for figure results.
+
+The paper presents Figs. 6–8 as grouped bar/line charts; this module
+renders the same series as terminal charts so `repro-harness --plot`
+gives a visual without any plotting dependency.  Linear or log-10
+y-axis; one character column per (scale, line) pair, grouped like the
+paper's x-axis.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.harness.tables import FigureResult
+
+#: bar glyphs per line (protocol/mode), cycled
+_GLYPHS = "#*o+x%"
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000 or abs(v) < 0.01:
+        return f"{v:.1e}"
+    return f"{v:.3g}"
+
+
+def render_chart(
+    result: FigureResult,
+    workload: str,
+    line_key: str = "protocol",
+    height: int = 12,
+    log: bool | None = None,
+) -> str:
+    """Draw one benchmark's series as a grouped ASCII bar chart.
+
+    ``log=None`` auto-selects a log-10 axis when the series span more
+    than two decades (Fig. 6's TAG-vs-TDI gap needs it).
+    """
+    lines = result.lines(line_key)
+    scales = sorted({r["nprocs"] for r in result.rows if r["workload"] == workload})
+    if not lines or not scales:
+        return f"(no data for {workload})"
+
+    values: dict[tuple[str, int], float] = {}
+    for line in lines:
+        for n in scales:
+            try:
+                values[(line, n)] = result.value(workload, n, line, line_key)
+            except KeyError:
+                pass
+    if not values:
+        return f"(no data for {workload})"
+    vmax = max(values.values())
+    vmin = min(v for v in values.values() if v > 0) if any(
+        v > 0 for v in values.values()) else 0.0
+    if log is None:
+        log = vmin > 0 and vmax / max(vmin, 1e-300) > 100.0
+
+    def level(v: float) -> int:
+        if v <= 0:
+            return 0
+        if log:
+            lo, hi = math.log10(vmin), math.log10(max(vmax, vmin * 10))
+            frac = (math.log10(v) - lo) / max(hi - lo, 1e-12)
+        else:
+            frac = v / vmax
+        return max(0, min(height, round(frac * height)))
+
+    # columns: groups of len(lines) bars separated by a space
+    columns: list[tuple[str, int]] = []  # (glyph, level)
+    for n in scales:
+        for i, line in enumerate(lines):
+            v = values.get((line, n))
+            columns.append((_GLYPHS[i % len(_GLYPHS)], level(v) if v is not None else 0))
+        columns.append((" ", -1))
+    columns.pop()
+
+    rows_out = []
+    axis = f"{_fmt(vmax):>9} ┤" if not log else f"{_fmt(vmax):>9} ┤(log)"
+    rows_out.append(f"{result.figure} — {workload.upper()} ({result.metric})")
+    for h in range(height, 0, -1):
+        label = axis if h == height else (
+            f"{_fmt(vmin):>9} ┤" if (h == 1 and log) else " " * 10 + "│")
+        row = "".join(g if lvl >= h else " " for g, lvl in columns)
+        rows_out.append(label + row)
+    rows_out.append(" " * 10 + "└" + "─" * len(columns))
+    group_width = len(lines) + 1
+    tick_row = [" "] * (11 + len(columns))
+    for gi, n in enumerate(scales):
+        pos = 11 + gi * group_width
+        for ci, ch in enumerate(f"n={n}"):
+            if pos + ci < len(tick_row):
+                tick_row[pos + ci] = ch
+    rows_out.append("".join(tick_row))
+    legend = "  ".join(f"{_GLYPHS[i % len(_GLYPHS)]} {line}"
+                       for i, line in enumerate(lines))
+    rows_out.append(" " * 11 + legend)
+    return "\n".join(rows_out)
+
+
+def render_all(result: FigureResult, line_key: str = "protocol") -> str:
+    """Charts for every benchmark in the figure."""
+    return "\n\n".join(
+        render_chart(result, workload, line_key)
+        for workload in result.workloads()
+    )

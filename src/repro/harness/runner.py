@@ -1,0 +1,48 @@
+"""Run-matrix execution helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.config import SimulationConfig
+from repro.faults.injector import FaultSpec
+from repro.mpi.cluster import RunResult, run_simulation
+from repro.workloads.presets import workload_factory
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of an experiment matrix."""
+
+    workload: str
+    nprocs: int
+    protocol: str
+    comm_mode: str = "nonblocking"
+
+
+def run_cell(
+    cell: Cell,
+    *,
+    preset: str,
+    checkpoint_interval: float,
+    seed: int,
+    faults: Sequence[FaultSpec] | None = None,
+    **config_overrides,
+) -> RunResult:
+    """Run one matrix cell to completion."""
+    config = SimulationConfig(
+        nprocs=cell.nprocs,
+        protocol=cell.protocol,
+        comm_mode=cell.comm_mode,
+        checkpoint_interval=checkpoint_interval,
+        seed=seed,
+        **config_overrides,
+    )
+    factory = workload_factory(cell.workload, scale=preset)
+    return run_simulation(config, factory, faults)
+
+
+def checkpoint_intervals_elapsed(result: RunResult, interval: float) -> float:
+    """How many checkpoint intervals the run spanned (>= 1)."""
+    return max(1.0, result.accomplishment_time / interval)

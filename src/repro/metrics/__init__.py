@@ -1,0 +1,14 @@
+"""Instrumentation: counters, cost model, reports, timelines, availability."""
+
+from repro.metrics.availability import AvailabilityReport, analyze
+from repro.metrics.counters import RankMetrics, MetricsAggregate, aggregate
+from repro.metrics.costs import CostModel
+
+__all__ = [
+    "RankMetrics",
+    "MetricsAggregate",
+    "aggregate",
+    "CostModel",
+    "AvailabilityReport",
+    "analyze",
+]

@@ -1,0 +1,91 @@
+"""Availability and efficiency accounting for finished runs.
+
+Decomposes a run's wall time the way resilience studies (e.g. the
+paper's reference [21]) do: useful computation, checkpoint tax, rework
+(rolling forward), downtime, and communication/blocking residue.  All
+quantities come from the run's metrics and failure timeline — no extra
+instrumentation needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.cluster import RunResult
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """Wall-time decomposition of one run (all times in seconds)."""
+
+    wall_time: float
+    nprocs: int
+    #: rank-seconds of application computation
+    compute_time: float
+    #: rank-seconds spent writing checkpoints
+    checkpoint_time: float
+    #: rank-seconds of downtime (dead, waiting for the incarnation)
+    downtime: float
+    #: rank-seconds between incarnation start and rolling-forward catch-up
+    rework_time: float
+    #: rank-seconds the application was blocked in sends
+    blocked_time: float
+    failures: int
+
+    @property
+    def availability(self) -> float:
+        """Fraction of rank-time the processes were up."""
+        total = self.wall_time * self.nprocs
+        return 1.0 - self.downtime / total if total > 0 else 1.0
+
+    @property
+    def efficiency(self) -> float:
+        """Useful computation per rank-second of wall time."""
+        total = self.wall_time * self.nprocs
+        return self.compute_time / total if total > 0 else 0.0
+
+    @property
+    def checkpoint_tax(self) -> float:
+        """Fraction of rank-time spent writing checkpoints."""
+        total = self.wall_time * self.nprocs
+        return self.checkpoint_time / total if total > 0 else 0.0
+
+    @property
+    def rework_fraction(self) -> float:
+        """Fraction of rank-time spent rolling forward after failures."""
+        total = self.wall_time * self.nprocs
+        return self.rework_time / total if total > 0 else 0.0
+
+    def summary(self) -> str:
+        """One-paragraph human-readable decomposition."""
+        return (
+            f"{self.nprocs} ranks over {self.wall_time * 1e3:.2f} ms: "
+            f"availability {self.availability * 100:.2f}%, "
+            f"efficiency {self.efficiency * 100:.1f}%, "
+            f"checkpoint tax {self.checkpoint_tax * 100:.2f}%, "
+            f"rework {self.rework_fraction * 100:.2f}% "
+            f"({self.failures} failure(s))"
+        )
+
+
+def analyze(result: "RunResult") -> AvailabilityReport:
+    """Build the decomposition from a finished run."""
+    stats = result.stats
+    nprocs = result.config.nprocs
+    downtime = sum(
+        result.detector.total_downtime(rank) for rank in range(nprocs)
+    )
+    # rollforward_time spans kill -> caught up; downtime is its prefix
+    rework = max(0.0, stats.total("rollforward_time") - downtime)
+    return AvailabilityReport(
+        wall_time=result.accomplishment_time,
+        nprocs=nprocs,
+        compute_time=stats.total("compute_time"),
+        checkpoint_time=stats.total("checkpoint_time"),
+        downtime=downtime,
+        rework_time=rework,
+        blocked_time=stats.total("blocked_time"),
+        failures=result.detector.failure_count(),
+    )

@@ -1,0 +1,104 @@
+"""Human-readable run reports.
+
+Turns a :class:`~repro.mpi.cluster.RunResult` into the kind of summary a
+user wants after a run: what happened, what it cost, where the time
+went.  Used by the examples and by ``repro-harness`` debugging, and kept
+free of any printing side effects (returns strings).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.harness.tables import format_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.cluster import RunResult
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}"
+        n /= 1024
+    return f"{n:.1f} GiB"
+
+
+def _fmt_time(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.1f} µs"
+
+
+def summarize(result: "RunResult") -> str:
+    """One-screen overview of a finished run."""
+    stats = result.stats
+    cfg = result.config
+    lines = [
+        f"run: {cfg.protocol} protocol, {cfg.nprocs} processes, "
+        f"{cfg.comm_mode} middleware, seed {cfg.seed}",
+        f"  accomplishment time:   {_fmt_time(result.accomplishment_time)}",
+        f"  engine events:         {result.events_fired}",
+        f"  app messages:          {stats.messages_total} "
+        f"(+{int(stats.total('resends'))} resent, "
+        f"{int(stats.total('app_sends_suppressed'))} suppressed, "
+        f"{int(stats.total('duplicates_discarded'))} duplicates discarded)",
+        f"  piggyback:             "
+        f"{stats.piggyback_identifiers_per_message:.1f} identifiers/message, "
+        f"{_fmt_bytes(stats.total('piggyback_bytes'))} total",
+        f"  tracking time:         {_fmt_time(stats.tracking_time_total)} "
+        f"across ranks (max rank {_fmt_time(stats.tracking_time_max_rank)})",
+        f"  checkpoints:           {result.checkpoint_writes} writes, "
+        f"{_fmt_bytes(stats.total('checkpoint_bytes'))}",
+        f"  network:               {result.network.frames_sent} frames, "
+        f"{_fmt_bytes(result.network.bytes_sent)} "
+        f"({result.network.frames_dropped} dropped at dead nodes)",
+    ]
+    failures = result.detector.failure_count()
+    if failures:
+        lines.append(
+            f"  failures:              {failures} "
+            f"(rolling forward {_fmt_time(stats.total('rollforward_time'))} total)"
+        )
+    if stats.total("blocked_time") > 0:
+        lines.append(
+            f"  send blocking:         {_fmt_time(stats.total('blocked_time'))} total"
+        )
+    return "\n".join(lines)
+
+
+def per_rank_table(result: "RunResult") -> str:
+    """Per-rank breakdown of traffic and overheads."""
+    rows = []
+    for m in result.stats.per_rank:
+        rows.append({
+            "rank": m.rank,
+            "sends": m.app_sends,
+            "delivers": m.app_delivers,
+            "pb ids": m.piggyback_identifiers,
+            "tracking ms": m.tracking_time * 1e3,
+            "ckpts": m.checkpoints_taken,
+            "log peak KiB": m.log_bytes_peak / 1024,
+            "recoveries": m.recovery_count,
+            "blocked ms": m.blocked_time * 1e3,
+        })
+    return format_table(rows, list(rows[0].keys()) if rows else ["rank"])
+
+
+def compare(results: dict[str, "RunResult"]) -> str:
+    """Side-by-side comparison of several runs (e.g. per protocol)."""
+    rows = []
+    for label, result in results.items():
+        stats = result.stats
+        rows.append({
+            "run": label,
+            "time": result.accomplishment_time,
+            "msgs": stats.messages_total,
+            "pb ids/msg": stats.piggyback_identifiers_per_message,
+            "tracking s": stats.tracking_time_total,
+            "ctl frames": result.network.ctl_frames,
+            "recoveries": int(stats.total("recovery_count")),
+        })
+    return format_table(rows, list(rows[0].keys()) if rows else ["run"])

@@ -1,0 +1,88 @@
+"""ASCII timeline of a traced run.
+
+Renders one lifeline per rank with the events that matter when studying
+a recovery: checkpoints (``C``), failures (``X``), incarnations (``R``),
+rolling-forward completion (``F``), and application completion (``D``).
+Requires the run to have been executed with ``trace=True``.
+
+Example output::
+
+    t/ms   0.0                                 12.4
+    rank 0 |----C--------C-------C---------D
+    rank 1 |----C---X...R==F-----C---------D
+    rank 2 |----C--------C-------C---------D
+
+``...`` marks downtime, ``==`` marks rolling forward.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.cluster import RunResult
+
+#: event kind -> (marker, precedence); higher precedence wins a cell
+_MARKERS = {
+    "ckpt.write": ("C", 1),
+    "fault.kill": ("X", 3),
+    "recovery.incarnate": ("R", 3),
+    "recovery.rollforward_done": ("F", 2),
+    "app.done": ("D", 2),
+}
+
+
+def render_timeline(result: "RunResult", width: int = 72) -> str:
+    """Draw the run as one fixed-width lifeline per rank."""
+    trace = result.trace
+    if not trace.events:
+        return "(empty trace — run with trace=True to record a timeline)"
+    horizon = max(result.sim_time, 1e-12)
+    nprocs = result.config.nprocs
+
+    def column(t: float) -> int:
+        return min(width - 1, int(t / horizon * (width - 1)))
+
+    # per-rank state intervals for downtime / rolling-forward shading
+    down: dict[int, list[tuple[float, float]]] = {r: [] for r in range(nprocs)}
+    rolling: dict[int, list[tuple[float, float]]] = {r: [] for r in range(nprocs)}
+    open_down: dict[int, float] = {}
+    open_roll: dict[int, float] = {}
+    for ev in trace.events:
+        if ev.kind == "fault.kill":
+            open_down[ev.rank] = ev.time
+        elif ev.kind == "recovery.incarnate" and ev.rank in open_down:
+            down[ev.rank].append((open_down.pop(ev.rank), ev.time))
+            open_roll[ev.rank] = ev.time
+        elif ev.kind == "recovery.rollforward_done" and ev.rank in open_roll:
+            rolling[ev.rank].append((open_roll.pop(ev.rank), ev.time))
+    for rank, start in open_down.items():
+        down[rank].append((start, horizon))
+    for rank, start in open_roll.items():
+        rolling[rank].append((start, horizon))
+
+    lines = [f"t/ms   {0.0:<{width // 2}.1f}{horizon * 1e3:>{width // 2}.2f}"]
+    for rank in range(nprocs):
+        cells = ["-"] * width
+        cells[0] = "|"
+        for start, end in down[rank]:
+            for c in range(column(start), column(end) + 1):
+                cells[c] = "."
+        for start, end in rolling[rank]:
+            for c in range(column(start), column(end) + 1):
+                cells[c] = "="
+        precedence = [0] * width
+        for ev in trace.events:
+            marker = _MARKERS.get(ev.kind)
+            if marker is None or ev.rank != rank:
+                continue
+            char, prec = marker
+            col = column(ev.time)
+            if prec >= precedence[col]:
+                cells[col] = char
+                precedence[col] = prec
+        lines.append(f"rank {rank:<2d}" + "".join(cells))
+    legend = ("legend: C checkpoint  X failure  R incarnation  "
+              "F rolling-forward done  D app done  . down  = rolling forward")
+    lines.append(legend)
+    return "\n".join(lines)

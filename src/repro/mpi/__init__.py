@@ -1,0 +1,16 @@
+"""Simulated MPI layer.
+
+* :mod:`repro.mpi.context` — :class:`ProcContext`, the API an application
+  kernel sees (the "MPI API of MPICH" box in the paper's Fig. 5);
+* :mod:`repro.mpi.collectives` — collectives built on point-to-point;
+* :mod:`repro.mpi.endpoint` — the per-rank middleware runtime (ADI +
+  WINDAR layers): effect interpretation, blocking/non-blocking transports,
+  protocol hosting, checkpointing, failure and incarnation handling;
+* :mod:`repro.mpi.cluster` — builds a full system and runs it.
+"""
+
+from repro.mpi.context import ProcContext
+from repro.mpi.cluster import Cluster, RunResult
+from repro.simnet.primitives import ANY_SOURCE, ANY_TAG
+
+__all__ = ["ProcContext", "Cluster", "RunResult", "ANY_SOURCE", "ANY_TAG"]

@@ -1,0 +1,162 @@
+"""Cluster assembly and run orchestration.
+
+:class:`Cluster` wires the whole system together — engine, nodes,
+network, checkpoint store, one endpoint per rank, optional service nodes
+(the TEL protocol's event logger) — runs it, and packages the outcome as
+a :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence, TYPE_CHECKING
+
+from repro.config import SimulationConfig
+from repro.faults.detector import FailureDetector
+from repro.faults.injector import FaultInjector, FaultSpec
+from repro.metrics.counters import MetricsAggregate, RankMetrics, aggregate
+from repro.mpi.endpoint import Endpoint
+from repro.protocols.checkpoint import CheckpointStore
+from repro.simnet.engine import Engine, SimulationError
+from repro.simnet.network import Network, NetworkStats
+from repro.simnet.node import NodeSet
+from repro.simnet.rng import RngStreams
+from repro.simnet.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workloads.base import Application
+
+#: ``app_factory(rank, nprocs, rng) -> Application``
+AppFactory = Callable[[int, int, RngStreams], "Application"]
+
+
+@dataclass
+class RunResult:
+    """Everything a finished run exposes."""
+
+    config: SimulationConfig
+    #: per-rank application return values
+    results: list[Any]
+    metrics: MetricsAggregate
+    #: simulated time when the last application finished
+    accomplishment_time: float
+    #: simulated time when the engine went quiet
+    sim_time: float
+    network: NetworkStats
+    trace: Trace
+    detector: FailureDetector
+    checkpoint_writes: int
+    events_fired: int
+    #: per-rank message streams when run with ``record=True``
+    recording: Any = None
+
+    @property
+    def answer(self) -> Any:
+        """Rank 0's application result (conventionally the global answer)."""
+        return self.results[0]
+
+    @property
+    def stats(self) -> MetricsAggregate:
+        return self.metrics
+
+
+class Cluster:
+    """A simulated message-passing machine running one application."""
+
+    def __init__(self, config: SimulationConfig, app_factory: AppFactory) -> None:
+        self.config = config
+        self.engine = Engine()
+        self.rng = RngStreams(config.seed)
+        self.trace = Trace(enabled=config.trace_enabled)
+        self.trace.bind_clock(lambda: self.engine.now)
+
+        needs_logger = config.protocol in ("tel", "pess", "part")
+        self.nodes = NodeSet(config.nprocs + (1 if needs_logger else 0))
+        self.network = Network(self.engine, self.nodes, config.network, self.rng, self.trace)
+        self.checkpoints = CheckpointStore(config.costs)
+        self.detector = FailureDetector()
+        self.metrics = [RankMetrics(rank=r) for r in range(config.nprocs)]
+        self.recording = None
+        if config.record:
+            from repro.debug.recorder import RunRecording
+
+            self.recording = RunRecording(config.nprocs)
+
+        self.services: list[Any] = []
+        if needs_logger:
+            from repro.protocols.tel_protocol import EventLoggerService
+
+            logger = EventLoggerService(
+                rank=config.nprocs,
+                engine=self.engine,
+                network=self.network,
+                costs=config.costs,
+                trace=self.trace,
+            )
+            self.services.append(logger)
+
+        self.endpoints = [
+            Endpoint(self, rank, app_factory(rank, config.nprocs, self.rng))
+            for rank in range(config.nprocs)
+        ]
+        self.injector = FaultInjector(self)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def run(self, faults: Sequence[FaultSpec] | None = None) -> RunResult:
+        """Run the application to completion (or ``max_sim_time``)."""
+        if self._started:
+            raise SimulationError("a Cluster instance runs exactly once")
+        self._started = True
+        if faults:
+            self.injector.schedule(list(faults))
+        for endpoint in self.endpoints:
+            endpoint.start()
+        self.engine.run(until=self.config.max_sim_time, max_events=self.config.max_events)
+
+        errors = [
+            (ep.rank, ep.app_error) for ep in self.endpoints if ep.app_error is not None
+        ]
+        if errors:
+            rank, error = errors[0]
+            raise SimulationError(
+                f"application on rank {rank} raised: {error!r}"
+            ) from error
+
+        unfinished = [ep for ep in self.endpoints if not ep.app_done]
+        if unfinished and self.config.max_sim_time is None:
+            detail = "; ".join(
+                f"rank {ep.rank}: {ep.describe_wait()}" for ep in unfinished
+            )
+            raise SimulationError(
+                f"simulation drained with {len(unfinished)} unfinished process(es) "
+                f"— communication deadlock or unrecovered failure. {detail}"
+            )
+
+        accomplishment = self._accomplishment_time()
+        return RunResult(
+            config=self.config,
+            results=[ep.result for ep in self.endpoints],
+            metrics=aggregate(self.metrics),
+            accomplishment_time=accomplishment,
+            sim_time=self.engine.now,
+            network=self.network.stats,
+            trace=self.trace,
+            detector=self.detector,
+            checkpoint_writes=self.checkpoints.writes,
+            events_fired=self.engine.events_fired,
+            recording=self.recording,
+        )
+
+    def _accomplishment_time(self) -> float:
+        times = [ep.done_at for ep in self.endpoints if ep.done_at is not None]
+        return max(times) if times else self.engine.now
+
+
+def run_simulation(
+    config: SimulationConfig,
+    app_factory: AppFactory,
+    faults: Sequence[FaultSpec] | None = None,
+) -> RunResult:
+    """One-shot convenience: build a cluster, run it, return the result."""
+    return Cluster(config, app_factory).run(faults)

@@ -1,0 +1,199 @@
+"""Collective operations built on simulated point-to-point messages.
+
+Each collective is a generator subroutine: application kernels invoke it
+as ``result = yield from collectives.allreduce(ctx, value, op)``.  Every
+hop is an ordinary application-level message, so collectives are logged,
+piggybacked and replayed by whatever rollback-recovery protocol is
+active — exactly as MPI collectives decompose into point-to-point
+traffic inside MPICH's ADI.
+
+All source ranks in these algorithms are *named* (deterministic
+delivery); the non-deterministic variants (``reduce_any``) are provided
+separately for workloads that, like the paper's §II.C example, declare
+order-insensitivity via ``ANY_SOURCE``.
+
+Tags: collectives use a reserved tag space (``TAG_BASE`` upward) so they
+never match application point-to-point traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, TYPE_CHECKING
+
+from repro.simnet.primitives import ANY_SOURCE, RecvOp, SendOp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.context import ProcContext
+
+TAG_BASE = 1 << 20
+TAG_BCAST = TAG_BASE + 1
+TAG_REDUCE = TAG_BASE + 2
+TAG_GATHER = TAG_BASE + 3
+TAG_BARRIER = TAG_BASE + 4
+TAG_ALLGATHER = TAG_BASE + 5
+TAG_ALLTOALL = TAG_BASE + 6
+TAG_REDUCE_ANY = TAG_BASE + 7
+
+Op = Callable[[Any, Any], Any]
+
+
+def bcast(
+    ctx: "ProcContext",
+    value: Any,
+    root: int = 0,
+    size_bytes: int = 64,
+    tag: int = TAG_BCAST,
+) -> Generator[Any, Any, Any]:
+    """Binomial-tree broadcast (MPICH's short-message algorithm)."""
+    n, rank = ctx.nprocs, ctx.rank
+    relative = (rank - root) % n
+    mask = 1
+    while mask < n:
+        if relative & mask:
+            src = (relative - mask + root) % n
+            delivered = yield RecvOp(source=src, tag=tag)
+            value = delivered.payload
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if relative + mask < n:
+            dst = (relative + mask + root) % n
+            yield SendOp(dest=dst, payload=value, tag=tag, size_bytes=size_bytes)
+        mask >>= 1
+    return value
+
+
+def reduce(
+    ctx: "ProcContext",
+    value: Any,
+    op: Op,
+    root: int = 0,
+    size_bytes: int = 64,
+    tag: int = TAG_REDUCE,
+) -> Generator[Any, Any, Any]:
+    """Binomial-tree reduction with a commutative-associative ``op``.
+    Returns the reduced value at ``root`` and ``None`` elsewhere."""
+    n, rank = ctx.nprocs, ctx.rank
+    relative = (rank - root) % n
+    acc = value
+    mask = 1
+    while mask < n:
+        if relative & mask:
+            dst = (relative - mask + root) % n
+            yield SendOp(dest=dst, payload=acc, tag=tag, size_bytes=size_bytes)
+            return None
+        src_rel = relative + mask
+        if src_rel < n:
+            delivered = yield RecvOp(source=(src_rel + root) % n, tag=tag)
+            acc = op(acc, delivered.payload)
+        mask <<= 1
+    return acc
+
+
+def allreduce(
+    ctx: "ProcContext",
+    value: Any,
+    op: Op,
+    size_bytes: int = 64,
+) -> Generator[Any, Any, Any]:
+    """Reduce to rank 0 then broadcast (the classic composition)."""
+    acc = yield from reduce(ctx, value, op, root=0, size_bytes=size_bytes)
+    result = yield from bcast(ctx, acc, root=0, size_bytes=size_bytes)
+    return result
+
+
+def barrier(ctx: "ProcContext") -> Generator[Any, Any, None]:
+    """Barrier as a zero-payload allreduce."""
+    yield from allreduce(ctx, 0, lambda a, b: 0, size_bytes=8)
+    return None
+
+
+def gather(
+    ctx: "ProcContext",
+    value: Any,
+    root: int = 0,
+    size_bytes: int = 64,
+    tag: int = TAG_GATHER,
+) -> Generator[Any, Any, Any]:
+    """Direct gather; returns the rank-ordered list at ``root``."""
+    n, rank = ctx.nprocs, ctx.rank
+    if rank != root:
+        yield SendOp(dest=root, payload=value, tag=tag, size_bytes=size_bytes)
+        return None
+    out: list[Any] = [None] * n
+    out[root] = value
+    for src in range(n):
+        if src == root:
+            continue
+        delivered = yield RecvOp(source=src, tag=tag)
+        out[src] = delivered.payload
+    return out
+
+
+def allgather(
+    ctx: "ProcContext",
+    value: Any,
+    size_bytes: int = 64,
+) -> Generator[Any, Any, list[Any]]:
+    """Gather to rank 0, then broadcast the assembled list."""
+    gathered = yield from gather(ctx, value, root=0, size_bytes=size_bytes)
+    result = yield from bcast(ctx, gathered, root=0, size_bytes=size_bytes * ctx.nprocs)
+    return result
+
+
+def alltoall(
+    ctx: "ProcContext",
+    values: list[Any],
+    size_bytes: int = 64,
+    tag: int = TAG_ALLTOALL,
+) -> Generator[Any, Any, list[Any]]:
+    """Pairwise-exchange all-to-all (power-of-two process counts).
+
+    XOR pairing with lower-rank-sends-first ordering keeps the pattern
+    deadlock-free even under rendezvous (blocking large-message) sends.
+    """
+    n, rank = ctx.nprocs, ctx.rank
+    if n & (n - 1):
+        raise ValueError("alltoall requires a power-of-two process count")
+    if len(values) != n:
+        raise ValueError(f"need one value per rank, got {len(values)}")
+    out: list[Any] = [None] * n
+    out[rank] = values[rank]
+    for phase in range(1, n):
+        partner = rank ^ phase
+        if rank < partner:
+            yield SendOp(dest=partner, payload=values[partner], tag=tag, size_bytes=size_bytes)
+            delivered = yield RecvOp(source=partner, tag=tag)
+        else:
+            delivered = yield RecvOp(source=partner, tag=tag)
+            yield SendOp(dest=partner, payload=values[partner], tag=tag, size_bytes=size_bytes)
+        out[partner] = delivered.payload
+    return out
+
+
+def reduce_any(
+    ctx: "ProcContext",
+    value: Any,
+    op: Op,
+    root: int = 0,
+    size_bytes: int = 64,
+    tag: int = TAG_REDUCE_ANY,
+) -> Generator[Any, Any, Any]:
+    """The paper's §II.C motivating pattern: every rank sends its
+    contribution straight to ``root``, which accumulates them with
+    ``ANY_SOURCE`` — delivery order is declared irrelevant.
+
+    Under TDI this recovers correctly in whatever order the logged
+    messages arrive; under PWD-model protocols the replay must reproduce
+    the historical order exactly.
+    """
+    n, rank = ctx.nprocs, ctx.rank
+    if rank != root:
+        yield SendOp(dest=root, payload=value, tag=tag, size_bytes=size_bytes)
+        return None
+    acc = value
+    for _ in range(n - 1):
+        delivered = yield RecvOp(source=ANY_SOURCE, tag=tag)
+        acc = op(acc, delivered.payload)
+    return acc

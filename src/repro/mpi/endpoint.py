@@ -1,0 +1,602 @@
+"""Per-rank middleware runtime.
+
+One :class:`Endpoint` per rank plays the role of the paper's WINDAR + ADI
+layers (Fig. 5): it interprets the application's effects, hosts the
+active rollback-recovery protocol, drives the blocking or non-blocking
+transport (Fig. 4a/4b), takes checkpoints, and handles failure and
+incarnation.
+
+Transport semantics
+-------------------
+*Blocking* mode models MPICH's synchronous sends: the application stalls
+after a send until the transport acknowledges — on **arrival** at a live
+peer for eager-sized messages, on **delivery** to the peer's application
+for messages above the eager threshold (the "limited communication
+buffer" effect the paper describes).  A failed receiver therefore stalls
+its senders until its incarnation catches up, which is exactly the loss
+Fig. 8 measures.
+
+*Non-blocking* mode is the paper's §III.E scheme: sends go to queue A and
+the send pump (the "sending thread") does the protocol work and the
+transmission concurrently with the application.
+
+Acknowledgement protocol (blocking mode only): every transmitted
+application frame carries ``meta["ack"]`` ∈ {"arrival", "delivery"};
+the receiving endpoint returns an ``ack`` frame keyed by the sender-side
+send index.  Duplicates are acknowledged on discard so a conservative
+re-send during rolling forward can never wedge its sender.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Callable, TYPE_CHECKING
+
+from repro.core.nonblocking import SendPump, SendRequest
+from repro.mpi.context import ProcContext
+from repro.protocols.base import LoggedMessage, PreparedSend, Protocol
+from repro.protocols.checkpoint import Checkpoint
+from repro.protocols.queue import ReceivingQueue
+from repro.protocols.registry import create_protocol
+from repro.simnet.network import Frame
+from repro.simnet.primitives import (
+    Annotate,
+    CheckpointPoint,
+    Compute,
+    Delivered,
+    RecvOp,
+    SendOp,
+    Wait,
+)
+from repro.simnet.proc import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.cluster import Cluster
+    from repro.workloads.base import Application
+
+_ACK_FRAME_BYTES = 16
+
+
+@dataclass
+class _PendingRecv:
+    source: int
+    tag: int
+    posted_at: float
+
+
+class Endpoint:
+    """One rank's middleware: application host + protocol + transport."""
+
+    def __init__(self, cluster: "Cluster", rank: int, app: "Application") -> None:
+        self.cluster = cluster
+        self.rank = rank
+        self.nprocs = cluster.config.nprocs
+        self.app = app
+        self.config = cluster.config
+        self.engine = cluster.engine
+        self.network = cluster.network
+        self.node = cluster.nodes[rank]
+        self.trace = cluster.trace
+        self.metrics = cluster.metrics[rank]
+        self.ctx = ProcContext(rank, self.nprocs)
+
+        self.protocol: Protocol = self._new_protocol()
+        self.queue = ReceivingQueue()
+        self.pump: SendPump | None = None
+        if self.config.comm_mode == "nonblocking":
+            self.pump = SendPump(self.engine, self._pump_process)
+
+        self.task: Task | None = None
+        self._pending_recv: _PendingRecv | None = None
+        #: rendezvous sends: (peer, send_index) -> time the app blocked
+        self._pending_acks: dict[tuple[int, int], float] = {}
+        #: eager sliding window: peer -> unacknowledged send indexes
+        self._window: dict[int, set[int]] = {}
+        #: app send parked on a full window: (op, prepared, since)
+        self._parked_send: tuple[SendOp, PreparedSend, float] | None = None
+        self._last_ckpt_end = 0.0
+        self._ckpt_seq = 0
+        self.result: Any = None
+        self.app_done = False
+        self.done_at: float | None = None
+        self.app_error: BaseException | None = None
+        #: rolling-forward measurement (set on kill, cleared on catch-up)
+        self.recovering = False
+        self._kill_time = 0.0
+        self._rollforward_target = 0
+
+        self.network.attach(rank, self._on_frame)
+
+    # ==================================================================
+    # Lifecycle
+    # ==================================================================
+    def start(self) -> None:
+        """Write the initial checkpoint (the startup state is checkpoint
+        zero) and launch the application coroutine."""
+        self._write_checkpoint(initial=True)
+        self._spawn_task()
+
+    def _spawn_task(self) -> None:
+        task = Task(
+            self.engine,
+            self.app.run(self.ctx),
+            self._handle_effect,
+            name=f"app[{self.rank}]",
+            epoch=self.node.epoch,
+        )
+        task.on_done = self._on_task_done
+        self.task = task
+        task.start()
+
+    def _on_task_done(self, task: Task) -> None:
+        if task.error is not None:
+            self.app_error = task.error
+            self.trace.emit("app.error", self.rank, error=repr(task.error))
+            self.engine.stop()
+            return
+        if task.state.name == "DONE":
+            self.result = task.result
+            self.app_done = True
+            self.done_at = self.engine.now
+            if self.cluster.recording is not None:
+                self.cluster.recording.record_result(self.rank, task.result)
+            self.trace.emit("app.done", self.rank)
+
+    def _new_protocol(self) -> Protocol:
+        return create_protocol(
+            self.config.protocol,
+            self.rank,
+            self.nprocs,
+            self,
+            self.config.costs,
+            self.metrics,
+            self.trace,
+        )
+
+    # ==================================================================
+    # EndpointServices surface (what the protocol may call)
+    # ==================================================================
+    def now(self) -> float:
+        """Current simulated time (EndpointServices)."""
+        return self.engine.now
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Any:
+        """Schedule protocol work on the engine (EndpointServices)."""
+        return self.engine.schedule(delay, fn)
+
+    def send_control(self, dst: int, ctl: str, payload: Any, size_bytes: int) -> None:
+        """Transmit a protocol control frame (EndpointServices)."""
+        frame = Frame("ctl", self.rank, dst, payload, size_bytes, {"ctl": ctl})
+        self.network.transmit(frame)
+
+    def broadcast_control(self, ctl: str, payload: Any, size_bytes: int) -> None:
+        """Control frame to every other application rank."""
+        for dst in range(self.nprocs):
+            if dst != self.rank:
+                self.send_control(dst, ctl, payload, size_bytes)
+
+    def resend_logged(self, item: LoggedMessage) -> None:
+        """Retransmit a logged message on a peer's rollback (middleware
+        level: never blocks the local application)."""
+        ack = self._ack_mode(item.size_bytes)
+        self._transmit_app(
+            dest=item.dest,
+            tag=item.tag,
+            payload=item.payload,
+            app_size=item.size_bytes,
+            send_index=item.send_index,
+            piggyback=item.piggyback,
+            identifiers=item.piggyback_identifiers,
+            ack=ack,
+            resend=True,
+        )
+
+    def wake_delivery(self) -> None:
+        """Re-run the delivery scan after protocol state changed."""
+        self._try_deliver()
+
+    # ==================================================================
+    # Effect interpretation
+    # ==================================================================
+    def _handle_effect(self, task: Task, effect: Any) -> None:
+        if isinstance(effect, Compute):
+            self.metrics.compute_time += effect.duration
+            task.resume(None, delay=effect.duration)
+        elif isinstance(effect, SendOp):
+            self._handle_send(task, effect)
+        elif isinstance(effect, RecvOp):
+            self._pending_recv = _PendingRecv(effect.source, effect.tag, self.engine.now)
+            self._try_deliver()
+        elif isinstance(effect, CheckpointPoint):
+            self._handle_checkpoint_point(task, effect)
+        elif isinstance(effect, Wait):
+            task.resume(None, delay=effect.duration)
+        elif isinstance(effect, Annotate):
+            self.trace.emit(effect.kind, self.rank, **effect.fields)
+            task.resume(None)
+        else:
+            raise TypeError(
+                f"rank {self.rank}: application yielded {effect!r}, "
+                "which is not a simulation effect"
+            )
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def _handle_send(self, task: Task, op: SendOp) -> None:
+        if self.cluster.recording is not None:
+            self.cluster.recording.record_send(
+                self.rank, op.dest, op.tag, op.payload, op.size_bytes)
+        if self.config.comm_mode == "nonblocking":
+            assert self.pump is not None
+            self.pump.submit(
+                SendRequest(op.dest, op.tag, op.payload, op.size_bytes)
+            )
+            # queue-A append: the application's entire cost (Fig. 4b)
+            task.resume(None, delay=self.config.costs.per_send_base)
+            return
+
+        # Blocking architecture (Fig. 4a): protocol work inline.  Eager
+        # sends complete locally but occupy a per-peer window slot until
+        # acknowledged; rendezvous sends stall until delivery.
+        prepared = self.protocol.prepare_send(op.dest, op.tag, op.payload, op.size_bytes)
+        if not prepared.transmit:
+            self.metrics.app_sends_suppressed += 1
+            task.resume(None, delay=prepared.cost)
+            return
+        self.metrics.app_sends += 1
+        epoch = self.node.epoch
+        rendezvous = self._ack_mode(op.size_bytes) == "delivery"
+
+        def after_cost() -> None:
+            if self.node.epoch != epoch or not self.node.alive:
+                return
+            if rendezvous:
+                self._transmit_prepared(op, prepared)
+                self._pending_acks[(op.dest, prepared.send_index)] = self.engine.now
+                return
+            window = self._window.setdefault(op.dest, set())
+            if len(window) < self.config.send_window:
+                window.add(prepared.send_index)
+                self._transmit_prepared(op, prepared)
+                assert self.task is not None
+                self.task.resume(None)
+            else:
+                self._parked_send = (op, prepared, self.engine.now)
+
+        self.engine.schedule(prepared.cost, after_cost)
+
+    def _transmit_prepared(self, op: SendOp, prepared: PreparedSend) -> None:
+        self._transmit_app(
+            dest=op.dest,
+            tag=op.tag,
+            payload=op.payload,
+            app_size=op.size_bytes,
+            send_index=prepared.send_index,
+            piggyback=prepared.piggyback,
+            identifiers=prepared.piggyback_identifiers,
+            ack=self._ack_mode(op.size_bytes),
+        )
+
+    def _pump_process(self, request: SendRequest) -> float:
+        """The sending thread's work for one queue-A entry."""
+        prepared = self.protocol.prepare_send(
+            request.dest, request.tag, request.payload, request.size_bytes
+        )
+        if prepared.transmit:
+            self.metrics.app_sends += 1
+            self._transmit_app(
+                dest=request.dest,
+                tag=request.tag,
+                payload=request.payload,
+                app_size=request.size_bytes,
+                send_index=prepared.send_index,
+                piggyback=prepared.piggyback,
+                identifiers=prepared.piggyback_identifiers,
+                ack=None,
+            )
+        else:
+            self.metrics.app_sends_suppressed += 1
+        return prepared.cost
+
+    def _ack_mode(self, size_bytes: int) -> str | None:
+        if self.config.comm_mode != "blocking":
+            return None
+        if size_bytes > self.config.eager_threshold_bytes:
+            return "delivery"
+        return "arrival"
+
+    def _transmit_app(
+        self,
+        *,
+        dest: int,
+        tag: int,
+        payload: Any,
+        app_size: int,
+        send_index: int,
+        piggyback: Any,
+        identifiers: int,
+        ack: str | None,
+        resend: bool = False,
+    ) -> None:
+        pb_bytes = identifiers * self.config.costs.identifier_bytes
+        meta = {
+            "tag": tag,
+            "send_index": send_index,
+            "pb": piggyback,
+            "ack": ack,
+            "app_size": app_size,
+            "resend": resend,
+        }
+        frame = Frame("app", self.rank, dest, payload, app_size + pb_bytes, meta)
+        self.network.transmit(frame)
+
+    # ------------------------------------------------------------------
+    # Receiving / delivery
+    # ------------------------------------------------------------------
+    def _on_frame(self, frame: Frame) -> None:
+        if frame.kind == "app":
+            self._on_app_frame(frame)
+        elif frame.kind == "ack":
+            self._on_ack(frame)
+        elif frame.kind == "ctl":
+            self.protocol.handle_control(frame.meta["ctl"], frame.src, frame.payload)
+        else:  # pragma: no cover - the network only carries these kinds
+            raise ValueError(f"unknown frame kind {frame.kind!r}")
+
+    def _on_app_frame(self, frame: Frame) -> None:
+        from repro.protocols.base import DeliveryVerdict
+
+        verdict = self.protocol.classify(frame.meta, frame.src)
+        if verdict is DeliveryVerdict.DUPLICATE:
+            # §III.C.3: repetitive message — discard, but acknowledge so a
+            # conservatively re-sending peer is not wedged.
+            self.metrics.duplicates_discarded += 1
+            self._send_ack_for(frame)
+            self.trace.emit("proto.dup_discard", self.rank, src=frame.src,
+                            send_index=frame.meta["send_index"])
+            return
+        self.queue.enqueue(frame)
+        if frame.meta.get("ack") == "arrival":
+            self._send_ack_for(frame)
+        self._try_deliver()
+
+    def _send_ack_for(self, frame: Frame) -> None:
+        if frame.meta.get("ack") is None:
+            return
+        ack = Frame(
+            "ack",
+            self.rank,
+            frame.src,
+            None,
+            _ACK_FRAME_BYTES,
+            {"send_index": frame.meta["send_index"]},
+        )
+        self.network.transmit(ack)
+
+    def _on_ack(self, frame: Frame) -> None:
+        idx = frame.meta["send_index"]
+        key = (frame.src, idx)
+        since = self._pending_acks.pop(key, None)
+        if since is not None:
+            # rendezvous send completed
+            self.metrics.blocked_time += self.engine.now - since
+            assert self.task is not None
+            self.task.resume(None)
+            return
+        window = self._window.get(frame.src)
+        if window is None or idx not in window:
+            return  # duplicate ack (original + resent copy both acked)
+        window.discard(idx)
+        parked = self._parked_send
+        if parked is not None and parked[0].dest == frame.src:
+            op, prepared, parked_since = parked
+            if len(window) < self.config.send_window:
+                self._parked_send = None
+                self.metrics.blocked_time += self.engine.now - parked_since
+                window.add(prepared.send_index)
+                self._transmit_prepared(op, prepared)
+                assert self.task is not None
+                self.task.resume(None)
+
+    def _try_deliver(self) -> None:
+        req = self._pending_recv
+        if req is None or self.task is None:
+            return
+        result = self.queue.scan(req.source, req.tag, self.protocol.classify)
+        for dup in result.duplicates:
+            self.metrics.duplicates_discarded += 1
+            self._send_ack_for(dup)
+        frame = result.frame
+        if frame is None:
+            return
+        cost = self.protocol.on_deliver(frame.meta, frame.src)
+        self.metrics.app_delivers += 1
+        if frame.meta.get("ack") == "delivery":
+            self._send_ack_for(frame)
+        self.metrics.recv_wait_time += self.engine.now - req.posted_at
+        self._pending_recv = None
+        if self.cluster.recording is not None:
+            self.cluster.recording.record_delivery(
+                self.rank, frame.src, frame.meta["tag"], frame.payload,
+                frame.meta["send_index"])
+        delivered = Delivered(
+            source=frame.src,
+            tag=frame.meta["tag"],
+            payload=frame.payload,
+            size_bytes=frame.meta["app_size"],
+            send_index=frame.meta["send_index"],
+        )
+        self.task.resume(delivered, delay=cost)
+        self._check_rollforward_complete()
+
+    def _check_rollforward_complete(self) -> None:
+        if not self.recovering:
+            return
+        delivered_total = sum(self.protocol.vectors.last_deliver_index)
+        if delivered_total >= self._rollforward_target:
+            self.recovering = False
+            self.metrics.rollforward_time += self.engine.now - self._kill_time
+            self.trace.emit("recovery.rollforward_done", self.rank,
+                            took=self.engine.now - self._kill_time)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _handle_checkpoint_point(self, task: Task, point: CheckpointPoint) -> None:
+        due = point.force or (
+            self.engine.now - self._last_ckpt_end >= self.config.checkpoint_interval
+        )
+        if not due:
+            task.resume(None)
+            return
+        if self.pump is not None and not self.pump.idle:
+            # Quiesce the sending thread first: queue A must be empty so
+            # the sender log and index vectors cover every send the
+            # application state believes has happened.  Checkpointing
+            # past an unprocessed queue-A entry would lose that message
+            # irrecoverably if this process later failed (its
+            # re-execution resumes beyond the send, and no log item
+            # exists for peers to have it resent from).
+            epoch = self.node.epoch
+
+            def wait_for_pump() -> None:
+                if self.node.epoch != epoch or not self.node.alive:
+                    return
+                self._handle_checkpoint_point(task, CheckpointPoint(force=True))
+
+            self.engine.schedule(2e-5, wait_for_pump)
+            return
+        duration = self._write_checkpoint()
+        epoch = self.node.epoch
+
+        def finish() -> None:
+            if self.node.epoch != epoch or not self.node.alive:
+                return
+            self.protocol.after_checkpoint()
+
+        self.engine.schedule(duration, finish)
+        task.resume(None, delay=duration)
+
+    def _write_checkpoint(self, initial: bool = False) -> float:
+        self._ckpt_seq += 1
+        app_state = copy.deepcopy(self.app.snapshot())
+        proto_state = self.protocol.checkpoint_state()
+        size = (
+            self.app.snapshot_size_bytes()
+            + self.protocol.checkpoint_log_bytes()
+            + 3 * self.nprocs * self.config.costs.identifier_bytes
+        )
+        ckpt = Checkpoint(
+            rank=self.rank,
+            taken_at=self.engine.now,
+            seq=self._ckpt_seq,
+            app_state=app_state,
+            protocol_state=proto_state,
+            size_bytes=size,
+            last_deliver_index=list(self.protocol.vectors.last_deliver_index),
+        )
+        duration = self.cluster.checkpoints.write(ckpt)
+        if initial:
+            duration = 0.0
+        self.metrics.checkpoints_taken += 1
+        self.metrics.checkpoint_bytes += size
+        self.metrics.checkpoint_time += duration
+        self._last_ckpt_end = self.engine.now + duration
+        self.trace.emit("ckpt.write", self.rank, seq=self._ckpt_seq, size=size)
+        return duration
+
+    # ==================================================================
+    # Failure and incarnation
+    # ==================================================================
+    def fail(self) -> None:
+        """Kill this rank: all volatile state is lost (fault injection)."""
+        if not self.node.alive:
+            raise RuntimeError(f"rank {self.rank} is already dead")
+        self._kill_time = self.engine.now
+        self._rollforward_target = sum(self.protocol.vectors.last_deliver_index)
+        self.node.kill(self.engine.now)
+        if self.task is not None:
+            self.task.kill()
+        if self.pump is not None:
+            self.pump.kill()
+        self.queue.clear()
+        self._pending_acks.clear()
+        self._window.clear()
+        self._parked_send = None
+        self._pending_recv = None
+        self.network.detach(self.rank)
+        self.trace.emit("fault.kill", self.rank)
+
+    def incarnate(self) -> None:
+        """Start the incarnation (called ``restart_delay`` after the
+        fault): read the checkpoint from stable storage, restore protocol
+        and application state, announce the rollback, re-execute."""
+        if self.node.alive:
+            raise RuntimeError(f"rank {self.rank} is not dead")
+        ckpt = self.cluster.checkpoints.latest(self.rank)
+        if ckpt is None:  # start() always writes checkpoint zero
+            raise RuntimeError(f"rank {self.rank} has no checkpoint to recover from")
+        read_time = self.cluster.checkpoints.read_time(self.rank)
+        self.engine.schedule(read_time, lambda: self._finish_incarnation(ckpt))
+
+    def _finish_incarnation(self, ckpt: Checkpoint) -> None:
+        epoch = self.node.revive(self.engine.now)
+        self.protocol = self._new_protocol()
+        self.protocol.restore(copy.deepcopy(ckpt.protocol_state))
+        self.app.restore(copy.deepcopy(ckpt.app_state))
+        self.queue = ReceivingQueue()
+        if self.pump is not None:
+            self.pump = SendPump(self.engine, self._pump_process)
+        self._pending_recv = None
+        self._pending_acks.clear()
+        self._window.clear()
+        self._parked_send = None
+        self._last_ckpt_end = self.engine.now
+        self.app_done = False
+        self.recovering = True
+        if self.cluster.recording is not None:
+            # the incarnation's history replaces the dead one's
+            self.cluster.recording.reset_rank(self.rank)
+        self.network.attach(self.rank, self._on_frame)
+        self.cluster.detector.observe_recovery(self.rank, self.engine.now, epoch)
+        self.trace.emit("recovery.incarnate", self.rank, epoch=epoch,
+                        from_seq=ckpt.seq)
+        self.protocol.begin_recovery()
+        self._arm_recovery_retry(epoch)
+        self._spawn_task()
+        self._check_rollforward_complete()
+
+    def _arm_recovery_retry(self, epoch: int) -> None:
+        def tick() -> None:
+            if self.node.epoch != epoch or not self.node.alive:
+                return
+            if self.protocol.recovery_pending():
+                self.protocol.retry_recovery()
+                self.engine.schedule(self.config.rollback_retry_interval, tick)
+
+        self.engine.schedule(self.config.rollback_retry_interval, tick)
+
+    # ==================================================================
+    @property
+    def blocked(self) -> bool:
+        """True when the application is parked on a send ack or a recv."""
+        return (bool(self._pending_acks) or self._parked_send is not None
+                or self._pending_recv is not None)
+
+    def describe_wait(self) -> str:
+        """Human-readable stall description for deadlock diagnostics."""
+        parts = []
+        if self._pending_acks:
+            parts.append(f"awaiting acks {sorted(self._pending_acks)}")
+        if self._parked_send is not None:
+            op, prepared, since = self._parked_send
+            parts.append(
+                f"send to {op.dest} parked on full window since t={since:.6f}")
+        if self._pending_recv is not None:
+            r = self._pending_recv
+            parts.append(f"recv(source={r.source}, tag={r.tag}) since t={r.posted_at:.6f}")
+        if not parts:
+            parts.append("idle")
+        return "; ".join(parts)

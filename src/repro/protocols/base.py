@@ -1,0 +1,211 @@
+"""The protocol hook interface.
+
+A :class:`Protocol` instance lives inside one rank's middleware endpoint
+(the WINDAR layer in the paper's Fig. 5) and is consulted at five points:
+
+1. ``prepare_send``   — before an application message goes on the wire:
+   assign the send index, build the piggyback, build the sender-side log
+   item, decide whether the transmission is a suppressed duplicate
+   (Algorithm 1 lines 8–12);
+2. ``classify``       — when the delivery manager scans the receiving
+   queue: is this frame deliverable now, a duplicate to discard, or
+   deferred until its dependencies are satisfied (lines 15–31);
+3. ``on_deliver``     — bookkeeping after a delivery (vector merges,
+   determinant creation);
+4. ``checkpoint_state`` / ``after_checkpoint`` — what goes into the
+   checkpoint, and what control traffic follows it (lines 32–39);
+5. ``restore`` / ``begin_recovery`` / ``handle_control`` — the failure
+   path (lines 40–53).
+
+Protocols never touch the network directly; they go through
+:class:`EndpointServices`, the narrow surface the endpoint exposes.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Protocol as TypingProtocol
+
+from repro.metrics.costs import CostModel
+from repro.metrics.counters import RankMetrics
+from repro.simnet.trace import Trace
+
+
+class DeliveryVerdict(enum.Enum):
+    """Outcome of scanning one queued frame for a pending receive."""
+
+    DELIVER = "deliver"
+    DUPLICATE = "duplicate"   # discard (Algorithm 1 line 28)
+    DEFER = "defer"           # dependencies not satisfied yet; keep queued
+
+
+@dataclass
+class PreparedSend:
+    """What ``prepare_send`` returns for one application send."""
+
+    send_index: int
+    #: protocol-specific piggyback object, shipped in ``frame.meta["pb"]``
+    piggyback: Any
+    #: how many identifiers the piggyback contains (Fig. 6 accounting)
+    piggyback_identifiers: int
+    #: tracking CPU cost the sender pays for this send (Fig. 7 accounting)
+    cost: float
+    #: False when the send is a recognised duplicate during rolling
+    #: forward (Algorithm 1 line 10): the item is logged but not
+    #: transmitted
+    transmit: bool = True
+
+
+@dataclass
+class LoggedMessage:
+    """One sender-side log item (Algorithm 1 line 12)."""
+
+    dest: int
+    send_index: int
+    tag: int
+    payload: Any
+    size_bytes: int
+    #: the piggyback captured at send time, replayed verbatim on resend
+    piggyback: Any
+    piggyback_identifiers: int = 0
+
+
+class EndpointServices(TypingProtocol):
+    """What a protocol may ask of its endpoint (structural typing)."""
+
+    rank: int
+    nprocs: int
+
+    def now(self) -> float:
+        """Current simulated time."""
+
+    def send_control(self, dst: int, ctl: str, payload: Any, size_bytes: int) -> None:
+        """Transmit one protocol control frame to ``dst``."""
+
+    def broadcast_control(self, ctl: str, payload: Any, size_bytes: int) -> None:
+        """Transmit a control frame to every other application rank."""
+
+    def resend_logged(self, item: "LoggedMessage") -> None:
+        """Retransmit a logged message (middleware level, non-blocking)."""
+
+    def schedule(self, delay: float, fn: Any) -> Any:
+        """Schedule deferred protocol work on the simulation engine."""
+
+    def wake_delivery(self) -> None:
+        """Ask the endpoint to re-run its delivery scan."""
+
+
+class Protocol(abc.ABC):
+    """Base class for rollback-recovery message-logging protocols."""
+
+    #: registry key; subclasses override
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        rank: int,
+        nprocs: int,
+        services: EndpointServices,
+        costs: CostModel,
+        metrics: RankMetrics,
+        trace: Trace,
+    ) -> None:
+        self.rank = rank
+        self.nprocs = nprocs
+        self.services = services
+        self.costs = costs
+        self.metrics = metrics
+        self.trace = trace
+
+    # ------------------------------------------------------------------
+    # Normal-execution path
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def prepare_send(self, dest: int, tag: int, payload: Any, size_bytes: int) -> PreparedSend:
+        """Account a send: index it, log it, build its piggyback."""
+
+    @abc.abstractmethod
+    def classify(self, frame_meta: dict[str, Any], src: int) -> DeliveryVerdict:
+        """Queue-scan gate for one arrived frame's metadata."""
+
+    @abc.abstractmethod
+    def on_deliver(self, frame_meta: dict[str, Any], src: int) -> float:
+        """Post-delivery bookkeeping; returns the tracking CPU cost."""
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def checkpoint_state(self) -> dict[str, Any]:
+        """Protocol state to persist alongside the application snapshot."""
+
+    @abc.abstractmethod
+    def checkpoint_log_bytes(self) -> int:
+        """Current sender-log volume (counted into checkpoint size)."""
+
+    def after_checkpoint(self) -> None:
+        """Emit post-checkpoint control traffic (e.g. CHECKPOINT_ADVANCE)."""
+
+    # ------------------------------------------------------------------
+    # Failure / recovery path
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def restore(self, state: dict[str, Any]) -> None:
+        """Load protocol state from a checkpoint (incarnation startup)."""
+
+    @abc.abstractmethod
+    def begin_recovery(self) -> None:
+        """Announce the rollback to the system (ROLLBACK broadcast)."""
+
+    @abc.abstractmethod
+    def handle_control(self, ctl: str, src: int, payload: Any) -> None:
+        """Process a protocol control frame."""
+
+    def recovery_pending(self) -> bool:
+        """True while the incarnation is still waiting for peers'
+        recovery responses (drives the rollback retry timer)."""
+        return False
+
+    def retry_recovery(self) -> None:
+        """Re-issue recovery requests to unresponsive peers."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def charge(self, cost: float, identifiers: int = 0, pb_bytes: int = 0) -> None:
+        """Record tracking cost and piggyback volume into the metrics."""
+        self.metrics.tracking_time += cost
+        self.metrics.piggyback_identifiers += identifiers
+        self.metrics.piggyback_bytes += pb_bytes
+
+
+@dataclass
+class VectorState:
+    """The three index vectors every sender-based protocol carries
+    (Algorithm 1 lines 3–7).  TAG/TEL reuse the send/deliver counters for
+    lost-message identification even though their dependency tracking
+    differs."""
+
+    nprocs: int
+    last_send_index: list[int] = field(default_factory=list)
+    last_deliver_index: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.last_send_index:
+            self.last_send_index = [0] * self.nprocs
+        if not self.last_deliver_index:
+            self.last_deliver_index = [0] * self.nprocs
+
+    def snapshot(self) -> dict[str, list[int]]:
+        """Checkpointable copy of both index vectors."""
+        return {
+            "last_send_index": list(self.last_send_index),
+            "last_deliver_index": list(self.last_deliver_index),
+        }
+
+    def restore(self, data: dict[str, list[int]]) -> None:
+        """Adopt checkpointed index vectors."""
+        self.last_send_index = list(data["last_send_index"])
+        self.last_deliver_index = list(data["last_deliver_index"])

@@ -1,0 +1,71 @@
+"""Stable-storage checkpoint model.
+
+Each rank writes its checkpoint — application snapshot, sender log and
+protocol vectors (Algorithm 1 line 33) — to stable storage that survives
+the rank's failure.  Write and read times follow the cost model
+(latency + size/bandwidth), which is what makes BT's large checkpoints
+expensive and LU's cheap, as in the paper's benchmark characterisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.metrics.costs import CostModel
+
+
+@dataclass
+class Checkpoint:
+    """One rank's persisted state."""
+
+    rank: int
+    taken_at: float
+    seq: int
+    app_state: dict[str, Any]
+    protocol_state: dict[str, Any]
+    size_bytes: int
+    #: deliveries completed at checkpoint time, per source rank —
+    #: the broadcast content on rollback (lines 46-47)
+    last_deliver_index: list[int] = field(default_factory=list)
+
+
+class CheckpointStore:
+    """The cluster's stable storage: latest checkpoint per rank.
+
+    Only the most recent checkpoint matters for this family of protocols
+    (causal logging never rolls a process back past its own last
+    checkpoint), but we retain a bounded history for inspection.
+    """
+
+    def __init__(self, costs: CostModel, history: int = 2) -> None:
+        self.costs = costs
+        self.history = history
+        self._store: dict[int, list[Checkpoint]] = {}
+        self.writes: int = 0
+        self.bytes_written: int = 0
+
+    def write(self, ckpt: Checkpoint) -> float:
+        """Persist; returns the simulated write duration."""
+        chain = self._store.setdefault(ckpt.rank, [])
+        chain.append(ckpt)
+        del chain[: -self.history]
+        self.writes += 1
+        self.bytes_written += ckpt.size_bytes
+        return self.costs.ckpt_write_time(ckpt.size_bytes)
+
+    def latest(self, rank: int) -> Checkpoint | None:
+        """Most recent checkpoint for ``rank`` (None before startup)."""
+        chain = self._store.get(rank)
+        return chain[-1] if chain else None
+
+    def read_time(self, rank: int) -> float:
+        """Simulated time to read the latest checkpoint back."""
+        ckpt = self.latest(rank)
+        if ckpt is None:
+            return 0.0
+        return self.costs.ckpt_read_time(ckpt.size_bytes)
+
+    def count(self, rank: int) -> int:
+        """Retained checkpoints for ``rank``."""
+        return len(self._store.get(rank, []))

@@ -1,0 +1,120 @@
+"""PESS — pessimistic receiver-based message logging (extension).
+
+Not one of the paper's measured baselines, but the family its related
+work leans on for cross-partition messages ([17] Bouteiller et al.,
+correlated-set coordination): every delivery's determinant is written
+*synchronously* to stable storage before the application may proceed.
+
+The trade-off is the mirror image of the causal protocols:
+
+* **zero piggyback** — messages carry only their send index, so the
+  Fig. 6 metric is minimal by construction;
+* **per-delivery stalls** — the application is blocked for a full
+  logger round trip on every delivery, so accomplishment time suffers
+  exactly where TDI/TAG/TEL are free.  The ablation bench puts this
+  next to Fig. 6/7 to show that piggyback volume is not the only axis
+  that matters.
+
+Safety argument for the simulation model: the delivery cost charged to
+the application is the *estimated* round trip (one-way + write latency
++ one-way), while the determinant frame departs immediately.  Network
+jitter is bounded by ``jitter_fraction * base_latency`` (< one-way +
+write latency), so the determinant is always at the logger — which
+stores on arrival and only delays the acknowledgement — before the
+application resumes and can emit any message that causally depends on
+the delivery.  Hence no orphan is possible and recovery can take the
+replay order entirely from the logger's history.
+
+Recovery reuses the PWD machinery: the incarnation queries the event
+logger for its delivery history (all of it is stable, so survivors
+contribute no determinants — only their RESPONSE for duplicate-send
+suppression and their logged payload re-sends).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.protocols.pwd import DET_IDENTIFIERS, Determinant, PwdCausalProtocol
+from repro.protocols.tel_protocol import EVLOG, EVLOG_ACK, EVLOG_HISTORY, EVLOG_PRUNE, EVLOG_QUERY
+
+
+class PessimisticProtocol(PwdCausalProtocol):
+    name = "pess"
+
+    @property
+    def logger_rank(self) -> int:
+        return self.nprocs
+
+    # ------------------------------------------------------------------
+    def _build_piggyback(self, dest: int) -> tuple[Any, int, float]:
+        # nothing but the send index travels with the message
+        return None, 0, 0.0
+
+    def _sync_write_round_trip(self) -> float:
+        """Deterministic upper estimate of the logger round trip the
+        blocked application waits out."""
+        det_bytes = DET_IDENTIFIERS * self.costs.identifier_bytes
+        one_way = self._one_way_estimate(det_bytes)
+        return 2.0 * one_way + self.costs.evlog_latency
+
+    def _one_way_estimate(self, size_bytes: int) -> float:
+        # mirrors NetworkConfig defaults; the endpoint's network applies
+        # jitter bounded by half a base latency, which the write latency
+        # absorbs (see the module docstring's safety argument)
+        return 100e-6 + size_bytes / 12.5e6 + 50e-6
+
+    def _on_deliver_hook(self, det: Determinant, piggyback: Any, src: int) -> float:
+        self.services.send_control(
+            self.logger_rank,
+            EVLOG,
+            det,
+            DET_IDENTIFIERS * self.costs.identifier_bytes,
+        )
+        # the synchronous stable write: the application stalls here
+        return self._sync_write_round_trip()
+
+    # ------------------------------------------------------------------
+    def _determinants_for(self, failed: int, after_index: int) -> list[Determinant]:
+        return []  # everything is stable at the logger; nothing to add
+
+    def _on_checkpoint_advance(self, src: int, stable_upto: int) -> None:
+        pass  # no local determinant storage to prune
+
+    def after_checkpoint(self) -> None:
+        super().after_checkpoint()
+        self.services.send_control(
+            self.logger_rank,
+            EVLOG_PRUNE,
+            {"owner": self.rank, "upto": self.deliver_total},
+            2 * self.costs.identifier_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    def _request_history(self) -> None:
+        self._history_pending = True
+        self.services.send_control(
+            self.logger_rank,
+            EVLOG_QUERY,
+            {"after": self.deliver_total},
+            2 * self.costs.identifier_bytes,
+        )
+
+    def handle_control(self, ctl: str, src: int, payload: Any) -> None:
+        if ctl == EVLOG_ACK:
+            return  # the wait is modelled as delivery cost; ack is informational
+        if ctl == EVLOG_HISTORY:
+            for det in payload:
+                self.required_order[det.deliver_index] = (det.sender, det.send_index)
+            self._history_pending = False
+            if not self._recovery_barrier_active():
+                self.services.wake_delivery()
+            return
+        super().handle_control(ctl, src, payload)
+
+    # ------------------------------------------------------------------
+    def _extra_checkpoint_state(self) -> dict[str, Any]:
+        return {}
+
+    def _restore_extra(self, state: dict[str, Any]) -> None:
+        pass

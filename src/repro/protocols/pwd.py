@@ -1,0 +1,284 @@
+"""Shared machinery for the PWD-model baseline protocols (TAG, TEL).
+
+Both baselines assume the piecewise-deterministic execution model: every
+message delivery is a non-deterministic event whose *determinant* —
+``(receiver, deliver_index, sender, send_index)``, 4 identifiers — must
+be logged causally so that a recovering process can replay its delivery
+history in exactly the original order.  They differ only in where
+determinants are kept and when piggybacking stops (antecedence graph vs.
+event logger); everything else is shared here:
+
+* sender-based payload logging and resends (identical to TDI — the
+  paper's §II notes raw-data logging is common to the family);
+* the strict-order replay gate: during recovery, delivery ``d`` may only
+  be the exact ``(sender, send_index)`` recorded for position ``d``;
+* the recovery barrier: the incarnation collects determinants from all
+  survivors (and, for TEL, the event logger) *before* delivering
+  anything — replaying blind would risk orphan states.  This barrier,
+  and the waits for one specific next message during replay, are the
+  rolling-forward overhead the paper's protocol removes.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, NamedTuple
+
+from repro.core.log_store import SenderLog
+from repro.protocols.base import (
+    DeliveryVerdict,
+    LoggedMessage,
+    PreparedSend,
+    Protocol,
+    VectorState,
+)
+
+ROLLBACK = "ROLLBACK"
+RESPONSE = "RESPONSE"
+CHECKPOINT_ADVANCE = "CKPT_ADV"
+
+#: a determinant is 4 identifiers on the wire
+DET_IDENTIFIERS = 4
+
+
+class Determinant(NamedTuple):
+    """One delivery event's replay record."""
+
+    receiver: int
+    deliver_index: int   # position in the receiver's delivery sequence
+    sender: int
+    send_index: int
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.receiver, self.deliver_index)
+
+
+class PwdCausalProtocol(Protocol):
+    """Base class implementing the PWD-family common behaviour."""
+
+    name = "pwd-abstract"
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        n = self.nprocs
+        self.log = SenderLog(n)
+        self.vectors = VectorState(n)
+        self.deliver_total = 0
+        self.rollback_last_send_index = [0] * n
+        #: deliver_index -> (sender, send_index): the replay order the
+        #: incarnation must follow (filled by survivor RESPONSEs)
+        self.required_order: dict[int, tuple[int, int]] = {}
+        self._awaiting_response: set[int] = set()
+        self._history_pending = False  # TEL: event-logger query in flight
+
+    # ------------------------------------------------------------------
+    # Hooks the concrete protocols implement
+    # ------------------------------------------------------------------
+    def _build_piggyback(self, dest: int) -> tuple[Any, int, float]:
+        """Return (piggyback, identifier_count, extra_cpu_cost)."""
+        raise NotImplementedError
+
+    def _on_deliver_hook(self, det: Determinant, piggyback: Any, src: int) -> float:
+        """Record the new determinant, merge the piggyback; return cost."""
+        raise NotImplementedError
+
+    def _determinants_for(self, failed: int, after_index: int) -> list[Determinant]:
+        """Determinants this process holds for ``failed``'s deliveries
+        beyond its checkpoint (returned with the RESPONSE)."""
+        raise NotImplementedError
+
+    def _on_checkpoint_advance(self, src: int, stable_upto: int) -> None:
+        """Prune determinant storage: ``src``'s deliveries up to
+        ``stable_upto`` can no longer roll back."""
+        raise NotImplementedError
+
+    def _extra_checkpoint_state(self) -> dict[str, Any]:
+        raise NotImplementedError
+
+    def _restore_extra(self, state: dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def _request_history(self) -> None:
+        """TEL queries the event logger here; TAG needs nothing."""
+
+    # ------------------------------------------------------------------
+    # Sending (PWD version of Algorithm 1 lines 8-12)
+    # ------------------------------------------------------------------
+    def prepare_send(self, dest: int, tag: int, payload: Any, size_bytes: int) -> PreparedSend:
+        self.vectors.last_send_index[dest] += 1
+        send_index = self.vectors.last_send_index[dest]
+        piggyback, identifiers, extra_cost = self._build_piggyback(dest)
+        identifiers += 1  # the send index itself
+        transmit = send_index > self.rollback_last_send_index[dest]
+        cost = (
+            self.costs.per_send_base
+            + self.costs.identifiers_cost(identifiers)
+            + self.costs.log_append_cost(size_bytes)
+            + extra_cost
+        )
+        self.log.append(
+            LoggedMessage(
+                dest=dest,
+                send_index=send_index,
+                tag=tag,
+                payload=payload,
+                size_bytes=size_bytes,
+                piggyback=piggyback,
+                piggyback_identifiers=identifiers,
+            )
+        )
+        self.metrics.log_items_created += 1
+        self.metrics.log_bytes_peak = max(self.metrics.log_bytes_peak, self.log.nbytes)
+        if transmit:
+            self.charge(cost, identifiers=identifiers,
+                        pb_bytes=identifiers * self.costs.identifier_bytes)
+        else:
+            self.charge(cost)
+        return PreparedSend(
+            send_index=send_index,
+            piggyback=piggyback,
+            piggyback_identifiers=identifiers,
+            cost=cost,
+            transmit=transmit,
+        )
+
+    # ------------------------------------------------------------------
+    # Delivery gate: strict PWD replay
+    # ------------------------------------------------------------------
+    def classify(self, frame_meta: dict[str, Any], src: int) -> DeliveryVerdict:
+        last = self.vectors.last_deliver_index[src]
+        if frame_meta["send_index"] <= last:
+            return DeliveryVerdict.DUPLICATE
+        if frame_meta["send_index"] > last + 1:
+            # ahead of the per-sender sequence (buffered future message,
+            # or a survivor frame that overtook our recovery's ordered
+            # resend stream) — wait for its predecessors
+            return DeliveryVerdict.DEFER
+        if self._recovery_barrier_active():
+            return DeliveryVerdict.DEFER
+        required = self.required_order.get(self.deliver_total + 1)
+        if required is not None and required != (src, frame_meta["send_index"]):
+            return DeliveryVerdict.DEFER
+        return DeliveryVerdict.DELIVER
+
+    def _recovery_barrier_active(self) -> bool:
+        return bool(self._awaiting_response) or self._history_pending
+
+    def on_deliver(self, frame_meta: dict[str, Any], src: int) -> float:
+        send_index = frame_meta["send_index"]
+        expected = self.vectors.last_deliver_index[src] + 1
+        if send_index != expected:
+            raise RuntimeError(
+                f"rank {self.rank}: delivery gap from {src}: "
+                f"send_index={send_index}, expected {expected}"
+            )
+        self.vectors.last_deliver_index[src] = send_index
+        self.deliver_total += 1
+        det = Determinant(self.rank, self.deliver_total, src, send_index)
+        cost = self.costs.per_deliver_base + self._on_deliver_hook(
+            det, frame_meta["pb"], src
+        )
+        self.charge(cost)
+        return cost
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> dict[str, Any]:
+        state = {
+            "vectors": self.vectors.snapshot(),
+            "deliver_total": self.deliver_total,
+            "rollback_last_send_index": list(self.rollback_last_send_index),
+            "log": self.log.snapshot(),
+        }
+        state.update(self._extra_checkpoint_state())
+        return state
+
+    def checkpoint_log_bytes(self) -> int:
+        return self.log.nbytes
+
+    def after_checkpoint(self) -> None:
+        """Determinants for our pre-checkpoint deliveries are dead weight
+        everywhere; senders can also GC their payload logs.  One broadcast
+        carries both facts (TDI can target individual senders instead —
+        a structural saving the comparison keeps honest)."""
+        payload = {
+            "from_counts": list(self.vectors.last_deliver_index),
+            "stable_upto": self.deliver_total,
+        }
+        size = (self.nprocs + 1) * self.costs.identifier_bytes
+        self.services.broadcast_control(CHECKPOINT_ADVANCE, payload, size)
+        # our own pre-checkpoint deliveries can be pruned locally as well
+        self._on_checkpoint_advance(self.rank, self.deliver_total)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def restore(self, state: dict[str, Any]) -> None:
+        self.vectors.restore(state["vectors"])
+        self.deliver_total = state["deliver_total"]
+        self.rollback_last_send_index = list(state["rollback_last_send_index"])
+        self.log = SenderLog.from_snapshot(self.nprocs, copy.copy(state["log"]))
+        self._restore_extra(state)
+
+    def begin_recovery(self) -> None:
+        self.metrics.recovery_count += 1
+        self._awaiting_response = {r for r in range(self.nprocs) if r != self.rank}
+        self._request_history()
+        self._broadcast_rollback(self._awaiting_response)
+
+    def recovery_pending(self) -> bool:
+        return self._recovery_barrier_active()
+
+    def retry_recovery(self) -> None:
+        if self._history_pending:
+            self._request_history()
+        if self._awaiting_response:
+            self._broadcast_rollback(self._awaiting_response)
+
+    def _broadcast_rollback(self, targets: set[int]) -> None:
+        payload = {
+            "ldi": list(self.vectors.last_deliver_index),
+            "ckpt_deliver_total": self.deliver_total,
+        }
+        size = (self.nprocs + 1) * self.costs.identifier_bytes
+        for dst in sorted(targets):
+            self.services.send_control(dst, ROLLBACK, payload, size)
+        self.trace.emit("proto.rollback_bcast", self.rank, targets=sorted(targets))
+
+    def handle_control(self, ctl: str, src: int, payload: Any) -> None:
+        if ctl == CHECKPOINT_ADVANCE:
+            released = self.log.release_upto(src, payload["from_counts"][self.rank])
+            self.metrics.log_items_released += released
+            self._on_checkpoint_advance(src, payload["stable_upto"])
+        elif ctl == ROLLBACK:
+            self._handle_rollback(src, payload)
+        elif ctl == RESPONSE:
+            self._handle_response(src, payload)
+        else:
+            raise ValueError(f"{self.name} got unknown control frame {ctl!r}")
+
+    def _handle_rollback(self, src: int, payload: dict[str, Any]) -> None:
+        dets = self._determinants_for(src, payload["ckpt_deliver_total"])
+        response = {
+            "delivered": self.vectors.last_deliver_index[src],
+            "dets": dets,
+        }
+        size = (1 + DET_IDENTIFIERS * len(dets)) * self.costs.identifier_bytes
+        self.services.send_control(src, RESPONSE, response, size)
+        resent = 0
+        for item in self.log.items_for(src, after_index=payload["ldi"][self.rank]):
+            self.services.resend_logged(item)
+            resent += 1
+        self.metrics.resends += resent
+        self.trace.emit("proto.resend", self.rank, to=src, count=resent, dets=len(dets))
+
+    def _handle_response(self, src: int, payload: dict[str, Any]) -> None:
+        if payload["delivered"] > self.rollback_last_send_index[src]:
+            self.rollback_last_send_index[src] = payload["delivered"]
+        for det in payload["dets"]:
+            self.required_order[det.deliver_index] = (det.sender, det.send_index)
+        self._awaiting_response.discard(src)
+        if not self._recovery_barrier_active():
+            self.services.wake_delivery()

@@ -1,0 +1,96 @@
+"""Protocol registry: name → constructor.
+
+The harness and the public API select protocols by short name
+(``"tdi"``, ``"tag"``, ``"tel"``, ``"none"``).  Imports are deferred so
+that the registry module itself stays dependency-light.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Type
+
+from repro.protocols.base import Protocol
+
+_REGISTRY: dict[str, Callable[[], Type[Protocol]]] = {}
+
+
+def register_protocol(name: str, loader: Callable[[], Type[Protocol]]) -> None:
+    """Register a protocol constructor under ``name``."""
+    if name in _REGISTRY:
+        raise ValueError(f"protocol {name!r} already registered")
+    _REGISTRY[name] = loader
+
+
+def available_protocols() -> list[str]:
+    """Sorted names of all registered protocols."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def create_protocol(name: str, *args, **kwargs) -> Protocol:
+    """Instantiate a protocol by registry name."""
+    _ensure_builtins()
+    try:
+        loader = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+    cls = loader()
+    return cls(*args, **kwargs)
+
+
+def protocol_class(name: str) -> Type[Protocol]:
+    """Resolve a registry name to its protocol class."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+
+    def _tdi():
+        from repro.core.tdi import TdiProtocol
+
+        return TdiProtocol
+
+    def _tag():
+        from repro.protocols.tag_protocol import TagProtocol
+
+        return TagProtocol
+
+    def _tel():
+        from repro.protocols.tel_protocol import TelProtocol
+
+        return TelProtocol
+
+    def _none():
+        from repro.protocols.noop import NoFaultTolerance
+
+        return NoFaultTolerance
+
+    def _pess():
+        from repro.protocols.pessimistic import PessimisticProtocol
+
+        return PessimisticProtocol
+
+    def _part():
+        from repro.protocols.partitioned import PartitionedProtocol
+
+        return PartitionedProtocol
+
+    for name, loader in [("tdi", _tdi), ("tag", _tag), ("tel", _tel),
+                         ("none", _none), ("pess", _pess), ("part", _part)]:
+        if name not in _REGISTRY:
+            _REGISTRY[name] = loader

@@ -1,0 +1,39 @@
+"""Discrete-event simulation substrate.
+
+``simnet`` is protocol-agnostic: it knows nothing about message logging,
+checkpoints or MPI.  It provides
+
+* :class:`~repro.simnet.engine.Engine` — the event loop,
+* :class:`~repro.simnet.proc.Task` — generator-coroutine tasks,
+* :class:`~repro.simnet.network.Network` — latency/bandwidth/jitter model
+  with per-channel FIFO guarantees,
+* :class:`~repro.simnet.node.Node` — liveness and incarnation epochs,
+* :class:`~repro.simnet.rng.RngStreams` — named, seeded random substreams,
+* :class:`~repro.simnet.trace.Trace` — structured event tracing.
+
+Everything above (the MPI layer, the logging protocols, the workloads) is
+built from these pieces.
+"""
+
+from repro.simnet.engine import Engine, EventHandle, SimulationError
+from repro.simnet.network import Network, NetworkConfig, Frame
+from repro.simnet.node import Node, NodeState
+from repro.simnet.proc import Task, TaskState
+from repro.simnet.rng import RngStreams
+from repro.simnet.trace import Trace, TraceEvent
+
+__all__ = [
+    "Engine",
+    "EventHandle",
+    "SimulationError",
+    "Network",
+    "NetworkConfig",
+    "Frame",
+    "Node",
+    "NodeState",
+    "Task",
+    "TaskState",
+    "RngStreams",
+    "Trace",
+    "TraceEvent",
+]

@@ -1,0 +1,161 @@
+"""The discrete-event engine.
+
+A single priority queue of ``(time, seq, callback)`` entries.  ``seq`` is a
+monotonically increasing tie-breaker so that two events scheduled for the
+same instant always fire in scheduling order — this is what makes every
+simulation run bit-for-bit reproducible from its configuration and seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural simulation errors (negative delays, running a
+    finished engine, event-count overruns, deadlock detection)."""
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Entry) -> None:
+        self._entry = entry
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent; safe after firing."""
+        self._entry.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._entry.time
+
+
+class Engine:
+    """Time-ordered event loop.
+
+    The engine is deliberately minimal: scheduling, running, and a few
+    introspection helpers.  Deadlock-style diagnostics (``run`` returning
+    with live-but-blocked processes) are the caller's concern — the MPI
+    layer implements them because only it knows what "blocked" means.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[_Entry] = []
+        self._seq: int = 0
+        self._events_fired: int = 0
+        self._running: bool = False
+        self._stopped: bool = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[[], None]) -> EventHandle:
+        """Schedule ``fn`` to run ``delay`` simulated seconds from now."""
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"cannot schedule event with delay {delay!r}")
+        return self.schedule_at(self.now + delay, fn)
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> EventHandle:
+        """Schedule ``fn`` at an absolute simulated time (>= now)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past (t={time}, now={self.now})"
+            )
+        entry = _Entry(time, self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+    ) -> None:
+        """Drain the event queue.
+
+        ``until`` stops the clock at that simulated time (events scheduled
+        later stay queued); ``max_events`` raises :class:`SimulationError`
+        when exceeded, as a runaway-loop backstop.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._heap:
+                if self._stopped:
+                    break
+                entry = self._heap[0]
+                if entry.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and entry.time > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._heap)
+                self.now = entry.time
+                self._events_fired += 1
+                if max_events is not None and self._events_fired > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; "
+                        "likely a livelock in the simulated system"
+                    )
+                entry.fn()
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop ``run()`` after the current event returns."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Number of queued, non-cancelled events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired
+
+    def peek_next_time(self) -> float | None:
+        """Simulated time of the next live event, or ``None`` if idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+
+def make_engine() -> Engine:
+    """Factory kept for symmetry with the other subsystem factories."""
+    return Engine()
+
+
+# Convenience for typing call sites that accept any zero-arg callback.
+Callback = Callable[[], Any]

@@ -1,0 +1,192 @@
+"""Network model.
+
+Models the paper's testbed interconnect (100 Mb Ethernet between
+commodity PCs) at the level the experiments are sensitive to:
+
+* per-frame delay = ``base_latency`` + ``size_bytes / bandwidth`` + seeded
+  jitter, so piggyback bytes directly cost transmission time;
+* **per-channel FIFO**: frames between a given (src, dst) pair never
+  overtake each other, as in MPICH over TCP.  Jitter across *different*
+  channels freely reorders arrivals — this is the non-determinism the
+  paper's recovery protocol must tolerate;
+* frames addressed to a dead node are dropped (the failed process's
+  volatile state, including its receive queues, is lost).
+
+The network does not retransmit: reliability above failures is the
+logging protocol's job (that is the whole point of the paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.simnet.engine import Engine
+from repro.simnet.node import NodeSet
+from repro.simnet.rng import RngStreams
+from repro.simnet.trace import Trace
+
+#: minimum spacing enforced between two arrivals on one channel, to keep
+#: FIFO order strict even under jitter
+_FIFO_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Interconnect parameters.
+
+    Defaults approximate the paper's 100 Mb switched Ethernet: ~100 µs
+    one-way latency, 12.5 MB/s payload bandwidth.
+    """
+
+    base_latency: float = 100e-6
+    bandwidth_bytes_per_s: float = 12.5e6
+    #: jitter is uniform in [0, jitter_fraction * base_latency]
+    jitter_fraction: float = 0.5
+    header_bytes: int = 32
+    #: model a shared medium (hub / half-duplex segment): transmissions
+    #: serialize through one collision domain instead of enjoying
+    #: per-channel bandwidth.  Off by default — the paper's testbed is
+    #: switched Ethernet — but available for contention ablations.
+    shared_medium: bool = False
+
+    def __post_init__(self) -> None:
+        if self.base_latency < 0:
+            raise ValueError("base_latency must be >= 0")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be > 0")
+        if self.jitter_fraction < 0:
+            raise ValueError("jitter_fraction must be >= 0")
+
+
+_frame_ids = itertools.count(1)
+
+
+@dataclass
+class Frame:
+    """One unit on the wire.
+
+    ``kind`` distinguishes application messages (``"app"``) from protocol
+    control traffic (``"ack"``, ``"ctl"``); control subtypes live in
+    ``meta["ctl"]`` (e.g. ``"ROLLBACK"``, ``"RESPONSE"``,
+    ``"CHECKPOINT_ADVANCE"``, ``"EVLOG"``).  ``size_bytes`` is the full
+    modelled wire size including piggyback and headers.
+    """
+
+    kind: str
+    src: int
+    dst: int
+    payload: Any
+    size_bytes: int
+    meta: dict[str, Any] = field(default_factory=dict)
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ctl = self.meta.get("ctl")
+        tag = f"/{ctl}" if ctl else ""
+        return f"<Frame#{self.frame_id} {self.kind}{tag} {self.src}->{self.dst} {self.size_bytes}B>"
+
+
+@dataclass
+class NetworkStats:
+    frames_sent: int = 0
+    frames_dropped: int = 0
+    bytes_sent: int = 0
+    app_frames: int = 0
+    app_bytes: int = 0
+    ctl_frames: int = 0
+    ctl_bytes: int = 0
+
+
+ReceiveCallback = Callable[[Frame], None]
+
+
+class Network:
+    """The interconnect: point-to-point channels between all node pairs."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        nodes: NodeSet,
+        config: NetworkConfig,
+        rng: RngStreams,
+        trace: Trace | None = None,
+    ) -> None:
+        self.engine = engine
+        self.nodes = nodes
+        self.config = config
+        self._jitter = rng.stream("net.jitter")
+        self.trace = trace or Trace(enabled=False)
+        self.stats = NetworkStats()
+        self._receivers: dict[int, ReceiveCallback] = {}
+        #: last scheduled arrival per (src, dst), for the FIFO guarantee
+        self._last_arrival: dict[tuple[int, int], float] = {}
+        #: shared-medium mode: when the collision domain frees up
+        self._medium_free_at: float = 0.0
+
+    # ------------------------------------------------------------------
+    def attach(self, rank: int, callback: ReceiveCallback) -> None:
+        """Register (or replace, after an incarnation) the frame handler
+        for ``rank``."""
+        self._receivers[rank] = callback
+
+    def detach(self, rank: int) -> None:
+        """Drop the rank's frame handler (its frames now drop)."""
+        self._receivers.pop(rank, None)
+
+    # ------------------------------------------------------------------
+    def delay_for(self, size_bytes: int) -> float:
+        """Deterministic part of the transit delay for a frame."""
+        cfg = self.config
+        return cfg.base_latency + (size_bytes + cfg.header_bytes) / cfg.bandwidth_bytes_per_s
+
+    def transmit(self, frame: Frame) -> None:
+        """Inject a frame; it arrives after the modelled delay (FIFO per
+        channel) unless the destination is dead at arrival time."""
+        if not (0 <= frame.dst < len(self.nodes)):
+            raise ValueError(f"invalid destination rank {frame.dst}")
+        cfg = self.config
+        delay = self.delay_for(frame.size_bytes)
+        if cfg.jitter_fraction > 0:
+            delay += float(self._jitter.uniform(0.0, cfg.jitter_fraction * cfg.base_latency))
+        channel = (frame.src, frame.dst)
+        if cfg.shared_medium:
+            # one collision domain: the frame's wire time starts when the
+            # medium frees up, so concurrent senders queue behind each
+            # other instead of transmitting in parallel
+            wire_time = (frame.size_bytes + cfg.header_bytes) / cfg.bandwidth_bytes_per_s
+            start = max(self.engine.now, self._medium_free_at)
+            self._medium_free_at = start + wire_time
+            arrival = start + delay
+        else:
+            arrival = self.engine.now + delay
+        prev = self._last_arrival.get(channel, -1.0)
+        if arrival <= prev:
+            arrival = prev + _FIFO_EPSILON
+        self._last_arrival[channel] = arrival
+
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += frame.size_bytes
+        if frame.kind == "app":
+            self.stats.app_frames += 1
+            self.stats.app_bytes += frame.size_bytes
+        else:
+            self.stats.ctl_frames += 1
+            self.stats.ctl_bytes += frame.size_bytes
+        self.trace.emit("net.transmit", frame.src, dst=frame.dst, frame_kind=frame.kind,
+                        size=frame.size_bytes, frame_id=frame.frame_id)
+        self.engine.schedule_at(arrival, lambda: self._arrive(frame))
+
+    # ------------------------------------------------------------------
+    def _arrive(self, frame: Frame) -> None:
+        node = self.nodes[frame.dst]
+        callback = self._receivers.get(frame.dst)
+        if not node.alive or callback is None:
+            self.stats.frames_dropped += 1
+            self.trace.emit("net.drop", frame.dst, src=frame.src,
+                            frame_kind=frame.kind, frame_id=frame.frame_id)
+            return
+        self.trace.emit("net.arrive", frame.dst, src=frame.src,
+                        frame_kind=frame.kind, frame_id=frame.frame_id)
+        callback(frame)

@@ -1,0 +1,76 @@
+"""Node liveness and incarnation epochs.
+
+A node hosts one application process.  When the fault injector kills it,
+its volatile state (the process, its message logs, its queues) is gone;
+frames arriving while it is down are dropped by the network.  A recovery
+brings up a new *incarnation* with ``epoch`` incremented, so stale
+callbacks scheduled against the previous incarnation can be recognised and
+ignored.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class NodeState(enum.Enum):
+    ALIVE = "alive"
+    DEAD = "dead"
+
+
+@dataclass
+class Node:
+    """Liveness record for one rank's host."""
+
+    rank: int
+    state: NodeState = NodeState.ALIVE
+    epoch: int = 0
+    failures: int = 0
+    #: simulated times at which this node died / came back, for reports
+    death_times: list[float] = field(default_factory=list)
+    recovery_times: list[float] = field(default_factory=list)
+
+    @property
+    def alive(self) -> bool:
+        return self.state is NodeState.ALIVE
+
+    def kill(self, now: float) -> None:
+        """Mark the node dead; volatile state is gone."""
+        if self.state is NodeState.DEAD:
+            raise RuntimeError(f"node {self.rank} is already dead")
+        self.state = NodeState.DEAD
+        self.failures += 1
+        self.death_times.append(now)
+
+    def revive(self, now: float) -> int:
+        """Bring up a new incarnation; returns the new epoch."""
+        if self.state is NodeState.ALIVE:
+            raise RuntimeError(f"node {self.rank} is already alive")
+        self.state = NodeState.ALIVE
+        self.epoch += 1
+        self.recovery_times.append(now)
+        return self.epoch
+
+
+class NodeSet:
+    """The cluster: one :class:`Node` per rank."""
+
+    def __init__(self, nprocs: int) -> None:
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.nodes = [Node(rank=r) for r in range(nprocs)]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __getitem__(self, rank: int) -> Node:
+        return self.nodes[rank]
+
+    def alive_ranks(self) -> list[int]:
+        """Ranks currently up."""
+        return [n.rank for n in self.nodes if n.alive]
+
+    def dead_ranks(self) -> list[int]:
+        """Ranks currently down."""
+        return [n.rank for n in self.nodes if not n.alive]

@@ -1,0 +1,54 @@
+"""Workloads: communication-accurate NPB-like kernels and test patterns.
+
+* :mod:`repro.workloads.lu` — LU: pipelined wavefront SSOR sweeps; high
+  message frequency, small messages, small checkpoint;
+* :mod:`repro.workloads.adi` — the shared ADI skeleton behind BT and SP;
+* :mod:`repro.workloads.bt` — BT: large messages, low frequency, large
+  checkpoint;
+* :mod:`repro.workloads.sp` — SP: moderate on all axes;
+* :mod:`repro.workloads.cg` — CG (extension): hypercube exchanges +
+  reduction-heavy iterations;
+* :mod:`repro.workloads.mg` — MG (extension): V-cycle halos with mixed
+  message sizes across grid levels;
+* :mod:`repro.workloads.is_sort` — IS (extension): all-to-all bucket
+  exchanges, the densest communication pattern in the suite;
+* :mod:`repro.workloads.synthetic` — parametrised deterministic message
+  patterns for tests and ablations;
+* :mod:`repro.workloads.reduce_tree` — the paper's §II.C motivating
+  example (ANY_SOURCE accumulation at rank 0);
+* :mod:`repro.workloads.presets` — named configurations mapping the
+  paper's benchmark characterisations onto kernel parameters.
+"""
+
+from repro.workloads.base import Application, ProcessGrid
+from repro.workloads.lu import LuKernel, LuParams
+from repro.workloads.bt import BtKernel
+from repro.workloads.sp import SpKernel
+from repro.workloads.adi import AdiParams
+from repro.workloads.cg import CgKernel, CgParams
+from repro.workloads.is_sort import IsKernel, IsParams
+from repro.workloads.mg import MgKernel, MgParams
+from repro.workloads.synthetic import SyntheticApp, SyntheticParams
+from repro.workloads.reduce_tree import NonDeterministicReduce
+from repro.workloads.presets import workload_factory, WORKLOADS
+
+__all__ = [
+    "Application",
+    "ProcessGrid",
+    "LuKernel",
+    "LuParams",
+    "BtKernel",
+    "SpKernel",
+    "AdiParams",
+    "CgKernel",
+    "CgParams",
+    "MgKernel",
+    "MgParams",
+    "IsKernel",
+    "IsParams",
+    "SyntheticApp",
+    "SyntheticParams",
+    "NonDeterministicReduce",
+    "workload_factory",
+    "WORKLOADS",
+]

@@ -1,0 +1,170 @@
+"""Shared ADI skeleton for BT and SP (NPB's directional-solve pattern).
+
+NPB2.3 BT and SP both perform, per iteration, an implicit solve in each
+grid direction: forward elimination pipelines a face of data towards one
+side, back substitution pipelines it back.  With a 2D process grid this
+costs, per interior rank per iteration, ``2 * substeps`` face messages
+in x (west↔east) and the same in y (north↔south); the z-direction stays
+process-local.  Faces are *large* compared with LU's plane boundaries —
+which is exactly the paper's characterisation: BT has large messages at
+low frequency, SP sits in the middle.
+
+BT and SP are thin parameterisations of this kernel (different substep
+counts, message sizes, compute weights and checkpoint sizes); their
+numeric updates differ only in mixing coefficients, enough to give each
+benchmark a distinct deterministic answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.mpi.context import ProcContext
+from repro.workloads.base import Application, ProcessGrid
+
+TAG_X_FWD = 110
+TAG_X_BWD = 111
+TAG_Y_FWD = 112
+TAG_Y_BWD = 113
+
+
+@dataclass(frozen=True)
+class AdiParams:
+    iterations: int = 8
+    #: pipeline stages per directional solve (1 for BT, 2 for SP)
+    substeps: int = 1
+    #: local tile extent (nz, ny, nx) — real array, kept small
+    tile: tuple[int, int, int] = (4, 10, 10)
+    inorm: int = 4
+    #: modelled wire size of one face exchange
+    msg_bytes: int = 160 * 1024
+    #: modelled CPU time per directional solve phase
+    compute_per_solve: float = 4.0e-4
+    ckpt_bytes: int = 300 * 1024
+
+
+class AdiKernel(Application):
+    """Base class; subclasses set ``name`` and the mixing coefficients."""
+
+    #: (keep, shifted, source) mixing weights; subclasses override
+    mix: tuple[float, float, float] = (0.6, 0.3, 0.1)
+
+    def __init__(self, rank: int, nprocs: int, params: AdiParams | None = None) -> None:
+        super().__init__(rank, nprocs)
+        self.params = params or AdiParams()
+        self.grid = ProcessGrid.for_size(nprocs, rank)
+        nz, ny, nx = self.params.tile
+        k = np.arange(nz, dtype=np.float64)[:, None, None]
+        j = np.arange(ny, dtype=np.float64)[None, :, None]
+        i = np.arange(nx, dtype=np.float64)[None, None, :]
+        self.u = (
+            np.sin(0.21 * (k + 1) * (self.rank + 1))
+            + np.cos(0.17 * (j + 2))
+            + 0.1 * np.sin(0.13 * (i + 3) * (self.grid.ix + 1))
+        )
+        self.it = 0
+        self.rnorm = 0.0
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        return {"u": self.u.copy(), "it": self.it, "rnorm": self.rnorm}
+
+    def restore(self, state: dict[str, Any]) -> None:
+        self.u = np.array(state["u"], dtype=np.float64, copy=True)
+        self.it = int(state["it"])
+        self.rnorm = float(state["rnorm"])
+
+    def snapshot_size_bytes(self) -> int:
+        return self.params.ckpt_bytes
+
+    # ------------------------------------------------------------------
+    def run(self, ctx: ProcContext) -> Generator[Any, Any, Any]:
+        p = self.params
+        g = self.grid
+        while self.it < p.iterations:
+            yield ctx.checkpoint_point()
+            it = self.it
+
+            for step in range(p.substeps):
+                # ---- x-solve: forward west→east, back east→west
+                yield from self._sweep(
+                    ctx, recv_from=g.west, send_to=g.east, axis=2, front=True,
+                    tag=TAG_X_FWD, phase=3 * it + step,
+                )
+                yield from self._sweep(
+                    ctx, recv_from=g.east, send_to=g.west, axis=2, front=False,
+                    tag=TAG_X_BWD, phase=3 * it + step + 1,
+                )
+                # ---- y-solve: forward north→south, back south→north
+                yield from self._sweep(
+                    ctx, recv_from=g.north, send_to=g.south, axis=1, front=True,
+                    tag=TAG_Y_FWD, phase=3 * it + step + 2,
+                )
+                yield from self._sweep(
+                    ctx, recv_from=g.south, send_to=g.north, axis=1, front=False,
+                    tag=TAG_Y_BWD, phase=3 * it + step + 3,
+                )
+
+            # ---- z-solve: process-local
+            self._relax_local(2 * it + 1)
+            yield ctx.compute(p.compute_per_solve)
+
+            self.it = it + 1
+            if self.it % p.inorm == 0 or self.it == p.iterations:
+                local = float(np.sum(self.u * self.u))
+                self.rnorm = yield from ctx.allreduce(local, lambda a, b: a + b, size_bytes=8)
+
+        return {
+            "iterations": self.it,
+            "rnorm": self.rnorm,
+            "checksum": float(self.u.sum()),
+        }
+
+    # ------------------------------------------------------------------
+    def _sweep(
+        self,
+        ctx: ProcContext,
+        *,
+        recv_from: int | None,
+        send_to: int | None,
+        axis: int,
+        front: bool,
+        tag: int,
+        phase: int,
+    ) -> Generator[Any, Any, None]:
+        ghost = None
+        if recv_from is not None:
+            d = yield ctx.recv(source=recv_from, tag=tag)
+            ghost = d.payload
+        self._apply_face(axis, front, ghost, phase)
+        yield ctx.compute(self.params.compute_per_solve)
+        if send_to is not None:
+            face = self._boundary_face(axis, front)
+            yield ctx.send(send_to, face, tag=tag, size_bytes=self.params.msg_bytes)
+
+    def _boundary_face(self, axis: int, front: bool) -> np.ndarray:
+        # the face we pipeline onward: trailing face for a forward sweep,
+        # leading face for a backward one
+        index = -1 if front else 0
+        return np.take(self.u, index, axis=axis).copy()
+
+    def _apply_face(self, axis: int, front: bool, ghost: Any, phase: int) -> None:
+        keep, shift_w, src_w = self.mix
+        shifted = np.roll(self.u, 1 if front else -1, axis=axis)
+        boundary = [slice(None)] * 3
+        boundary[axis] = 0 if front else -1
+        if ghost is not None:
+            shifted[tuple(boundary)] = ghost
+        else:
+            shifted[tuple(boundary)] = 1.0
+        src = 1.0 / (1.5 + phase)
+        self.u = keep * self.u + shift_w * shifted + src_w * src
+
+    def _relax_local(self, phase: int) -> None:
+        keep, shift_w, src_w = self.mix
+        shifted = np.roll(self.u, 1, axis=0)
+        shifted[0, :, :] = 1.0
+        self.u = keep * self.u + shift_w * shifted + src_w / (2.0 + phase)

@@ -1,0 +1,34 @@
+"""BT: block-tridiagonal ADI (large messages, low frequency, big checkpoint).
+
+The paper characterises BT as "large checkpoint size, large message data
+size and relatively low message frequency"; the defaults here encode
+that: one pipeline substep per directional solve (4 face messages per
+interior rank per iteration), 160 KiB faces (above the eager threshold,
+so blocking-mode sends rendezvous), heavyweight compute per solve, and
+the largest checkpoint image of the three benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.adi import AdiKernel, AdiParams
+
+
+def bt_default_params() -> AdiParams:
+    """BT's preset: few, large face messages; big checkpoint."""
+    return AdiParams(
+        iterations=8,
+        substeps=1,
+        tile=(4, 10, 10),
+        inorm=4,
+        msg_bytes=160 * 1024,
+        compute_per_solve=6.0e-4,
+        ckpt_bytes=300 * 1024,
+    )
+
+
+class BtKernel(AdiKernel):
+    name = "bt"
+    mix = (0.62, 0.28, 0.10)
+
+    def __init__(self, rank: int, nprocs: int, params: AdiParams | None = None) -> None:
+        super().__init__(rank, nprocs, params or bt_default_params())

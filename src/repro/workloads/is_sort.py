@@ -1,0 +1,110 @@
+"""IS: integer-sort communication signature (extension workload).
+
+NPB IS is the suite's all-to-all stress test: each iteration buckets
+local keys by destination rank, exchanges bucket *sizes* and then the
+bucket contents with an all-to-all, and verifies the global ranking.
+Its signature — every rank talking to every rank, every iteration — is
+the densest communication pattern in the suite and exercises the
+middleware's all-to-all path (pairwise exchange), which none of the
+other kernels touches.
+
+The kernel sorts real (small) integer keys: each iteration perturbs the
+local key set deterministically, buckets by value range, exchanges via
+``alltoall``, and folds the received buckets into a checksum that any
+lost, duplicated or corrupted exchange would change.  Restricted to
+power-of-two process counts, as NPB IS itself is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.mpi.context import ProcContext
+from repro.workloads.base import Application
+
+#: keys live in [0, KEY_SPACE); rank r owns the r-th slice
+KEY_SPACE = 1 << 16
+
+
+@dataclass(frozen=True)
+class IsParams:
+    """Kernel parameters for the integer-sort signature."""
+
+    iterations: int = 6
+    #: local keys per rank (real numpy array)
+    keys_per_rank: int = 256
+    #: modelled wire size of one bucket exchange
+    msg_bytes: int = 48 * 1024
+    compute_per_iter: float = 2.0e-4
+    ckpt_bytes: int = 200 * 1024
+
+
+class IsKernel(Application):
+    """One rank's share of the integer sort."""
+
+    name = "is"
+
+    def __init__(self, rank: int, nprocs: int, params: IsParams | None = None) -> None:
+        super().__init__(rank, nprocs)
+        if nprocs & (nprocs - 1):
+            raise ValueError("IS requires a power-of-two process count (as NPB IS)")
+        self.params = params or IsParams()
+        # deterministic initial key set (Weyl sequence per rank)
+        i = np.arange(self.params.keys_per_rank, dtype=np.int64)
+        self.keys = (i * 2654435761 + rank * 40503) % KEY_SPACE
+        self.it = 0
+        self.checksum = 0
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Copy of keys, iteration counter and checksum."""
+        return {"keys": self.keys.copy(), "it": self.it, "checksum": self.checksum}
+
+    def restore(self, state: dict[str, Any]) -> None:
+        """Adopt a snapshot (arrays copied)."""
+        self.keys = np.array(state["keys"], dtype=np.int64, copy=True)
+        self.it = int(state["it"])
+        self.checksum = int(state["checksum"])
+
+    def snapshot_size_bytes(self) -> int:
+        """Modelled checkpoint image size."""
+        return self.params.ckpt_bytes
+
+    # ------------------------------------------------------------------
+    def run(self, ctx: ProcContext) -> Generator[Any, Any, Any]:
+        """Bucket keys by owner rank, all-to-all the buckets, fold the
+        received keys into the local set; allreduce the checksum."""
+        p = self.params
+        n = self.nprocs
+        slice_width = KEY_SPACE // n
+        while self.it < p.iterations:
+            yield ctx.checkpoint_point()
+            it = self.it
+            # perturb keys deterministically (the "new keys" of NPB IS)
+            self.keys = (self.keys * 31 + it * 17 + self.rank + 1) % KEY_SPACE
+            owners = np.clip(self.keys // slice_width, 0, n - 1)
+            buckets = [np.sort(self.keys[owners == dest]) for dest in range(n)]
+            received = yield from ctx.alltoall(buckets, size_bytes=p.msg_bytes)
+            mine = np.sort(np.concatenate(received))
+            # every received key must belong to our slice
+            lo, hi = self.rank * slice_width, (self.rank + 1) * slice_width
+            if mine.size and (mine.min() < lo or mine.max() >= hi):
+                raise AssertionError(
+                    f"rank {self.rank}: received keys outside [{lo}, {hi})"
+                )
+            self.checksum = (self.checksum * 131 + int(mine.sum())) % (1 << 62)
+            # redistribute: keep the sorted slice as the next key set,
+            # padded/truncated to the fixed local size
+            if mine.size >= p.keys_per_rank:
+                self.keys = mine[: p.keys_per_rank].copy()
+            else:
+                pad = np.arange(p.keys_per_rank - mine.size, dtype=np.int64)
+                self.keys = np.concatenate([mine, lo + (pad % slice_width)])
+            yield ctx.compute(p.compute_per_iter)
+            self.it = it + 1
+        total = yield from ctx.allreduce(self.checksum, lambda a, b: a + b,
+                                         size_bytes=16)
+        return {"iterations": self.it, "checksum": self.checksum, "total": total}

@@ -1,0 +1,125 @@
+"""MG: multigrid V-cycle communication signature (extension workload).
+
+NPB MG sweeps a V-cycle over grid levels: halo exchanges happen at every
+level, with the message size shrinking as the grid coarsens and growing
+back up the prolongation leg.  Its signature is therefore *mixed message
+sizes within one iteration* — a regime none of the paper's three
+benchmarks covers, and a useful probe of the eager/rendezvous boundary
+(coarse-level messages drop under the threshold while fine-level ones
+sit above it).
+
+The kernel keeps one vector per level and performs ring halo exchanges
+whose payloads feed a deterministic relaxation, so the checksum depends
+on every halo received at every level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.mpi.context import ProcContext
+from repro.workloads.base import Application
+
+TAG_HALO = 140
+
+
+@dataclass(frozen=True)
+class MgParams:
+    iterations: int = 6
+    #: number of grid levels in the V-cycle
+    levels: int = 4
+    #: finest-level real vector length per rank
+    fine_points: int = 64
+    #: finest-level modelled message size; halves per coarsening level
+    fine_msg_bytes: int = 32 * 1024
+    compute_per_level: float = 1.2e-4
+    ckpt_bytes: int = 150 * 1024
+
+
+class MgKernel(Application):
+    name = "mg"
+
+    def __init__(self, rank: int, nprocs: int, params: MgParams | None = None) -> None:
+        super().__init__(rank, nprocs)
+        self.params = params or MgParams()
+        self.levels = []
+        for lvl in range(self.params.levels):
+            pts = max(4, self.params.fine_points >> lvl)
+            i = np.arange(pts, dtype=np.float64)
+            self.levels.append(np.cos(0.07 * (i + 1) * (rank + 2)) + 0.25 * lvl)
+        self.it = 0
+        self.resid = 0.0
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "levels": [v.copy() for v in self.levels],
+            "it": self.it,
+            "resid": self.resid,
+        }
+
+    def restore(self, state: dict[str, Any]) -> None:
+        self.levels = [np.array(v, dtype=np.float64, copy=True)
+                       for v in state["levels"]]
+        self.it = int(state["it"])
+        self.resid = float(state["resid"])
+
+    def snapshot_size_bytes(self) -> int:
+        return self.params.ckpt_bytes
+
+    # ------------------------------------------------------------------
+    def _halo(self, ctx: ProcContext, lvl: int, phase: int) -> Generator[Any, Any, None]:
+        """Ring halo exchange at one level: send right, receive left."""
+        p = self.params
+        if self.nprocs == 1:
+            return
+        right = (self.rank + 1) % self.nprocs
+        left = (self.rank - 1) % self.nprocs
+        size = max(256, p.fine_msg_bytes >> lvl)
+        if self.rank != 0:
+            # rank 0 receives first, breaking the all-send ring cycle
+            # that would deadlock under rendezvous (large fine levels)
+            yield ctx.send(right, self.levels[lvl][-4:].copy(),
+                           tag=TAG_HALO + lvl, size_bytes=size)
+            d = yield ctx.recv(source=left, tag=TAG_HALO + lvl)
+        else:
+            d = yield ctx.recv(source=left, tag=TAG_HALO + lvl)
+            yield ctx.send(right, self.levels[lvl][-4:].copy(),
+                           tag=TAG_HALO + lvl, size_bytes=size)
+        halo = d.payload
+        v = self.levels[lvl]
+        v[:4] = 0.6 * v[:4] + 0.4 * halo
+        self.levels[lvl] = 0.8 * v + 0.2 * np.roll(v, 1) + 0.01 / (1 + phase)
+        yield ctx.compute(p.compute_per_level)
+
+    def run(self, ctx: ProcContext) -> Generator[Any, Any, Any]:
+        p = self.params
+        while self.it < p.iterations:
+            yield ctx.checkpoint_point()
+            it = self.it
+            # --- restriction leg: fine -> coarse
+            for lvl in range(p.levels):
+                yield from self._halo(ctx, lvl, phase=2 * it * p.levels + lvl)
+                if lvl + 1 < p.levels:
+                    coarse = self.levels[lvl][: len(self.levels[lvl + 1])]
+                    self.levels[lvl + 1] = 0.5 * self.levels[lvl + 1] + 0.5 * coarse
+            # --- prolongation leg: coarse -> fine
+            for lvl in range(p.levels - 2, -1, -1):
+                fine = self.levels[lvl]
+                coarse = self.levels[lvl + 1]
+                reps = int(np.ceil(len(fine) / len(coarse)))
+                fine += 0.1 * np.tile(coarse, reps)[: len(fine)]
+                yield from self._halo(
+                    ctx, lvl, phase=(2 * it + 1) * p.levels + lvl)
+            self.it = it + 1
+            local = float(self.levels[0] @ self.levels[0])
+            self.resid = yield from ctx.allreduce(local, lambda a, b: a + b,
+                                                  size_bytes=8)
+        return {
+            "iterations": self.it,
+            "resid": self.resid,
+            "checksum": float(sum(v.sum() for v in self.levels)),
+        }

@@ -1,0 +1,129 @@
+"""Named workload configurations.
+
+Maps the paper's three benchmarks (plus the auxiliary patterns) onto
+kernel parameters at two scales:
+
+* ``"fast"`` — small instances for the test suite and quick smoke runs;
+* ``"paper"`` — instances whose communication signatures (messages per
+  rank per checkpoint interval, message sizes, checkpoint sizes) sit in
+  the same regime as the NPB2.3 class-A runs of the evaluation, scaled
+  so a full figure regenerates in minutes of wall clock rather than
+  hours.
+
+The factory signature matches :data:`repro.mpi.cluster.AppFactory`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.simnet.rng import RngStreams
+from repro.workloads.adi import AdiParams
+from repro.workloads.base import Application
+from repro.workloads.bt import BtKernel
+from repro.workloads.cg import CgKernel, CgParams
+from repro.workloads.is_sort import IsKernel, IsParams
+from repro.workloads.mg import MgKernel, MgParams
+from repro.workloads.lu import LuKernel, LuParams
+from repro.workloads.reduce_tree import NonDeterministicReduce, ReduceTreeParams
+from repro.workloads.sp import SpKernel
+from repro.workloads.synthetic import SyntheticApp, SyntheticParams
+
+WORKLOADS = ("lu", "bt", "sp", "cg", "mg", "is", "synthetic", "reduce")
+
+_LU_PARAMS = {
+    "fast": LuParams(iterations=6, nz=4, tile=(8, 8), inorm=3,
+                     msg_bytes=2 * 1024, compute_per_plane=3.0e-5,
+                     ckpt_bytes=40 * 1024),
+    "paper": LuParams(iterations=20, nz=8, tile=(12, 12), inorm=5,
+                      msg_bytes=3 * 1024, compute_per_plane=4.0e-5,
+                      ckpt_bytes=40 * 1024),
+}
+
+_BT_PARAMS = {
+    "fast": AdiParams(iterations=6, substeps=1, tile=(3, 8, 8), inorm=3,
+                      msg_bytes=160 * 1024, compute_per_solve=4.0e-4,
+                      ckpt_bytes=300 * 1024),
+    "paper": AdiParams(iterations=20, substeps=1, tile=(4, 10, 10), inorm=5,
+                       msg_bytes=160 * 1024, compute_per_solve=6.0e-4,
+                       ckpt_bytes=300 * 1024),
+}
+
+_SP_PARAMS = {
+    "fast": AdiParams(iterations=6, substeps=2, tile=(3, 8, 8), inorm=3,
+                      msg_bytes=24 * 1024, compute_per_solve=2.0e-4,
+                      ckpt_bytes=120 * 1024),
+    "paper": AdiParams(iterations=20, substeps=2, tile=(4, 10, 10), inorm=5,
+                       msg_bytes=24 * 1024, compute_per_solve=2.5e-4,
+                       ckpt_bytes=120 * 1024),
+}
+
+_CG_PARAMS = {
+    "fast": CgParams(iterations=6, segment=32, msg_bytes=16 * 1024,
+                     compute_per_exchange=1.0e-4, ckpt_bytes=90 * 1024),
+    "paper": CgParams(iterations=15, segment=64, msg_bytes=16 * 1024,
+                      compute_per_exchange=1.5e-4, ckpt_bytes=90 * 1024),
+}
+
+_MG_PARAMS = {
+    "fast": MgParams(iterations=5, levels=3, fine_points=32,
+                     fine_msg_bytes=32 * 1024, compute_per_level=1.0e-4,
+                     ckpt_bytes=150 * 1024),
+    "paper": MgParams(iterations=12, levels=4, fine_points=64,
+                      fine_msg_bytes=32 * 1024, compute_per_level=1.2e-4,
+                      ckpt_bytes=150 * 1024),
+}
+
+_IS_PARAMS = {
+    "fast": IsParams(iterations=5, keys_per_rank=128, msg_bytes=48 * 1024,
+                     compute_per_iter=1.5e-4, ckpt_bytes=200 * 1024),
+    "paper": IsParams(iterations=12, keys_per_rank=256, msg_bytes=48 * 1024,
+                      compute_per_iter=2.0e-4, ckpt_bytes=200 * 1024),
+}
+
+_SYNTH_PARAMS = {
+    "fast": SyntheticParams(rounds=8),
+    "paper": SyntheticParams(rounds=40),
+}
+
+_REDUCE_PARAMS = {
+    "fast": ReduceTreeParams(iterations=6),
+    "paper": ReduceTreeParams(iterations=30),
+}
+
+
+def workload_factory(
+    name: str,
+    scale: str = "fast",
+    **overrides: Any,
+) -> Callable[[int, int, RngStreams], Application]:
+    """Build an ``app_factory`` for :class:`repro.mpi.cluster.Cluster`.
+
+    ``overrides`` replace individual parameter fields of the preset,
+    e.g. ``workload_factory("lu", iterations=50)``.
+    """
+    if name not in WORKLOADS:
+        raise ValueError(f"unknown workload {name!r}; available: {', '.join(WORKLOADS)}")
+    presets = {
+        "lu": (_LU_PARAMS, LuKernel),
+        "bt": (_BT_PARAMS, BtKernel),
+        "sp": (_SP_PARAMS, SpKernel),
+        "cg": (_CG_PARAMS, CgKernel),
+        "mg": (_MG_PARAMS, MgKernel),
+        "is": (_IS_PARAMS, IsKernel),
+        "synthetic": (_SYNTH_PARAMS, SyntheticApp),
+        "reduce": (_REDUCE_PARAMS, NonDeterministicReduce),
+    }
+    table, kernel_cls = presets[name]
+    if scale not in table:
+        raise ValueError(f"unknown scale {scale!r}; available: {', '.join(table)}")
+    params = table[scale]
+    if overrides:
+        from dataclasses import replace
+
+        params = replace(params, **overrides)
+
+    def factory(rank: int, nprocs: int, rng: RngStreams) -> Application:
+        return kernel_cls(rank, nprocs, params)
+
+    return factory

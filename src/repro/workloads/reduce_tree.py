@@ -1,0 +1,85 @@
+"""The paper's §II.C motivating example.
+
+"Suppose every process sends its result to the process P0 to calculate
+their sum.  For those n messages, any delivery order in P0 does not
+impact its correct outcome."  The kernel repeats exactly that pattern:
+each iteration, every rank ships an integer contribution straight to
+rank 0, which accumulates them with ``ANY_SOURCE`` receives and
+broadcasts the running total back.
+
+Under TDI a recovering rank 0 may re-deliver the logged contributions in
+*any* arrival order and still finish with the correct total; under the
+PWD baselines the replay must reproduce the historical order.  The
+integration tests assert both behaviours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.mpi.context import ProcContext
+from repro.workloads.base import Application
+
+
+def contribution(it: int, rank: int) -> int:
+    """Rank's deterministic integer contribution for iteration ``it``."""
+    return (it + 1) * 1000 + rank * 7
+
+
+@dataclass(frozen=True)
+class ReduceTreeParams:
+    iterations: int = 10
+    msg_bytes: int = 256
+    compute_per_iter: float = 1.0e-4
+    ckpt_bytes: int = 512 * 1024
+
+
+class NonDeterministicReduce(Application):
+    name = "reduce"
+
+    def __init__(self, rank: int, nprocs: int, params: ReduceTreeParams | None = None):
+        super().__init__(rank, nprocs)
+        self.params = params or ReduceTreeParams()
+        self.it = 0
+        self.total = 0
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        return {"it": self.it, "total": self.total}
+
+    def restore(self, state: dict[str, Any]) -> None:
+        self.it = int(state["it"])
+        self.total = int(state["total"])
+
+    def snapshot_size_bytes(self) -> int:
+        return self.params.ckpt_bytes
+
+    # ------------------------------------------------------------------
+    def run(self, ctx: ProcContext) -> Generator[Any, Any, Any]:
+        p = self.params
+        while self.it < p.iterations:
+            yield ctx.checkpoint_point()
+            it = self.it
+            value = contribution(it, self.rank)
+            partial = yield from ctx.reduce_any(
+                value, lambda a, b: a + b, root=0, size_bytes=p.msg_bytes
+            )
+            if self.rank == 0:
+                self.total += partial
+            round_total = yield from ctx.bcast(
+                self.total if self.rank == 0 else None, root=0, size_bytes=p.msg_bytes
+            )
+            self.total = round_total
+            yield ctx.compute(p.compute_per_iter)
+            self.it = it + 1
+        return {"iterations": self.it, "total": self.total}
+
+    @classmethod
+    def expected_total(cls, nprocs: int, iterations: int) -> int:
+        """The closed-form answer the tests check against."""
+        return sum(
+            contribution(it, rank)
+            for it in range(iterations)
+            for rank in range(nprocs)
+        )

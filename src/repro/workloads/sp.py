@@ -1,0 +1,32 @@
+"""SP: scalar-pentadiagonal ADI (moderate frequency and sizes).
+
+The paper places SP between LU and BT on both axes: "moderate message
+frequency and checkpoint size".  Two pipeline substeps per directional
+solve (8 face messages per interior rank per iteration), 24 KiB faces,
+mid-weight compute and a mid-sized checkpoint.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.adi import AdiKernel, AdiParams
+
+
+def sp_default_params() -> AdiParams:
+    """SP's preset: moderate message size, frequency and checkpoint."""
+    return AdiParams(
+        iterations=8,
+        substeps=2,
+        tile=(4, 10, 10),
+        inorm=4,
+        msg_bytes=24 * 1024,
+        compute_per_solve=2.5e-4,
+        ckpt_bytes=120 * 1024,
+    )
+
+
+class SpKernel(AdiKernel):
+    name = "sp"
+    mix = (0.58, 0.32, 0.10)
+
+    def __init__(self, rank: int, nprocs: int, params: AdiParams | None = None) -> None:
+        super().__init__(rank, nprocs, params or sp_default_params())

@@ -1,0 +1,100 @@
+"""Parametrised deterministic message patterns.
+
+Used by the property tests and the ablation benches: a structured
+round-based exchange whose answer is a pure function of (nprocs, rounds,
+fanout), so that runs with faults injected anywhere must reproduce the
+failure-free checksum exactly.  Payloads are integers — sums are exact
+and order-independent, which makes the ``any_source`` variant a clean
+probe of the paper's non-deterministic-delivery relaxation.
+
+The schedule is stateless (derived from the round number by a Weyl-style
+multiplier), so re-execution from any checkpoint regenerates the same
+sends without needing RNG state in the snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.mpi.context import ProcContext
+from repro.simnet.primitives import ANY_SOURCE
+from repro.workloads.base import Application
+
+_WEYL = 2654435761
+
+
+def _stride(round_no: int, fan: int, nprocs: int) -> int:
+    """Deterministic per-(round, fan-slot) partner offset in [1, n-1]."""
+    return 1 + (round_no * _WEYL + fan * 40503) % (nprocs - 1)
+
+
+def _payload(round_no: int, sender: int) -> int:
+    return (round_no * 31 + sender * 17) % 1009
+
+
+@dataclass(frozen=True)
+class SyntheticParams:
+    rounds: int = 10
+    #: messages sent (and received) per rank per round
+    fanout: int = 1
+    msg_bytes: int = 512
+    compute_per_round: float = 1.0e-4
+    #: receive with ANY_SOURCE (non-deterministic delivery) instead of
+    #: the named partner
+    any_source: bool = False
+    ckpt_bytes: int = 1024 * 1024
+
+
+class SyntheticApp(Application):
+    name = "synthetic"
+
+    def __init__(self, rank: int, nprocs: int, params: SyntheticParams | None = None):
+        super().__init__(rank, nprocs)
+        if nprocs < 2:
+            raise ValueError("SyntheticApp needs at least 2 processes")
+        self.params = params or SyntheticParams()
+        self.round = 0
+        self.checksum = 0
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        return {"round": self.round, "checksum": self.checksum}
+
+    def restore(self, state: dict[str, Any]) -> None:
+        self.round = int(state["round"])
+        self.checksum = int(state["checksum"])
+
+    def snapshot_size_bytes(self) -> int:
+        return self.params.ckpt_bytes
+
+    # ------------------------------------------------------------------
+    def run(self, ctx: ProcContext) -> Generator[Any, Any, Any]:
+        p = self.params
+        n = self.nprocs
+        while self.round < p.rounds:
+            yield ctx.checkpoint_point()
+            r = self.round
+            for fan in range(p.fanout):
+                stride = _stride(r, fan, n)
+                dest = (self.rank + stride) % n
+                yield ctx.send(
+                    dest,
+                    _payload(r, self.rank),
+                    tag=r,
+                    size_bytes=p.msg_bytes,
+                )
+            got = 0
+            for fan in range(p.fanout):
+                if p.any_source:
+                    d = yield ctx.recv(source=ANY_SOURCE, tag=r)
+                else:
+                    stride = _stride(r, fan, n)
+                    src = (self.rank - stride) % n
+                    d = yield ctx.recv(source=src, tag=r)
+                got += int(d.payload)
+            self.checksum = (self.checksum * 13 + got) % (1 << 62) if not p.any_source else self.checksum + got
+            yield ctx.compute(p.compute_per_round)
+            self.round = r + 1
+        total = yield from ctx.allreduce(self.checksum, lambda a, b: a + b, size_bytes=16)
+        return {"rounds": self.round, "checksum": self.checksum, "total": total}

@@ -1,0 +1,86 @@
+"""Shared fixtures and protocol-level test doubles."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import pytest
+
+from repro.metrics.costs import CostModel
+from repro.metrics.counters import RankMetrics
+from repro.simnet.engine import Engine
+from repro.simnet.trace import Trace
+
+
+class MockServices:
+    """Stands in for the endpoint when unit-testing a protocol: records
+    every control send and resend instead of touching a network."""
+
+    def __init__(self, rank: int = 0, nprocs: int = 4) -> None:
+        self.rank = rank
+        self.nprocs = nprocs
+        self.engine = Engine()
+        self.controls: list[tuple[int, str, Any, int]] = []
+        self.resends: list[Any] = []
+        self.wakeups = 0
+
+    def now(self) -> float:
+        return self.engine.now
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Any:
+        return self.engine.schedule(delay, fn)
+
+    def send_control(self, dst: int, ctl: str, payload: Any, size_bytes: int) -> None:
+        self.controls.append((dst, ctl, payload, size_bytes))
+
+    def broadcast_control(self, ctl: str, payload: Any, size_bytes: int) -> None:
+        for dst in range(self.nprocs):
+            if dst != self.rank:
+                self.send_control(dst, ctl, payload, size_bytes)
+
+    def resend_logged(self, item: Any) -> None:
+        self.resends.append(item)
+
+    def wake_delivery(self) -> None:
+        self.wakeups += 1
+
+
+def make_protocol(name: str, rank: int = 0, nprocs: int = 4,
+                  services: MockServices | None = None):
+    """Instantiate a protocol against mock services for unit tests."""
+    from repro.protocols.registry import create_protocol
+
+    services = services or MockServices(rank=rank, nprocs=nprocs)
+    proto = create_protocol(
+        name,
+        rank,
+        nprocs,
+        services,
+        CostModel(),
+        RankMetrics(rank=rank),
+        Trace(enabled=False),
+    )
+    return proto, services
+
+
+def app_meta(send_index: int, pb: Any, tag: int = 0, size: int = 64,
+             ack: str | None = None) -> dict[str, Any]:
+    """Frame metadata shaped like the endpoint builds it."""
+    return {
+        "tag": tag,
+        "send_index": send_index,
+        "pb": pb,
+        "ack": ack,
+        "app_size": size,
+        "resend": False,
+    }
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def mock_services() -> MockServices:
+    return MockServices()

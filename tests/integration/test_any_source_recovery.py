@@ -1,0 +1,62 @@
+"""Non-deterministic delivery across recovery (paper §II.C / §III.A).
+
+The reduce-tree workload receives with ANY_SOURCE at rank 0.  Under TDI
+a recovering rank 0 may re-deliver the logged contributions in whatever
+order they arrive — the dependent-interval gate only forces *counts*,
+not order — and the commutative sum still comes out right.  Under the
+PWD baselines the replay is pinned to the historical order.  Both must
+produce the correct total; TDI must do so even though the re-delivery
+order genuinely differs.
+"""
+
+import pytest
+
+from repro import api
+from repro.workloads.reduce_tree import NonDeterministicReduce
+
+EXPECTED = NonDeterministicReduce.expected_total(4, 6)
+
+
+@pytest.mark.parametrize("protocol", ("tdi", "tag", "tel"))
+def test_root_failure_mid_reduce(protocol):
+    r = api.run_workload("reduce", nprocs=4, protocol=protocol, seed=41,
+                         faults=[api.FaultSpec(rank=0, at_time=0.002)])
+    assert all(res["total"] == EXPECTED for res in r.results)
+
+
+@pytest.mark.parametrize("protocol", ("tdi", "tag", "tel"))
+def test_contributor_failure_mid_reduce(protocol):
+    r = api.run_workload("reduce", nprocs=4, protocol=protocol, seed=41,
+                         faults=[api.FaultSpec(rank=3, at_time=0.002)])
+    assert all(res["total"] == EXPECTED for res in r.results)
+
+
+def test_tdi_redelivery_order_may_differ_yet_answer_holds():
+    """Compare rank 0's delivery order (by sender) before and after a
+    fault: TDI is allowed to replay ANY_SOURCE deliveries in a different
+    order.  We assert the *answer* is right regardless, and record via
+    the trace that deliveries did happen twice (original + replay)."""
+    ref = api.run_workload("reduce", nprocs=4, protocol="tdi", seed=41, trace=True)
+    faulted = api.run_workload("reduce", nprocs=4, protocol="tdi", seed=41, trace=True,
+                               faults=[api.FaultSpec(rank=0, at_time=0.002)])
+    assert faulted.results == ref.results
+    ref_delivers = ref.trace.count("proto.deliver", rank=0)
+    faulted_delivers = faulted.trace.count("proto.deliver", rank=0)
+    assert faulted_delivers > ref_delivers  # replayed work happened
+
+
+def test_any_source_synthetic_with_fanout():
+    params = dict(any_source=True, fanout=3, rounds=8)
+    ref = api.run_workload("synthetic", nprocs=6, protocol="tdi", seed=42, **params)
+    r = api.run_workload("synthetic", nprocs=6, protocol="tdi", seed=42,
+                         faults=[api.FaultSpec(rank=2, at_time=0.003)], **params)
+    assert r.results == ref.results
+
+
+@pytest.mark.parametrize("protocol", ("tag", "tel"))
+def test_pwd_protocols_order_any_source_replay(protocol):
+    params = dict(any_source=True, fanout=2, rounds=8)
+    ref = api.run_workload("synthetic", nprocs=4, protocol=protocol, seed=43, **params)
+    r = api.run_workload("synthetic", nprocs=4, protocol=protocol, seed=43,
+                         faults=[api.FaultSpec(rank=1, at_time=0.003)], **params)
+    assert r.results == ref.results

@@ -1,0 +1,131 @@
+"""Public API surface and custom-application support."""
+
+import pytest
+
+from repro import api
+from repro.config import SimulationConfig
+from repro.mpi.cluster import Cluster
+from repro.simnet.engine import SimulationError
+from repro.workloads.base import Application
+from repro.workloads.presets import workload_factory
+
+
+class TestRunWorkload:
+    def test_returns_run_result(self):
+        r = api.run_workload("synthetic", nprocs=4, protocol="tdi", seed=1)
+        assert r.answer["rounds"] == 8
+        assert r.sim_time > 0
+        assert r.metrics is r.stats
+
+    def test_config_object_overrides_kwargs(self):
+        cfg = SimulationConfig(nprocs=2, protocol="none", seed=9)
+        r = api.run_workload("synthetic", nprocs=8, protocol="tdi", config=cfg)
+        assert r.config.nprocs == 2 and r.config.protocol == "none"
+
+    def test_available_protocols(self):
+        assert set(api.available_protocols()) == {"tdi", "tag", "tel", "none", "pess", "part"}
+
+    def test_workload_override_kwargs(self):
+        r = api.run_workload("synthetic", nprocs=4, protocol="tdi", seed=1, rounds=3)
+        assert r.answer["rounds"] == 3
+
+
+class TestClusterSemantics:
+    def test_cluster_runs_once(self):
+        cfg = SimulationConfig(nprocs=2, protocol="tdi", seed=1)
+        cluster = Cluster(cfg, workload_factory("synthetic", scale="fast"))
+        cluster.run()
+        with pytest.raises(SimulationError, match="exactly once"):
+            cluster.run()
+
+    def test_application_error_surfaces(self):
+        class Broken(Application):
+            name = "broken"
+
+            def run(self, ctx):
+                yield ctx.compute(0.001)
+                raise RuntimeError("kernel exploded")
+
+            def snapshot(self):
+                return {}
+
+            def restore(self, state):
+                pass
+
+            def snapshot_size_bytes(self):
+                return 1
+
+        cfg = SimulationConfig(nprocs=2, protocol="tdi", seed=1)
+        with pytest.raises(SimulationError, match="kernel exploded"):
+            api.run_app(lambda r, n, rng: Broken(r, n), cfg)
+
+    def test_deadlock_is_diagnosed(self):
+        class Stuck(Application):
+            name = "stuck"
+
+            def run(self, ctx):
+                # rank 0 waits for a message nobody sends
+                if self.rank == 0:
+                    yield ctx.recv(source=1, tag=99)
+                return "done"
+
+            def snapshot(self):
+                return {}
+
+            def restore(self, state):
+                pass
+
+            def snapshot_size_bytes(self):
+                return 1
+
+        cfg = SimulationConfig(nprocs=2, protocol="tdi", seed=1)
+        with pytest.raises(SimulationError, match="deadlock|unfinished"):
+            api.run_app(lambda r, n, rng: Stuck(r, n), cfg)
+
+    def test_max_sim_time_stops_without_error(self):
+        cfg = SimulationConfig(nprocs=4, protocol="tdi", seed=1, max_sim_time=1e-4)
+        r = api.run_workload("lu", config=cfg)
+        assert r.sim_time <= 1e-4 + 1e-9
+
+    def test_custom_application_end_to_end(self):
+        class PingPong(Application):
+            name = "pingpong"
+
+            def __init__(self, rank, nprocs):
+                super().__init__(rank, nprocs)
+                self.hops = 0
+
+            def run(self, ctx):
+                if self.rank == 0:
+                    yield ctx.send(1, "ping", tag=1)
+                    d = yield ctx.recv(source=1, tag=2)
+                    return d.payload
+                d = yield ctx.recv(source=0, tag=1)
+                yield ctx.send(0, d.payload + "-pong", tag=2)
+                return "served"
+
+            def snapshot(self):
+                return {"hops": self.hops}
+
+            def restore(self, state):
+                self.hops = state["hops"]
+
+            def snapshot_size_bytes(self):
+                return 64
+
+        cfg = SimulationConfig(nprocs=2, protocol="tdi", seed=1)
+        r = api.run_app(lambda rk, n, rng: PingPong(rk, n), cfg)
+        assert r.results == ["ping-pong", "served"]
+
+
+class TestTelServiceNode:
+    def test_logger_node_created_for_tel_only(self):
+        cfg = SimulationConfig(nprocs=4, protocol="tel", seed=1)
+        cluster = Cluster(cfg, workload_factory("synthetic", scale="fast"))
+        assert len(cluster.nodes) == 5 and len(cluster.services) == 1
+        cluster.run()
+        assert cluster.services[0].writes > 0
+
+        cfg2 = SimulationConfig(nprocs=4, protocol="tdi", seed=1)
+        cluster2 = Cluster(cfg2, workload_factory("synthetic", scale="fast"))
+        assert len(cluster2.nodes) == 4 and not cluster2.services

@@ -1,0 +1,86 @@
+"""Failure-free runs: every protocol must be numerically transparent.
+
+The logging protocol sits between the application and the network; with
+no faults, the answer must be identical to the no-fault-tolerance run —
+any difference means the middleware perturbed delivery semantics.
+"""
+
+import pytest
+
+from repro import api
+
+PROTOCOLS = ("none", "tdi", "tag", "tel")
+WORKLOADS = ("lu", "bt", "sp", "synthetic", "reduce")
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_protocol_transparency(workload):
+    answers = {}
+    for protocol in PROTOCOLS:
+        r = api.run_workload(workload, nprocs=4, protocol=protocol, seed=11)
+        answers[protocol] = r.results
+    baseline = answers["none"]
+    for protocol in PROTOCOLS[1:]:
+        assert answers[protocol] == baseline, f"{protocol} changed the answer"
+
+
+@pytest.mark.parametrize("workload", ("lu", "synthetic"))
+def test_determinism_same_seed(workload):
+    a = api.run_workload(workload, nprocs=4, protocol="tdi", seed=3)
+    b = api.run_workload(workload, nprocs=4, protocol="tdi", seed=3)
+    assert a.results == b.results
+    assert a.sim_time == b.sim_time
+    assert a.events_fired == b.events_fired
+
+
+def test_jitter_seed_changes_timing_not_answer():
+    a = api.run_workload("lu", nprocs=4, protocol="tdi", seed=1)
+    b = api.run_workload("lu", nprocs=4, protocol="tdi", seed=2)
+    assert a.results == b.results          # numerics are seed-independent
+    assert a.sim_time != b.sim_time        # network jitter differs
+
+
+@pytest.mark.parametrize("nprocs", (2, 4, 6, 8, 16))
+def test_lu_scales(nprocs):
+    r = api.run_workload("lu", nprocs=nprocs, protocol="tdi", seed=1)
+    assert r.results[0]["iterations"] == 6
+    # every rank reports the same global residual
+    assert len({round(res["rnorm"], 9) for res in r.results}) == 1
+
+
+def test_reduce_tree_closed_form():
+    from repro.workloads.reduce_tree import NonDeterministicReduce
+
+    r = api.run_workload("reduce", nprocs=4, protocol="tdi", seed=5)
+    expected = NonDeterministicReduce.expected_total(4, 6)
+    assert all(res["total"] == expected for res in r.results)
+
+
+def test_blocking_and_nonblocking_same_answer():
+    a = api.run_workload("sp", nprocs=4, protocol="tdi", seed=7, comm_mode="blocking")
+    b = api.run_workload("sp", nprocs=4, protocol="tdi", seed=7, comm_mode="nonblocking")
+    assert a.results == b.results
+
+
+def test_blocking_mode_is_slower():
+    a = api.run_workload("lu", nprocs=4, protocol="tdi", seed=7, comm_mode="blocking")
+    b = api.run_workload("lu", nprocs=4, protocol="tdi", seed=7, comm_mode="nonblocking")
+    assert a.accomplishment_time > b.accomplishment_time
+    assert a.stats.total("blocked_time") > 0
+    assert b.stats.total("blocked_time") == 0
+
+
+def test_piggyback_ordering_matches_paper():
+    """Fig. 6 ordering at one point: TAG > TEL > TDI > none."""
+    values = {}
+    for protocol in PROTOCOLS:
+        r = api.run_workload("lu", nprocs=8, protocol=protocol, seed=1)
+        values[protocol] = r.stats.piggyback_identifiers_per_message
+    assert values["tag"] > values["tel"] > values["tdi"] > values["none"] == 0
+    assert values["tdi"] == pytest.approx(9.0)  # n + 1
+
+
+def test_tdi_piggyback_linear_in_scale():
+    for n in (4, 8, 16):
+        r = api.run_workload("synthetic", nprocs=n, protocol="tdi", seed=1)
+        assert r.stats.piggyback_identifiers_per_message == pytest.approx(n + 1)

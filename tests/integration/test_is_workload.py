@@ -1,0 +1,69 @@
+"""IS extension workload: all-to-all exchanges under every protocol and
+fault pattern."""
+
+import pytest
+
+from repro import api
+from repro.simnet.rng import RngStreams
+from repro.workloads.is_sort import IsKernel
+
+
+class TestIsKernel:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            IsKernel(0, 6)
+
+    @pytest.mark.parametrize("nprocs", (2, 4, 8))
+    def test_all_ranks_agree_on_total(self, nprocs):
+        r = api.run_workload("is", nprocs=nprocs, protocol="tdi", seed=7)
+        totals = {res["total"] for res in r.results}
+        assert len(totals) == 1
+
+    def test_keys_conserved_into_slices(self):
+        # the in-kernel range assertion would have fired otherwise; a
+        # clean run is the check
+        r = api.run_workload("is", nprocs=4, protocol="tdi", seed=9)
+        assert r.results[0]["iterations"] == 5
+
+    def test_snapshot_roundtrip(self):
+        a = IsKernel(1, 4)
+        a.it, a.checksum = 3, 12345
+        b = IsKernel(1, 4)
+        b.restore(a.snapshot())
+        assert b.it == 3 and b.checksum == 12345
+        import numpy as np
+
+        assert np.array_equal(a.keys, b.keys)
+
+
+class TestIsRecovery:
+    @pytest.mark.parametrize("protocol", ("tdi", "tag", "tel"))
+    def test_fault_mid_alltoall(self, protocol):
+        ref = api.run_workload("is", nprocs=4, protocol="tdi", seed=11).results
+        r = api.run_workload("is", nprocs=4, protocol=protocol, seed=11,
+                             faults=[api.FaultSpec(rank=2, at_time=0.003)])
+        assert r.results == ref
+
+    def test_simultaneous_faults(self):
+        ref = api.run_workload("is", nprocs=8, protocol="tdi", seed=12).results
+        r = api.run_workload("is", nprocs=8, protocol="tdi", seed=12,
+                             faults=api.simultaneous([0, 3, 6], at_time=0.004))
+        assert r.results == ref
+
+    def test_blocking_rendezvous_exchange(self):
+        # 48 KiB buckets sit above the eager threshold
+        ref = api.run_workload("is", nprocs=4, protocol="tdi", seed=13).results
+        r = api.run_workload("is", nprocs=4, protocol="tdi", seed=13,
+                             comm_mode="blocking",
+                             faults=[api.FaultSpec(rank=1, at_time=0.01)])
+        assert r.results == ref
+
+    def test_poisson_soak(self):
+        from repro.faults.schedules import poisson_schedule
+
+        ref = api.run_workload("is", nprocs=4, protocol="tdi", seed=14,
+                               iterations=10).results
+        faults = poisson_schedule(RngStreams(14), 4, horizon=0.02, mtbf=0.006)
+        r = api.run_workload("is", nprocs=4, protocol="tdi", seed=14,
+                             iterations=10, faults=faults)
+        assert r.results == ref

@@ -1,0 +1,48 @@
+"""The §IV-methodology overhead experiment: logging + recovery overheads
+relative to the no-fault-tolerance run."""
+
+import pytest
+
+from repro.harness.config import ExperimentOptions
+from repro.harness.experiments import overhead
+
+OPTS = ExperimentOptions(workloads=("lu",), scales=(4,), preset="fast",
+                         checkpoint_interval=0.004, seed=1)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return overhead(OPTS)
+
+
+def row(result, protocol):
+    for r in result.rows:
+        if r["protocol"] == protocol:
+            return r
+    raise KeyError(protocol)
+
+
+class TestOverheadExperiment:
+    def test_all_protocols_present(self, result):
+        assert {r["protocol"] for r in result.rows} == {
+            "tdi", "tag", "tel", "pess", "part"}
+
+    def test_logging_overheads_positive(self, result):
+        for r in result.rows:
+            assert r["value"] > 0, r["protocol"]
+
+    def test_tdi_cheapest_causal_protocol(self, result):
+        tdi = row(result, "tdi")["value"]
+        assert tdi < row(result, "tag")["value"]
+        assert tdi < row(result, "tel")["value"]
+
+    def test_pessimistic_tradeoff(self, result):
+        """Zero piggyback but the worst logging overhead by far (sync
+        stable writes), with small *additional* recovery cost."""
+        pess = row(result, "pess")
+        assert pess["value"] > 5 * row(result, "tag")["value"]
+        assert pess["recovery"] < row(result, "tdi")["recovery"]
+
+    def test_recovery_overheads_nonnegative(self, result):
+        for r in result.rows:
+            assert r["recovery"] >= -0.01, r["protocol"]

@@ -1,0 +1,63 @@
+"""Documentation freshness: the README's code blocks must actually run.
+
+Extracts the fenced Python blocks from README.md and executes them; a
+drifting API surface fails here before a user hits it.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+
+def python_blocks():
+    text = README.read_text(encoding="utf-8")
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_readme_exists_and_has_python():
+    assert README.exists()
+    assert len(python_blocks()) >= 1
+
+
+@pytest.mark.parametrize("idx", range(len(python_blocks())))
+def test_readme_python_block_executes(idx):
+    block = python_blocks()[idx]
+    exec(compile(block, f"README.md[block {idx}]", "exec"), {})
+
+
+def test_readme_mentions_every_workload_and_protocol():
+    text = README.read_text(encoding="utf-8")
+    from repro.protocols.registry import available_protocols
+    from repro.workloads.presets import WORKLOADS
+
+    for name in WORKLOADS:
+        assert f'"{name}"' in text, f"workload {name} missing from README"
+    for name in available_protocols():
+        assert f'"{name}"' in text, f"protocol {name} missing from README"
+
+
+def test_readme_commands_reference_real_harness_targets():
+    text = README.read_text(encoding="utf-8")
+    from repro.harness.cli import FIGURES
+
+    for name in FIGURES:
+        assert name in text, f"harness target {name} missing from README"
+
+
+def test_protocol_doc_covers_registry():
+    doc = (README.parent / "docs" / "PROTOCOLS.md").read_text(encoding="utf-8")
+    from repro.protocols.registry import available_protocols
+
+    for name in available_protocols():
+        assert f"`{name}`" in doc, f"protocol {name} missing from docs/PROTOCOLS.md"
+
+
+def test_examples_listed_in_readme_exist():
+    text = README.read_text(encoding="utf-8")
+    import re
+
+    for match in re.findall(r"examples/(\w+\.py)", text):
+        assert (README.parent / "examples" / match).exists(), match

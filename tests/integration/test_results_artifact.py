@@ -1,0 +1,58 @@
+"""The shipped paper-scale results artifact stays valid.
+
+``results_paper.json`` (written by ``repro-harness all --json``) is the
+repository's record of the full-scale reproduction.  This test re-checks
+it against the shape validators so the artifact can never drift from
+what EXPERIMENTS.md claims without CI noticing.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.tables import FigureResult
+from repro.harness.validate import validate_figure
+
+ARTIFACT = Path(__file__).resolve().parents[2] / "results_paper.json"
+
+pytestmark = pytest.mark.skipif(
+    not ARTIFACT.exists(),
+    reason="results_paper.json not generated (run repro-harness all --json)",
+)
+
+
+def figures():
+    data = json.loads(ARTIFACT.read_text(encoding="utf-8"))
+    out = []
+    for entry in data:
+        fig = FigureResult(figure=entry["figure"], title=entry["title"],
+                           metric=entry["metric"])
+        fig.rows = entry["rows"]
+        out.append(fig)
+    return out
+
+
+def test_artifact_contains_all_figures():
+    assert {f.figure for f in figures()} >= {"fig6", "fig7", "fig8", "overhead"}
+
+
+@pytest.mark.parametrize("fig", figures(), ids=lambda f: f.figure)
+def test_artifact_passes_shape_validation(fig):
+    assert validate_figure(fig) == []
+
+
+def test_artifact_covers_paper_matrix():
+    by_name = {f.figure: f for f in figures()}
+    fig6 = by_name["fig6"]
+    assert set(fig6.workloads()) == {"lu", "bt", "sp"}
+    assert sorted({r["nprocs"] for r in fig6.rows}) == [4, 8, 16, 32]
+    assert set(fig6.lines()) == {"tdi", "tag", "tel"}
+
+
+def test_artifact_headline_numbers():
+    fig6 = {f.figure: f for f in figures()}["fig6"]
+    for n in (4, 8, 16, 32):
+        assert fig6.value("lu", n, "tdi") == pytest.approx(n + 1)
+    # the paper's headline: orders of magnitude at the biggest point
+    assert fig6.value("lu", 32, "tag") / fig6.value("lu", 32, "tdi") > 100

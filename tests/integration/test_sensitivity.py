@@ -1,0 +1,47 @@
+"""The message-frequency sensitivity experiment: TDI flat, the
+history-tracking protocols grow with frequency."""
+
+import pytest
+
+from repro.harness.experiments import sensitivity_message_frequency
+
+
+@pytest.fixture(scope="module")
+def result():
+    return sensitivity_message_frequency(
+        nprocs=6,
+        compute_per_round=(2e-3, 2e-5),
+        rounds=30,
+        checkpoint_interval=0.01,
+    )
+
+
+def series(result, protocol):
+    rows = [r for r in result.rows if r["protocol"] == protocol]
+    return sorted(rows, key=lambda r: r["frequency_hz"])
+
+
+class TestFrequencySensitivity:
+    def test_frequencies_actually_differ(self, result):
+        freqs = sorted(r["frequency_hz"] for r in result.rows)
+        assert freqs[-1] > 3 * freqs[0]
+
+    def test_tdi_flat(self, result):
+        rows = series(result, "tdi")
+        assert rows[0]["value"] == pytest.approx(rows[-1]["value"])
+        assert rows[0]["value"] == pytest.approx(7.0)  # n + 1
+
+    def test_tel_grows_with_frequency(self, result):
+        rows = series(result, "tel")
+        assert rows[-1]["value"] > rows[0]["value"]
+
+    def test_tag_grows_with_frequency(self, result):
+        rows = series(result, "tag")
+        assert rows[-1]["value"] > rows[0]["value"]
+
+    def test_tdi_advantage_grows(self, result):
+        tdi = series(result, "tdi")
+        tag = series(result, "tag")
+        slow_ratio = tag[0]["value"] / tdi[0]["value"]
+        fast_ratio = tag[-1]["value"] / tdi[-1]["value"]
+        assert fast_ratio > slow_ratio

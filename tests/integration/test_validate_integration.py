@@ -1,0 +1,40 @@
+"""Shape validators against freshly generated (reduced-scale) figures,
+plus the CLI --check path."""
+
+import pytest
+
+from repro.harness.cli import main as cli_main
+from repro.harness.config import ExperimentOptions
+from repro.harness.experiments import fig6, fig7, fig8
+from repro.harness.validate import validate_figure
+
+SMALL = ExperimentOptions(workloads=("lu", "sp"), scales=(4, 8), preset="fast",
+                          checkpoint_interval=0.02, seed=1)
+
+
+class TestValidatorsOnRealFigures:
+    def test_fig6_shape_holds(self):
+        assert validate_figure(fig6(SMALL)) == []
+
+    def test_fig7_shape_holds(self):
+        assert validate_figure(fig7(SMALL)) == []
+
+    def test_fig8_shape_holds(self):
+        opts = ExperimentOptions(workloads=("lu",), scales=(4,), preset="fast",
+                                 checkpoint_interval=0.02, seed=1)
+        assert validate_figure(fig8(opts)) == []
+
+
+class TestCliCheck:
+    def test_check_passes_on_good_figure(self, capsys):
+        rc = cli_main(["fig6", "--preset", "fast", "--scales", "4,8",
+                       "--workloads", "lu", "--check"])
+        assert rc == 0
+        assert "shape validation passed" in capsys.readouterr().out
+
+    def test_overhead_figure_via_cli(self, capsys):
+        rc = cli_main(["overhead", "--preset", "fast", "--scales", "4",
+                       "--workloads", "lu", "--checkpoint-interval", "0.004"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out and "pess" in out

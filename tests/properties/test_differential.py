@@ -1,0 +1,49 @@
+"""Differential testing: all protocols must agree with each other.
+
+Same workload, same seed, same faults — the per-rank answers must be
+identical whichever logging protocol is active.  The protocols differ
+wildly in what they piggyback, how they gate deliveries, and how they
+replay; agreement across all of them on random scenarios is a far
+stronger check than comparing any one against a fixed expectation.
+"""
+
+from functools import lru_cache
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import api
+
+SETTINGS = settings(max_examples=12, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+PROTOCOLS = ("tdi", "tag", "tel", "pess")
+
+
+@lru_cache(maxsize=None)
+def run_key(workload: str, protocol: str, seed: int, fault: tuple | None):
+    faults = [api.FaultSpec(rank=fault[0], at_time=fault[1])] if fault else None
+    r = api.run_workload(workload, nprocs=4, protocol=protocol, seed=seed,
+                         faults=faults)
+    return tuple(map(repr, r.results))
+
+
+@SETTINGS
+@given(seed=st.integers(0, 25),
+       workload=st.sampled_from(["synthetic", "reduce"]))
+def test_failure_free_agreement(seed, workload):
+    outcomes = {run_key(workload, p, seed, None) for p in PROTOCOLS}
+    assert len(outcomes) == 1
+
+
+@SETTINGS
+@given(seed=st.integers(0, 15),
+       victim=st.integers(0, 3),
+       at=st.sampled_from([8e-4, 2e-3, 4e-3]))
+def test_faulted_agreement(seed, victim, at):
+    outcomes = {
+        run_key("synthetic", p, seed, (victim, at)) for p in ("tdi", "tag", "tel")
+    }
+    assert len(outcomes) == 1
+    # and faulted == failure-free
+    assert run_key("synthetic", "tdi", seed, (victim, at)) == \
+        run_key("synthetic", "tdi", seed, None)

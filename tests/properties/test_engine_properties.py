@@ -1,0 +1,61 @@
+"""Property tests for the event engine's ordering guarantees."""
+
+from hypothesis import given, strategies as st
+
+from repro.simnet.engine import Engine
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                          allow_nan=False), max_size=50))
+def test_events_fire_in_nondecreasing_time(delays):
+    engine = Engine()
+    fired = []
+    for d in delays:
+        engine.schedule(d, lambda d=d: fired.append(engine.now))
+    engine.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=10.0,
+                          allow_nan=False), min_size=1, max_size=30))
+def test_equal_times_fire_in_submission_order(delays):
+    engine = Engine()
+    order = []
+    t = max(delays)
+    for i, _ in enumerate(delays):
+        engine.schedule(t, lambda i=i: order.append(i))
+    engine.run()
+    assert order == list(range(len(delays)))
+
+
+@given(
+    st.lists(st.tuples(st.floats(0.0, 50.0, allow_nan=False),
+                       st.booleans()), max_size=40)
+)
+def test_cancellation_subset(events):
+    engine = Engine()
+    fired = []
+    expected = []
+    for i, (delay, keep) in enumerate(events):
+        handle = engine.schedule(delay, lambda i=i: fired.append(i))
+        if keep:
+            expected.append((delay, i))
+        else:
+            handle.cancel()
+    engine.run()
+    assert fired == [i for _, i in sorted(expected, key=lambda p: (p[0], p[1]))]
+
+
+@given(st.lists(st.floats(0.0, 20.0, allow_nan=False), max_size=30),
+       st.floats(0.0, 20.0, allow_nan=False))
+def test_until_partitions_events(delays, until):
+    engine = Engine()
+    fired = []
+    for d in delays:
+        engine.schedule(d, lambda d=d: fired.append(d))
+    engine.run(until=until)
+    assert all(d <= until for d in fired)
+    assert engine.pending_events == sum(1 for d in delays if d > until)
+    engine.run()
+    assert len(fired) == len(delays)

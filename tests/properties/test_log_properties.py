@@ -1,0 +1,70 @@
+"""Property tests for the sender log: any interleaving of appends,
+releases and snapshots preserves per-destination order, byte accounting
+and the resend-stream contract."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.log_store import SenderLog
+from repro.protocols.base import LoggedMessage
+
+NPROCS = 4
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("append"), st.integers(0, NPROCS - 1),
+                  st.integers(1, 64)),
+        st.tuples(st.just("release"), st.integers(0, NPROCS - 1),
+                  st.integers(0, 30)),
+        st.tuples(st.just("snapshot"), st.just(0), st.just(0)),
+    ),
+    max_size=60,
+)
+
+
+def apply_ops(operations):
+    log = SenderLog(NPROCS)
+    next_index = [0] * NPROCS
+    live: dict[int, list[int]] = {d: [] for d in range(NPROCS)}
+    for op, dest, arg in operations:
+        if op == "append":
+            next_index[dest] += 1
+            log.append(LoggedMessage(dest=dest, send_index=next_index[dest],
+                                     tag=0, payload=None, size_bytes=arg,
+                                     piggyback=None))
+            live[dest].append(next_index[dest])
+        elif op == "release":
+            log.release_upto(dest, arg)
+            live[dest] = [i for i in live[dest] if i > arg]
+        else:
+            log = SenderLog.from_snapshot(NPROCS, log.snapshot())
+    return log, live
+
+
+@given(ops)
+def test_per_destination_order_and_content(operations):
+    log, live = apply_ops(operations)
+    for dest in range(NPROCS):
+        stored = [m.send_index for m in log.items_for(dest, after_index=0)]
+        assert stored == live[dest]
+        assert stored == sorted(stored)
+
+
+@given(ops)
+def test_length_matches_model(operations):
+    log, live = apply_ops(operations)
+    assert len(log) == sum(len(v) for v in live.values())
+
+
+@given(ops, st.integers(0, NPROCS - 1), st.integers(0, 40))
+def test_resend_stream_contract(operations, dest, after):
+    log, live = apply_ops(operations)
+    got = [m.send_index for m in log.items_for(dest, after_index=after)]
+    assert got == [i for i in live[dest] if i > after]
+
+
+@given(ops)
+def test_nbytes_never_negative_and_zero_when_empty(operations):
+    log, live = apply_ops(operations)
+    assert log.nbytes >= 0
+    if not any(live.values()):
+        assert log.nbytes == 0

@@ -1,0 +1,94 @@
+"""End-to-end recovery as a property: **any** fault schedule leaves the
+answer untouched.
+
+This is the paper's §III.D correctness claim driven by hypothesis:
+random process counts, random victims, random (possibly simultaneous)
+fault times, random network seeds — the faulted run must reproduce the
+failure-free answer exactly, with no orphan, lost or duplicate message
+effects (those would change the deterministic checksums).
+"""
+
+from functools import lru_cache
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import api
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@lru_cache(maxsize=None)
+def reference(workload: str, nprocs: int, seed: int, any_source: bool = False):
+    kwargs = {"any_source": any_source} if workload == "synthetic" else {}
+    return tuple(
+        map(repr, api.run_workload(workload, nprocs=nprocs, protocol="tdi",
+                                   seed=seed, rounds=6, **kwargs).results)
+    ) if workload == "synthetic" else tuple(
+        map(repr, api.run_workload(workload, nprocs=nprocs, protocol="tdi",
+                                   seed=seed).results)
+    )
+
+
+fault_lists = st.lists(
+    st.tuples(st.integers(0, 3), st.floats(1e-4, 6e-3, allow_nan=False)),
+    min_size=1,
+    max_size=3,
+)
+
+
+@SETTINGS
+@given(faults=fault_lists, seed=st.integers(0, 50))
+def test_tdi_synthetic_any_fault_schedule(faults, seed):
+    specs = [api.FaultSpec(rank=r, at_time=t) for r, t in faults]
+    ref = reference("synthetic", 4, seed)
+    r = api.run_workload("synthetic", nprocs=4, protocol="tdi", seed=seed,
+                         rounds=6, faults=specs)
+    assert tuple(map(repr, r.results)) == ref
+
+
+@SETTINGS
+@given(faults=fault_lists, seed=st.integers(0, 50))
+def test_tdi_any_source_any_fault_schedule(faults, seed):
+    specs = [api.FaultSpec(rank=r, at_time=t) for r, t in faults]
+    ref = reference("synthetic", 4, seed, any_source=True)
+    r = api.run_workload("synthetic", nprocs=4, protocol="tdi", seed=seed,
+                         rounds=6, any_source=True, faults=specs)
+    assert tuple(map(repr, r.results)) == ref
+
+
+@SETTINGS
+@given(victim=st.integers(0, 3), at=st.floats(1e-4, 8e-3, allow_nan=False),
+       seed=st.integers(0, 30))
+def test_tdi_lu_single_fault_anywhere(victim, at, seed):
+    ref = reference("lu", 4, seed)
+    r = api.run_workload("lu", nprocs=4, protocol="tdi", seed=seed,
+                         faults=[api.FaultSpec(rank=victim, at_time=at)])
+    assert tuple(map(repr, r.results)) == ref
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(protocol=st.sampled_from(["tag", "tel"]),
+       victim=st.integers(0, 3),
+       at=st.floats(5e-4, 5e-3, allow_nan=False))
+def test_pwd_baselines_single_fault(protocol, victim, at):
+    ref = reference("synthetic", 4, 17)
+    r = api.run_workload("synthetic", nprocs=4, protocol=protocol, seed=17,
+                         rounds=6, faults=[api.FaultSpec(rank=victim, at_time=at)])
+    assert tuple(map(repr, r.results)) == ref
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(nprocs=st.sampled_from([2, 3, 5, 6, 8]),
+       seed=st.integers(0, 20))
+def test_tdi_simultaneous_pair_any_scale(nprocs, seed):
+    ref = reference("synthetic", nprocs, seed)
+    victims = [0, nprocs - 1]
+    r = api.run_workload("synthetic", nprocs=nprocs, protocol="tdi", seed=seed,
+                         rounds=6, faults=api.simultaneous(victims, at_time=1.5e-3))
+    assert tuple(map(repr, r.results)) == ref

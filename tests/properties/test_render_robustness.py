@@ -1,0 +1,66 @@
+"""Rendering robustness: the ASCII chart and timeline renderers must
+never crash, whatever (well-typed) data they are fed, and must keep
+their geometric promises (width bounds, one row per rank)."""
+
+from types import SimpleNamespace
+
+from hypothesis import given, strategies as st
+
+from repro.harness.plots import render_chart
+from repro.harness.tables import FigureResult, format_table
+from repro.metrics.timeline import render_timeline
+from repro.simnet.trace import Trace, TraceEvent
+
+rows_strategy = st.lists(
+    st.fixed_dictionaries({
+        "workload": st.sampled_from(["lu", "bt"]),
+        "nprocs": st.sampled_from([4, 8, 16]),
+        "protocol": st.sampled_from(["tdi", "tag", "tel"]),
+        "value": st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    }),
+    max_size=30,
+)
+
+
+@given(rows_strategy, st.integers(3, 20))
+def test_chart_never_crashes_and_respects_height(rows, height):
+    fig = FigureResult(figure="f", title="t", metric="m")
+    fig.rows = rows
+    out = render_chart(fig, "lu", height=height)
+    assert isinstance(out, str)
+    if "no data" not in out:
+        assert len(out.splitlines()) == height + 4
+
+
+@given(rows_strategy)
+def test_table_never_crashes(rows):
+    out = format_table(rows, ["workload", "nprocs", "protocol", "value"])
+    assert isinstance(out, str)
+
+
+event_strategy = st.tuples(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    st.sampled_from([
+        "ckpt.write", "fault.kill", "recovery.incarnate",
+        "recovery.rollforward_done", "app.done", "net.transmit",
+    ]),
+    st.integers(0, 3),
+)
+
+
+@given(st.lists(event_strategy, min_size=1, max_size=60),
+       st.integers(20, 100))
+def test_timeline_never_crashes(events, width):
+    trace = Trace(enabled=True)
+    for time, kind, rank in sorted(events):
+        trace.events.append(TraceEvent(time, kind, rank, {}))
+    result = SimpleNamespace(
+        trace=trace,
+        sim_time=max(e[0] for e in events) or 1.0,
+        config=SimpleNamespace(nprocs=4),
+    )
+    out = render_timeline(result, width=width)
+    lines = out.splitlines()
+    assert sum(1 for ln in lines if ln.startswith("rank ")) == 4
+    for ln in lines[1:-1]:
+        assert len(ln) <= 7 + width

@@ -1,0 +1,124 @@
+"""Model-based stateful testing of TAG's graph and knowledge tracking.
+
+The reference model keeps plain sets: the determinants in the graph and,
+per peer, the determinants known to be held.  Rules interleave
+deliveries (with arbitrary foreign determinants), sends to arbitrary
+peers, checkpoint-advance pruning, and checkpoint/restore cycles; the
+invariants pin the piggyback-increment equation the protocol's Fig. 6
+behaviour rests on:  ``increment(dest) == graph - known_by(dest)``.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.protocols.pwd import Determinant
+from tests.conftest import app_meta, make_protocol
+
+NPROCS = 4
+RANK = 0
+PEERS = [1, 2, 3]
+
+det_strategy = st.builds(
+    Determinant,
+    receiver=st.integers(1, 3),
+    deliver_index=st.integers(100, 140),
+    sender=st.integers(0, 3),
+    send_index=st.integers(1, 40),
+)
+
+
+class TagMachine(RuleBasedStateMachine):
+    """Drives TagProtocol against a set-based reference model."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.proto, _ = make_protocol("tag", rank=RANK, nprocs=NPROCS)
+        self.m_graph: set[tuple[int, int]] = set()
+        self.m_known: dict[int, set[tuple[int, int]]] = {p: set() for p in PEERS}
+        self.m_delivered = {p: 0 for p in PEERS}
+        self.m_total = 0
+        self.m_own_by_receiver: dict[int, set[tuple[int, int]]] = {
+            r: set() for r in range(NPROCS)
+        }
+        self.checkpoint = None
+        self.m_checkpoint = None
+
+    # ------------------------------------------------------------------
+    @rule(src=st.sampled_from(PEERS), dets=st.lists(det_strategy, max_size=4))
+    def deliver(self, src: int, dets: list[Determinant]) -> None:
+        idx = self.m_delivered[src] + 1
+        self.proto.on_deliver(app_meta(idx, {"dets": tuple(dets)}), src=src)
+        self.m_delivered[src] = idx
+        self.m_total += 1
+        own = Determinant(RANK, self.m_total, src, idx)
+        self.m_graph.add(own.key)
+        self.m_own_by_receiver[RANK].add(own.key)
+        # the sender holds its own events and everything it piggybacked
+        self.m_known[src] |= self.m_own_by_receiver[src]
+        for d in dets:
+            self.m_graph.add(d.key)
+            self.m_own_by_receiver.setdefault(d.receiver, set()).add(d.key)
+            self.m_known[src].add(d.key)
+        # knowledge may reference pruned keys; the model intersects lazily
+
+    @rule(dest=st.sampled_from(PEERS))
+    def send(self, dest: int) -> None:
+        prepared = self.proto.prepare_send(dest, 0, "x", 64)
+        got = {d.key for d in prepared.piggyback["dets"]}
+        expected = self.m_graph - (self.m_known[dest] & self.m_graph)
+        assert got == expected
+
+    @rule(owner=st.integers(0, 3), upto=st.integers(0, 160))
+    def checkpoint_advance(self, owner: int, upto: int) -> None:
+        if owner == RANK:
+            return  # our own advance is driven by after_checkpoint()
+        self.proto.handle_control(
+            "CKPT_ADV", src=owner,
+            payload={"from_counts": [0] * NPROCS, "stable_upto": upto},
+        )
+        dead = {k for k in self.m_graph if k[0] == owner and k[1] <= upto}
+        self.m_graph -= dead
+        for known in self.m_known.values():
+            known -= dead
+        self.m_own_by_receiver[owner] -= dead
+
+    @rule()
+    def take_checkpoint(self) -> None:
+        self.checkpoint = self.proto.checkpoint_state()
+        self.m_checkpoint = (
+            set(self.m_graph),
+            {p: set(v) for p, v in self.m_known.items()},
+            dict(self.m_delivered),
+            self.m_total,
+            {r: set(v) for r, v in self.m_own_by_receiver.items()},
+        )
+
+    @precondition(lambda self: self.checkpoint is not None)
+    @rule()
+    def crash_and_restore(self) -> None:
+        self.proto, _ = make_protocol("tag", rank=RANK, nprocs=NPROCS)
+        self.proto.restore(copy.deepcopy(self.checkpoint))
+        (graph, known, delivered, total, own) = self.m_checkpoint
+        self.m_graph = set(graph)
+        self.m_known = {p: set(v) for p, v in known.items()}
+        self.m_delivered = dict(delivered)
+        self.m_total = total
+        self.m_own_by_receiver = {r: set(v) for r, v in own.items()}
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def graph_matches_model(self) -> None:
+        assert set(self.proto.graph.keys()) == self.m_graph
+
+    @invariant()
+    def deliver_total_matches(self) -> None:
+        assert self.proto.deliver_total == self.m_total
+
+
+TestTagStateMachine = TagMachine.TestCase
+TestTagStateMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None)

@@ -1,0 +1,87 @@
+"""Property tests for the depend_interval vector algebra.
+
+The TDI merge (pointwise max on foreign entries) must behave like a join
+in a lattice: commutative, associative, idempotent and monotone.  These
+are exactly the properties that make the dependency tracking insensitive
+to the order in which piggybacks are observed — the formal backbone of
+the paper's claim that delivery order may be relaxed.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.core.vectors import DependIntervalVector
+
+N = 5
+
+vectors = st.lists(st.integers(min_value=0, max_value=100), min_size=N, max_size=N)
+owners = st.integers(min_value=0, max_value=N - 1)
+
+
+def fresh(owner, values):
+    return DependIntervalVector(N, owner, values)
+
+
+@given(owners, vectors, vectors)
+def test_merge_commutative(owner, a, b):
+    v1 = fresh(owner, [0] * N)
+    v1.merge(a)
+    v1.merge(b)
+    v2 = fresh(owner, [0] * N)
+    v2.merge(b)
+    v2.merge(a)
+    assert list(v1) == list(v2)
+
+
+@given(owners, vectors, vectors, vectors)
+def test_merge_associative_via_sequencing(owner, a, b, c):
+    v1 = fresh(owner, [0] * N)
+    for pb in (a, b, c):
+        v1.merge(pb)
+    v2 = fresh(owner, [0] * N)
+    for pb in (c, a, b):
+        v2.merge(pb)
+    assert list(v1) == list(v2)
+
+
+@given(owners, vectors)
+def test_merge_idempotent(owner, a):
+    v = fresh(owner, [0] * N)
+    v.merge(a)
+    snapshot = list(v)
+    v.merge(a)
+    assert list(v) == snapshot
+
+
+@given(owners, vectors, vectors)
+def test_merge_monotone(owner, start, pb):
+    v = fresh(owner, start)
+    before = list(v)
+    v.merge(pb)
+    assert all(after >= b for after, b in zip(v, before, strict=True))
+
+
+@given(owners, vectors, vectors)
+def test_merge_dominates_foreign_entries(owner, start, pb):
+    v = fresh(owner, start)
+    v.merge(pb)
+    for k in range(N):
+        if k != owner:
+            assert v[k] >= pb[k]
+        else:
+            assert v[k] == start[owner]
+
+
+@given(owners, vectors, st.integers(min_value=1, max_value=20))
+def test_advance_own_only_touches_owner(owner, start, times):
+    v = fresh(owner, start)
+    for _ in range(times):
+        v.advance_own()
+    assert v.own_interval == start[owner] + times
+    assert all(v[k] == start[k] for k in range(N) if k != owner)
+
+
+@given(owners, vectors)
+def test_snapshot_roundtrip_preserves(owner, values):
+    v = fresh(owner, values)
+    restored = DependIntervalVector.from_snapshot(N, owner, v.snapshot())
+    assert restored == v

@@ -1,0 +1,39 @@
+"""CLI: the ablations path, with the experiment table stubbed so the
+test exercises the wiring rather than the (slow) sweeps themselves."""
+
+import json
+
+from repro.harness import cli
+from repro.harness.tables import FigureResult
+
+
+def fake_ablation():
+    """Stub ablation used to exercise the CLI plumbing."""
+    fig = FigureResult(figure="ablation-fake", title="fake", metric="m")
+    fig.add(workload="lu", nprocs=4, protocol="tdi", value=1.0)
+    return fig
+
+
+def test_ablations_path(monkeypatch, capsys, tmp_path):
+    monkeypatch.setattr(cli, "ABLATIONS", {"ablation-fake": fake_ablation})
+    out_path = tmp_path / "abl.json"
+    rc = cli.main(["ablations", "--json", str(out_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "ablation-fake" in out
+    data = json.loads(out_path.read_text())
+    assert data[0]["figure"] == "ablation-fake"
+
+
+def test_ablations_with_plot(monkeypatch, capsys):
+    monkeypatch.setattr(cli, "ABLATIONS", {"ablation-fake": fake_ablation})
+    rc = cli.main(["ablations", "--plot"])
+    assert rc == 0
+    assert "┤" in capsys.readouterr().out
+
+
+def test_ablations_check_is_vacuous(monkeypatch, capsys):
+    monkeypatch.setattr(cli, "ABLATIONS", {"ablation-fake": fake_ablation})
+    rc = cli.main(["ablations", "--check"])
+    assert rc == 0
+    assert "shape validation passed" in capsys.readouterr().out

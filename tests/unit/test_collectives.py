@@ -1,0 +1,133 @@
+"""Unit tests for collectives: algebraic checks by driving the generators
+through a loopback scheduler (no network, instant delivery)."""
+
+import pytest
+
+from repro.mpi import collectives as coll
+from repro.mpi.context import ProcContext
+from repro.simnet.primitives import ANY_SOURCE, Delivered, RecvOp, SendOp
+
+
+def run_collective(nprocs, make_gen):
+    """Drive n collective generators to completion with an in-memory
+    mailbox honouring (dest, tag) matching and per-channel FIFO."""
+    ctxs = [ProcContext(r, nprocs) for r in range(nprocs)]
+    gens = [make_gen(ctx) for ctx in ctxs]
+    results: dict[int, object] = {}
+    mailbox: dict[int, list] = {r: [] for r in range(nprocs)}
+    pending: dict[int, RecvOp] = {}
+    to_step: list[tuple[int, object]] = [(r, None) for r in range(nprocs)]
+    sends: dict[int, dict[int, int]] = {r: {} for r in range(nprocs)}
+
+    def try_recv(rank):
+        op = pending.get(rank)
+        if op is None:
+            return
+        for i, (src, tag, payload, idx) in enumerate(mailbox[rank]):
+            if op.source not in (ANY_SOURCE, src):
+                continue
+            if op.tag not in (-1, tag):
+                continue
+            mailbox[rank].pop(i)
+            del pending[rank]
+            to_step.append((rank, Delivered(src, tag, payload, 64, idx)))
+            return
+
+    guard = 0
+    while to_step or pending:
+        guard += 1
+        assert guard < 100_000, "collective livelocked"
+        if not to_step:
+            break
+        rank, value = to_step.pop(0)
+        try:
+            effect = gens[rank].send(value)
+        except StopIteration as stop:
+            results[rank] = stop.value
+            continue
+        if isinstance(effect, SendOp):
+            counts = sends[rank]
+            counts[effect.dest] = counts.get(effect.dest, 0) + 1
+            mailbox[effect.dest].append(
+                (rank, effect.tag, effect.payload, counts[effect.dest])
+            )
+            to_step.append((rank, None))
+            try_recv(effect.dest)
+        elif isinstance(effect, RecvOp):
+            pending[rank] = effect
+            try_recv(rank)
+        else:  # pragma: no cover
+            raise AssertionError(f"unexpected effect {effect}")
+    assert not pending, f"deadlock: pending recvs {pending}"
+    return [results[r] for r in range(nprocs)]
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 5, 8])
+class TestBcast:
+    def test_all_ranks_get_root_value(self, nprocs):
+        out = run_collective(nprocs, lambda ctx: coll.bcast(ctx, f"v{ctx.rank}" if ctx.rank == 0 else None))
+        assert out == ["v0"] * nprocs
+
+    def test_nonzero_root(self, nprocs):
+        root = nprocs - 1
+        out = run_collective(
+            nprocs,
+            lambda ctx: coll.bcast(ctx, "R" if ctx.rank == root else None, root=root),
+        )
+        assert out == ["R"] * nprocs
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 7, 8])
+class TestReduce:
+    def test_sum_at_root(self, nprocs):
+        out = run_collective(nprocs, lambda ctx: coll.reduce(ctx, ctx.rank + 1, lambda a, b: a + b))
+        assert out[0] == sum(range(1, nprocs + 1))
+        assert all(v is None for v in out[1:])
+
+    def test_allreduce_everywhere(self, nprocs):
+        out = run_collective(nprocs, lambda ctx: coll.allreduce(ctx, ctx.rank + 1, lambda a, b: a + b))
+        assert out == [sum(range(1, nprocs + 1))] * nprocs
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("nprocs", [1, 3, 4, 6])
+    def test_gather_rank_order(self, nprocs):
+        out = run_collective(nprocs, lambda ctx: coll.gather(ctx, ctx.rank * 10))
+        assert out[0] == [r * 10 for r in range(nprocs)]
+
+    @pytest.mark.parametrize("nprocs", [2, 4, 8])
+    def test_allgather(self, nprocs):
+        out = run_collective(nprocs, lambda ctx: coll.allgather(ctx, ctx.rank))
+        assert out == [list(range(nprocs))] * nprocs
+
+    @pytest.mark.parametrize("nprocs", [2, 4, 8])
+    def test_alltoall(self, nprocs):
+        out = run_collective(
+            nprocs,
+            lambda ctx: coll.alltoall(ctx, [ctx.rank * 100 + d for d in range(nprocs)]),
+        )
+        for r, row in enumerate(out):
+            assert row == [s * 100 + r for s in range(nprocs)]
+
+    def test_alltoall_non_power_of_two_rejected(self):
+        ctx = ProcContext(0, 3)
+        with pytest.raises(ValueError):
+            next(coll.alltoall(ctx, [1, 2, 3]))
+
+    def test_alltoall_wrong_length_rejected(self):
+        ctx = ProcContext(0, 4)
+        with pytest.raises(ValueError):
+            next(coll.alltoall(ctx, [1]))
+
+
+class TestReduceAny:
+    @pytest.mark.parametrize("nprocs", [2, 3, 8])
+    def test_any_source_sum(self, nprocs):
+        out = run_collective(nprocs, lambda ctx: coll.reduce_any(ctx, ctx.rank + 1, lambda a, b: a + b))
+        assert out[0] == sum(range(1, nprocs + 1))
+
+
+class TestBarrier:
+    def test_barrier_completes(self):
+        out = run_collective(4, lambda ctx: coll.barrier(ctx))
+        assert out == [None] * 4

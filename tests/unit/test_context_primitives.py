@@ -1,0 +1,63 @@
+"""Unit tests for the application-facing context and effect objects."""
+
+import pytest
+
+from repro.mpi.context import ProcContext
+from repro.simnet.primitives import (
+    ANY_SOURCE,
+    ANY_TAG,
+    CheckpointPoint,
+    Compute,
+    Delivered,
+    RecvOp,
+    SendOp,
+)
+
+
+class TestProcContext:
+    def test_send_builds_effect(self):
+        ctx = ProcContext(0, 4)
+        op = ctx.send(2, "payload", tag=5, size_bytes=128)
+        assert isinstance(op, SendOp)
+        assert (op.dest, op.tag, op.size_bytes) == (2, 5, 128)
+
+    def test_self_send_rejected(self):
+        ctx = ProcContext(1, 4)
+        with pytest.raises(ValueError, match="self-send"):
+            ctx.send(1, "x")
+
+    def test_send_range_checked(self):
+        ctx = ProcContext(0, 4)
+        with pytest.raises(ValueError):
+            ctx.send(4, "x")
+
+    def test_recv_defaults_to_wildcards(self):
+        op = ProcContext(0, 4).recv()
+        assert op.source == ANY_SOURCE and op.tag == ANY_TAG
+
+    def test_recv_range_checked(self):
+        with pytest.raises(ValueError):
+            ProcContext(0, 4).recv(source=7)
+
+    def test_compute_and_checkpoint(self):
+        ctx = ProcContext(0, 4)
+        assert isinstance(ctx.compute(0.5), Compute)
+        assert ctx.checkpoint_point(force=True).force is True
+
+
+class TestEffects:
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-1.0)
+
+    def test_delivered_unpacks(self):
+        d = Delivered(source=3, tag=0, payload="hi", size_bytes=64, send_index=1)
+        src, payload = d
+        assert src == 3 and payload == "hi"
+
+    def test_recv_op_defaults(self):
+        op = RecvOp()
+        assert op.source == ANY_SOURCE and op.tag == ANY_TAG
+
+    def test_checkpoint_point_default(self):
+        assert CheckpointPoint().force is False

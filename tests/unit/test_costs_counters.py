@@ -1,0 +1,71 @@
+"""Unit tests for the cost model and metric counters."""
+
+import pytest
+
+from repro.metrics.costs import CostModel
+from repro.metrics.counters import MetricsAggregate, RankMetrics, aggregate
+
+
+class TestCostModel:
+    def test_identifiers_cost_linear(self):
+        c = CostModel()
+        assert c.identifiers_cost(10) == pytest.approx(10 * c.per_identifier)
+
+    def test_log_append_cost_has_size_term(self):
+        c = CostModel()
+        assert c.log_append_cost(1_000_000) > c.log_append_cost(0)
+
+    def test_ckpt_times(self):
+        c = CostModel()
+        assert c.ckpt_write_time(0) == c.ckpt_latency
+        assert c.ckpt_write_time(c.ckpt_bandwidth) == pytest.approx(c.ckpt_latency + 1.0)
+        assert c.ckpt_read_time(1000) > 0
+
+    def test_frozen(self):
+        c = CostModel()
+        with pytest.raises(Exception):
+            c.per_identifier = 1.0  # type: ignore[misc]
+
+
+class TestRankMetrics:
+    def test_merge_sums_numeric_fields(self):
+        a = RankMetrics(rank=0, app_sends=3, tracking_time=0.5)
+        b = RankMetrics(rank=1, app_sends=2, tracking_time=0.25)
+        a.merge(b)
+        assert a.app_sends == 5
+        assert a.tracking_time == 0.75
+        assert a.rank == 0  # identity untouched
+
+
+class TestAggregate:
+    def make(self):
+        return aggregate([
+            RankMetrics(rank=0, app_sends=10, piggyback_identifiers=50,
+                        tracking_time=1.0),
+            RankMetrics(rank=1, app_sends=30, piggyback_identifiers=150,
+                        tracking_time=3.0),
+        ])
+
+    def test_totals_and_means(self):
+        agg = self.make()
+        assert agg.total("app_sends") == 40
+        assert agg.mean("tracking_time") == 2.0
+        assert agg.maximum("tracking_time") == 3.0
+
+    def test_fig6_metric(self):
+        agg = self.make()
+        assert agg.piggyback_identifiers_per_message == pytest.approx(200 / 40)
+
+    def test_fig7_metrics(self):
+        agg = self.make()
+        assert agg.tracking_time_total == 4.0
+        assert agg.tracking_time_max_rank == 3.0
+
+    def test_empty_aggregate(self):
+        agg = MetricsAggregate()
+        assert agg.piggyback_identifiers_per_message == 0.0
+        assert agg.mean("app_sends") == 0.0
+        assert agg.maximum("app_sends") == 0.0
+
+    def test_messages_total(self):
+        assert self.make().messages_total == 40

@@ -1,0 +1,100 @@
+"""Unit tests for the TEL/PESS event-logger service node."""
+
+from repro.metrics.costs import CostModel
+from repro.protocols.pwd import Determinant
+from repro.protocols.tel_protocol import (
+    EVLOG,
+    EVLOG_ACK,
+    EVLOG_HISTORY,
+    EVLOG_PRUNE,
+    EVLOG_QUERY,
+    EventLoggerService,
+)
+from repro.simnet.engine import Engine
+from repro.simnet.network import Frame, Network, NetworkConfig
+from repro.simnet.node import NodeSet
+from repro.simnet.rng import RngStreams
+from repro.simnet.trace import Trace
+
+
+def make_logger(nprocs=2):
+    engine = Engine()
+    nodes = NodeSet(nprocs + 1)
+    net = Network(engine, nodes, NetworkConfig(jitter_fraction=0.0), RngStreams(0))
+    costs = CostModel()
+    logger = EventLoggerService(rank=nprocs, engine=engine, network=net,
+                                costs=costs, trace=Trace())
+    return engine, net, logger
+
+
+def ctl(src, dst, kind, payload):
+    return Frame("ctl", src, dst, payload, 16, {"ctl": kind})
+
+
+class TestEventLogger:
+    def test_evlog_stores_and_acks_after_latency(self):
+        engine, net, logger = make_logger()
+        acks = []
+        net.attach(0, lambda f: acks.append((engine.now, f.meta["ctl"], f.payload)))
+        det = Determinant(receiver=0, deliver_index=1, sender=1, send_index=1)
+        net.transmit(ctl(0, 2, EVLOG, det))
+        engine.run()
+        assert logger.store[0][1] == det
+        assert len(acks) == 1
+        assert acks[0][1] == EVLOG_ACK and acks[0][2] == 1
+        assert acks[0][0] > CostModel().evlog_latency  # latency + wire time
+
+    def test_query_returns_filtered_history_in_order(self):
+        engine, net, logger = make_logger()
+        got = []
+        net.attach(0, lambda f: got.append(f) if f.meta["ctl"] == EVLOG_HISTORY else None)
+        for di in (3, 1, 2, 5):
+            net.transmit(ctl(0, 2, EVLOG,
+                             Determinant(receiver=0, deliver_index=di,
+                                         sender=1, send_index=di)))
+        engine.run()
+        net.transmit(ctl(0, 2, EVLOG_QUERY, {"after": 1}))
+        engine.run()
+        history = got[0].payload
+        assert [d.deliver_index for d in history] == [2, 3, 5]
+
+    def test_query_sees_unacked_determinants(self):
+        # durability is at arrival: a det whose ack is still pending must
+        # appear in a history response
+        engine, net, logger = make_logger()
+        got = []
+        net.attach(0, lambda f: got.append(f))
+        det = Determinant(receiver=0, deliver_index=1, sender=1, send_index=1)
+        net.transmit(ctl(0, 2, EVLOG, det))
+        net.transmit(ctl(0, 2, EVLOG_QUERY, {"after": 0}))
+        engine.run()
+        histories = [f for f in got if f.meta["ctl"] == EVLOG_HISTORY]
+        assert histories and histories[0].payload == [det]
+
+    def test_prune_discards_prefix(self):
+        engine, net, logger = make_logger()
+        net.attach(0, lambda f: None)
+        for di in (1, 2, 3):
+            net.transmit(ctl(0, 2, EVLOG,
+                             Determinant(receiver=0, deliver_index=di,
+                                         sender=1, send_index=di)))
+        engine.run()
+        net.transmit(ctl(0, 2, EVLOG_PRUNE, {"owner": 0, "upto": 2}))
+        engine.run()
+        assert sorted(logger.store[0]) == [3]
+
+    def test_per_owner_isolation(self):
+        engine, net, logger = make_logger(nprocs=3)
+        net.attach(0, lambda f: None)
+        net.attach(1, lambda f: None)
+        net.transmit(ctl(0, 3, EVLOG, Determinant(0, 1, 1, 1)))
+        net.transmit(ctl(1, 3, EVLOG, Determinant(1, 1, 0, 1)))
+        engine.run()
+        assert set(logger.store) == {0, 1}
+        assert logger.writes == 2
+
+    def test_non_ctl_frames_ignored(self):
+        engine, net, logger = make_logger()
+        net.transmit(Frame("app", 0, 2, "x", 64, {"tag": 0, "send_index": 1}))
+        engine.run()
+        assert logger.store == {}

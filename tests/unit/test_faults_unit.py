@@ -1,0 +1,39 @@
+"""Unit tests for fault scheduling helpers and the detector."""
+
+import pytest
+
+from repro.faults.detector import FailureDetector
+from repro.faults.injector import FaultSpec, simultaneous, staggered
+
+
+class TestFaultSpec:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(rank=0, at_time=-1.0)
+
+    def test_simultaneous(self):
+        specs = simultaneous([1, 3], at_time=2.0)
+        assert [(s.rank, s.at_time) for s in specs] == [(1, 2.0), (3, 2.0)]
+
+    def test_staggered(self):
+        specs = staggered([0, 1, 2], start=1.0, gap=0.5)
+        assert [s.at_time for s in specs] == [1.0, 1.5, 2.0]
+
+
+class TestFailureDetector:
+    def test_timeline(self):
+        det = FailureDetector()
+        det.observe_failure(1, 1.0)
+        det.observe_recovery(1, 1.5, epoch=1)
+        det.observe_failure(1, 3.0)
+        det.observe_recovery(1, 3.25, epoch=2)
+        assert det.failure_count() == 2
+        assert det.failure_count(1) == 2
+        assert det.failure_count(0) == 0
+        assert det.downtime_windows(1) == [(1.0, 1.5), (3.0, 3.25)]
+        assert det.total_downtime(1) == pytest.approx(0.75)
+
+    def test_empty(self):
+        det = FailureDetector()
+        assert det.downtime_windows(0) == []
+        assert det.total_downtime(0) == 0.0

@@ -1,0 +1,96 @@
+"""Unit tests for the sender-based message log."""
+
+import pytest
+
+from repro.core.log_store import SenderLog
+from repro.protocols.base import LoggedMessage
+
+
+def item(dest=1, idx=1, size=100, payload="x"):
+    return LoggedMessage(dest=dest, send_index=idx, tag=0, payload=payload,
+                         size_bytes=size, piggyback=(0, 0))
+
+
+class TestAppend:
+    def test_append_and_count(self):
+        log = SenderLog(4)
+        log.append(item(idx=1))
+        log.append(item(idx=2))
+        assert len(log) == 2
+        assert log.nbytes == 200
+
+    def test_out_of_order_append_rejected(self):
+        log = SenderLog(4)
+        log.append(item(idx=2))
+        with pytest.raises(ValueError):
+            log.append(item(idx=1))
+
+    def test_relog_of_existing_index_is_ignored(self):
+        # rolling forward regenerates items already present
+        log = SenderLog(4)
+        log.append(item(idx=1))
+        log.append(item(idx=2))
+        log.append(item(idx=2, payload="regenerated"))
+        assert len(log) == 2
+        assert log.all_items()[-1].payload == "x"
+
+    def test_destinations_are_independent(self):
+        log = SenderLog(4)
+        log.append(item(dest=1, idx=1))
+        log.append(item(dest=2, idx=1))
+        assert len(log) == 2
+
+
+class TestRelease:
+    def test_release_upto_drops_prefix(self):
+        log = SenderLog(4)
+        for i in range(1, 6):
+            log.append(item(idx=i))
+        released = log.release_upto(1, 3)
+        assert released == 3
+        assert [m.send_index for m in log.all_items()] == [4, 5]
+        assert log.nbytes == 200
+
+    def test_release_wrong_dest_is_noop(self):
+        log = SenderLog(4)
+        log.append(item(dest=1, idx=1))
+        assert log.release_upto(2, 10) == 0
+        assert len(log) == 1
+
+    def test_release_is_idempotent(self):
+        log = SenderLog(4)
+        log.append(item(idx=1))
+        assert log.release_upto(1, 1) == 1
+        assert log.release_upto(1, 1) == 0
+
+
+class TestResendStream:
+    def test_items_for_filters_and_orders(self):
+        log = SenderLog(4)
+        for i in range(1, 6):
+            log.append(item(idx=i))
+        got = [m.send_index for m in log.items_for(1, after_index=2)]
+        assert got == [3, 4, 5]
+
+    def test_items_for_other_dest_empty(self):
+        log = SenderLog(4)
+        log.append(item(dest=1, idx=1))
+        assert list(log.items_for(2, after_index=0)) == []
+
+
+class TestSnapshot:
+    def test_snapshot_roundtrip(self):
+        log = SenderLog(4)
+        log.append(item(dest=1, idx=1))
+        log.append(item(dest=2, idx=1))
+        log.append(item(dest=1, idx=2))
+        restored = SenderLog.from_snapshot(4, log.snapshot())
+        assert [m.send_index for m in restored.items_for(1, 0)] == [1, 2]
+        assert restored.nbytes == log.nbytes
+
+    def test_restored_log_accepts_continuation(self):
+        log = SenderLog(4)
+        log.append(item(idx=1))
+        restored = SenderLog.from_snapshot(4, log.snapshot())
+        restored.append(item(idx=2))
+        assert len(restored) == 2

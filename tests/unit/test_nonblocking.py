@@ -1,0 +1,69 @@
+"""Unit tests for the non-blocking send pump (queue A, §III.E)."""
+
+from repro.core.nonblocking import SendPump, SendRequest
+
+
+def req(dest=1, payload="x", on_sent=None):
+    return SendRequest(dest=dest, tag=0, payload=payload, size_bytes=64,
+                       on_sent=on_sent)
+
+
+class TestSendPump:
+    def test_submit_returns_immediately_and_processes_async(self, engine):
+        processed = []
+
+        def process(request):
+            processed.append(request.payload)
+            return 0.01
+
+        pump = SendPump(engine, process)
+        pump.submit(req(payload="a"))
+        assert processed == []  # nothing yet: the app thread returned
+        engine.run()
+        assert processed == ["a"]
+
+    def test_fifo_order(self, engine):
+        processed = []
+        pump = SendPump(engine, lambda r: (processed.append(r.payload), 0.01)[1])
+        for p in "abcd":
+            pump.submit(req(payload=p))
+        engine.run()
+        assert processed == list("abcd")
+
+    def test_cost_paces_the_pump(self, engine):
+        finish_times = []
+        pump = SendPump(engine, lambda r: 1.0)
+        for i in range(3):
+            pump.submit(req(on_sent=lambda: finish_times.append(engine.now)))
+        engine.run()
+        assert finish_times == [1.0, 2.0, 3.0]
+
+    def test_submissions_while_busy_are_queued(self, engine):
+        pump = SendPump(engine, lambda r: 1.0)
+        pump.submit(req())
+        engine.schedule(0.5, lambda: pump.submit(req()))
+        engine.run()
+        assert pump.submitted == 2 and pump.idle
+
+    def test_kill_discards_queue(self, engine):
+        processed = []
+        pump = SendPump(engine, lambda r: (processed.append(1), 1.0)[1])
+        for _ in range(5):
+            pump.submit(req())
+        engine.schedule(1.5, pump.kill)
+        engine.run()
+        assert len(processed) <= 2
+        assert pump.depth == 0
+
+    def test_submit_after_kill_ignored(self, engine):
+        pump = SendPump(engine, lambda r: 0.1)
+        pump.kill()
+        pump.submit(req())
+        engine.run()
+        assert pump.submitted == 0
+
+    def test_peak_depth_tracked(self, engine):
+        pump = SendPump(engine, lambda r: 0.1)
+        for _ in range(4):
+            pump.submit(req())
+        assert pump.peak_depth == 4

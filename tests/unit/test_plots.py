@@ -1,0 +1,62 @@
+"""Unit tests for the ASCII figure charts."""
+
+import pytest
+
+from repro.harness.plots import render_all, render_chart
+from repro.harness.tables import FigureResult
+
+
+def make_fig(span_decades=True):
+    fig = FigureResult(figure="fig6", title="t", metric="ids/msg")
+    base = {"tdi": 5.0, "tel": 50.0, "tag": 900.0 if span_decades else 9.0}
+    for n in (4, 8):
+        for proto, v in base.items():
+            fig.add(workload="lu", nprocs=n, protocol=proto, value=v * (n / 4))
+    return fig
+
+
+class TestRenderChart:
+    def test_contains_legend_axis_and_ticks(self):
+        out = render_chart(make_fig(), "lu")
+        assert "# tdi" in out and "* tel" in out and "o tag" in out
+        assert "n=4" in out and "n=8" in out
+        assert "fig6 — LU" in out
+
+    def test_log_axis_auto_selected(self):
+        assert "(log)" in render_chart(make_fig(span_decades=True), "lu")
+        assert "(log)" not in render_chart(make_fig(span_decades=False), "lu")
+
+    def test_log_override(self):
+        out = render_chart(make_fig(span_decades=False), "lu", log=True)
+        assert "(log)" in out
+
+    def test_tallest_bar_reaches_top(self):
+        out = render_chart(make_fig(), "lu", height=8)
+        top_row = out.splitlines()[1]
+        assert any(g in top_row for g in "#*o")
+
+    def test_height_respected(self):
+        out = render_chart(make_fig(), "lu", height=5)
+        # title + 5 chart rows + base + ticks + legend
+        assert len(out.splitlines()) == 1 + 5 + 3
+
+    def test_missing_workload(self):
+        assert "no data" in render_chart(make_fig(), "bt")
+
+    def test_render_all_covers_workloads(self):
+        fig = make_fig()
+        for n in (4, 8):
+            fig.add(workload="sp", nprocs=n, protocol="tdi", value=n)
+        out = render_all(fig)
+        assert "LU" in out and "SP" in out
+
+
+class TestCliPlot:
+    def test_plot_flag(self, capsys):
+        from repro.harness.cli import main
+
+        rc = main(["fig6", "--preset", "fast", "--scales", "4",
+                   "--workloads", "lu", "--plot"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "┤" in out and "# tdi" in out

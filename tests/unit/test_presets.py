@@ -1,0 +1,56 @@
+"""Unit tests for workload presets and kernel snapshot contracts."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.rng import RngStreams
+from repro.workloads.presets import WORKLOADS, workload_factory
+
+
+class TestFactory:
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            workload_factory("nope")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            workload_factory("lu", scale="huge")
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_builds_each_workload(self, name):
+        factory = workload_factory(name, scale="fast")
+        app = factory(0, 4, RngStreams(0))
+        assert app.rank == 0 and app.nprocs == 4
+        assert app.snapshot_size_bytes() > 0
+
+    def test_overrides_apply(self):
+        factory = workload_factory("lu", scale="fast", iterations=99)
+        app = factory(0, 4, RngStreams(0))
+        assert app.params.iterations == 99
+
+    def test_bad_override_rejected(self):
+        with pytest.raises(TypeError):
+            workload_factory("lu", bogus_field=1)(0, 4, RngStreams(0))
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+class TestSnapshotContract:
+    def test_snapshot_restore_roundtrip(self, name):
+        factory = workload_factory(name, scale="fast")
+        app = factory(1, 4, RngStreams(0))
+        snap = app.snapshot()
+        other = factory(1, 4, RngStreams(0))
+        other.restore(snap)
+        assert other.snapshot().keys() == snap.keys()
+
+    def test_snapshot_is_a_copy(self, name):
+        factory = workload_factory(name, scale="fast")
+        app = factory(0, 4, RngStreams(0))
+        snap = app.snapshot()
+        # mutate the live state; the snapshot must not change
+        if hasattr(app, "u"):
+            app.u += 1.0
+            assert not np.array_equal(snap["u"], app.u)
+        if hasattr(app, "it"):
+            app.it += 1
+            assert snap.get("it", 0) != app.it or "it" not in snap

@@ -1,0 +1,58 @@
+"""Unit tests for run reports."""
+
+import pytest
+
+from repro import api
+from repro.metrics.report import compare, per_rank_table, summarize
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    return api.run_workload("lu", nprocs=4, protocol="tdi", seed=111)
+
+
+@pytest.fixture(scope="module")
+def faulted_run():
+    return api.run_workload("lu", nprocs=4, protocol="tdi", seed=111,
+                            comm_mode="blocking",
+                            faults=[api.FaultSpec(rank=1, at_time=0.01)])
+
+
+class TestSummarize:
+    def test_mentions_core_facts(self, clean_run):
+        out = summarize(clean_run)
+        assert "tdi protocol, 4 processes" in out
+        assert "identifiers/message" in out
+        assert "checkpoints" in out
+
+    def test_failure_lines_only_when_faulted(self, clean_run, faulted_run):
+        assert "failures:" not in summarize(clean_run)
+        out = summarize(faulted_run)
+        assert "failures:" in out and "rolling forward" in out
+        assert "send blocking:" in out
+
+    def test_time_formatting_units(self):
+        from repro.metrics.report import _fmt_time
+
+        assert _fmt_time(2.5) == "2.500 s"
+        assert _fmt_time(0.0021).endswith("ms")
+        assert _fmt_time(3e-6).endswith("µs")
+
+    def test_bytes_formatting_units(self):
+        from repro.metrics.report import _fmt_bytes
+
+        assert _fmt_bytes(512) == "512.0 B"
+        assert _fmt_bytes(2048).endswith("KiB")
+        assert _fmt_bytes(3 * 1024 * 1024).endswith("MiB")
+
+
+class TestTables:
+    def test_per_rank_rows(self, clean_run):
+        out = per_rank_table(clean_run)
+        assert out.count("\n") >= 5  # header + sep + 4 ranks
+        assert "recoveries" in out
+
+    def test_compare(self, clean_run, faulted_run):
+        out = compare({"clean": clean_run, "faulted": faulted_run})
+        assert "clean" in out and "faulted" in out
+        assert "pb ids/msg" in out

@@ -1,0 +1,88 @@
+"""Unit + integration tests for the shared-medium contention option."""
+
+import pytest
+
+from repro import api
+from repro.config import SimulationConfig
+from repro.simnet.engine import Engine
+from repro.simnet.network import Frame, Network, NetworkConfig
+from repro.simnet.node import NodeSet
+from repro.simnet.rng import RngStreams
+
+
+def make_net(shared, nprocs=4):
+    engine = Engine()
+    nodes = NodeSet(nprocs)
+    cfg = NetworkConfig(jitter_fraction=0.0, shared_medium=shared)
+    return engine, Network(engine, nodes, cfg, RngStreams(0))
+
+
+class TestSharedMedium:
+    def test_concurrent_senders_serialize(self):
+        arrivals = {}
+        engine, net = make_net(shared=True)
+        net.attach(2, lambda f: arrivals.__setitem__(f.src, engine.now))
+        net.attach(3, lambda f: arrivals.__setitem__(f.src, engine.now))
+        size = 125_000  # 10 ms of wire time
+        net.transmit(Frame("app", 0, 2, None, size))
+        net.transmit(Frame("app", 1, 3, None, size))
+        engine.run()
+        # second frame had to wait for the medium
+        assert abs(arrivals[1] - arrivals[0]) >= size / 12.5e6 * 0.99
+
+    def test_switched_senders_overlap(self):
+        arrivals = {}
+        engine, net = make_net(shared=False)
+        net.attach(2, lambda f: arrivals.__setitem__(f.src, engine.now))
+        net.attach(3, lambda f: arrivals.__setitem__(f.src, engine.now))
+        size = 125_000
+        net.transmit(Frame("app", 0, 2, None, size))
+        net.transmit(Frame("app", 1, 3, None, size))
+        engine.run()
+        assert abs(arrivals[1] - arrivals[0]) < 1e-6
+
+    def test_fifo_still_holds_on_shared_medium(self):
+        engine, net = make_net(shared=True)
+        got = []
+        net.attach(1, lambda f: got.append(f.payload))
+        for i in range(20):
+            net.transmit(Frame("app", 0, 1, i, 64))
+        engine.run()
+        assert got == list(range(20))
+
+
+class TestSharedMediumRuns:
+    def test_contention_slows_runs_not_answers(self):
+        base_cfg = SimulationConfig(nprocs=8, protocol="tdi", seed=1)
+        shared_cfg = base_cfg.with_(
+            network=NetworkConfig(shared_medium=True))
+        fast = api.run_workload("bt", config=base_cfg)
+        slow = api.run_workload("bt", config=shared_cfg)
+        assert fast.results == slow.results
+        assert slow.accomplishment_time > fast.accomplishment_time
+
+    def test_recovery_still_exact_under_contention(self):
+        cfg = SimulationConfig(nprocs=4, protocol="tdi", seed=2,
+                               network=NetworkConfig(shared_medium=True))
+        ref = api.run_workload("lu", config=cfg)
+        cfg2 = SimulationConfig(nprocs=4, protocol="tdi", seed=2,
+                                network=NetworkConfig(shared_medium=True))
+        faulted = api.run_workload(
+            "lu", config=cfg2,
+            faults=[api.FaultSpec(rank=1, at_time=0.004)])
+        assert faulted.results == ref.results
+
+    def test_piggyback_bytes_cost_more_under_contention(self):
+        """On a shared medium the graph protocols' piggyback volume also
+        taxes *other* channels — TAG's accomplishment-time penalty vs
+        TDI grows when the medium is shared."""
+        def time_for(protocol, shared):
+            cfg = SimulationConfig(
+                nprocs=8, protocol=protocol, seed=1,
+                network=NetworkConfig(shared_medium=shared))
+            return api.run_workload("lu", config=cfg,
+                                    scale="paper").accomplishment_time
+
+        switched_penalty = time_for("tag", False) / time_for("tdi", False)
+        shared_penalty = time_for("tag", True) / time_for("tdi", True)
+        assert shared_penalty > switched_penalty

@@ -1,0 +1,40 @@
+"""Unit tests for the ASCII timeline renderer."""
+
+from repro import api
+from repro.metrics.timeline import render_timeline
+
+
+class TestTimeline:
+    def test_empty_trace_message(self):
+        r = api.run_workload("synthetic", nprocs=2, protocol="tdi", seed=1)
+        assert "empty trace" in render_timeline(r)
+
+    def test_clean_run_has_lifelines_and_done(self):
+        r = api.run_workload("synthetic", nprocs=3, protocol="tdi", seed=1,
+                             trace=True)
+        out = render_timeline(r)
+        assert out.count("rank ") == 3
+        assert out.count("D") >= 3
+        assert "legend:" in out
+
+    def test_faulted_run_shows_failure_cycle(self):
+        r = api.run_workload("lu", nprocs=4, protocol="tdi", seed=1, trace=True,
+                             faults=[api.FaultSpec(rank=2, at_time=0.004)])
+        out = render_timeline(r)
+        rank2 = [ln for ln in out.splitlines() if ln.startswith("rank 2")][0]
+        assert "X" in rank2 and "R" in rank2
+        other = [ln for ln in out.splitlines() if ln.startswith("rank 0")][0]
+        assert "X" not in other
+
+    def test_checkpoint_markers(self):
+        r = api.run_workload("lu", nprocs=2, protocol="tdi", seed=1, trace=True,
+                             checkpoint_interval=0.002)
+        out = render_timeline(r)
+        assert "C" in out
+
+    def test_width_respected(self):
+        r = api.run_workload("synthetic", nprocs=2, protocol="tdi", seed=1,
+                             trace=True)
+        out = render_timeline(r, width=40)
+        for line in out.splitlines()[1:-1]:
+            assert len(line) <= 7 + 40

@@ -1,0 +1,54 @@
+"""Unit tests for structured tracing."""
+
+from repro.simnet.trace import Trace
+
+
+class TestTrace:
+    def test_disabled_trace_records_nothing(self):
+        trace = Trace(enabled=False)
+        trace.emit("x", 0, a=1)
+        assert trace.events == []
+
+    def test_enabled_trace_records(self):
+        trace = Trace(enabled=True)
+        trace.emit("net.transmit", 2, dst=3)
+        assert len(trace.events) == 1
+        ev = trace.events[0]
+        assert ev.kind == "net.transmit" and ev.rank == 2 and ev["dst"] == 3
+
+    def test_clock_binding(self):
+        t = [0.0]
+        trace = Trace(enabled=True)
+        trace.bind_clock(lambda: t[0])
+        trace.emit("a", 0)
+        t[0] = 5.0
+        trace.emit("b", 0)
+        assert [ev.time for ev in trace.events] == [0.0, 5.0]
+
+    def test_select_by_kind_and_rank(self):
+        trace = Trace(enabled=True)
+        trace.emit("a", 0)
+        trace.emit("a", 1)
+        trace.emit("b", 0)
+        assert trace.count("a") == 2
+        assert trace.count("a", rank=1) == 1
+        assert trace.count(rank=0) == 2
+        assert trace.count() == 3
+
+    def test_last(self):
+        trace = Trace(enabled=True)
+        trace.emit("k", 0, n=1)
+        trace.emit("k", 0, n=2)
+        assert trace.last("k")["n"] == 2
+        assert trace.last("missing") is None
+
+    def test_event_get_default(self):
+        trace = Trace(enabled=True)
+        trace.emit("k", 0)
+        assert trace.events[0].get("absent", 9) == 9
+
+    def test_clear(self):
+        trace = Trace(enabled=True)
+        trace.emit("k", 0)
+        trace.clear()
+        assert trace.events == []

@@ -1,0 +1,121 @@
+"""Unit tests for the figure-shape validators (synthetic figures)."""
+
+from repro.harness.tables import FigureResult
+from repro.harness.validate import (
+    validate_fig6,
+    validate_fig7,
+    validate_fig8,
+    validate_figure,
+)
+
+
+def fig6_like(tdi=None, tag=None, tel=None):
+    fig = FigureResult(figure="fig6", title="t", metric="m")
+    defaults = {
+        ("lu", 4): {"tdi": 5.0, "tel": 40.0, "tag": 200.0},
+        ("lu", 8): {"tdi": 9.0, "tel": 90.0, "tag": 600.0},
+        ("sp", 4): {"tdi": 5.0, "tel": 20.0, "tag": 80.0},
+        ("sp", 8): {"tdi": 9.0, "tel": 40.0, "tag": 250.0},
+    }
+    for (wl, n), values in defaults.items():
+        for proto, v in values.items():
+            fig.add(workload=wl, nprocs=n, protocol=proto, value=v)
+    return fig
+
+
+class TestFig6Validator:
+    def test_good_shape_passes(self):
+        assert validate_fig6(fig6_like()) == []
+
+    def test_ordering_violation_detected(self):
+        fig = fig6_like()
+        for row in fig.rows:
+            if row["workload"] == "lu" and row["nprocs"] == 4 and row["protocol"] == "tel":
+                row["value"] = 500.0  # TEL clearly above TAG
+        violations = validate_fig6(fig)
+        assert any("clearly below" in v for v in violations)
+
+    def test_near_tie_tolerated(self):
+        fig = fig6_like()
+        for row in fig.rows:
+            if row["workload"] == "lu" and row["nprocs"] == 4 and row["protocol"] == "tel":
+                row["value"] = 210.0  # within 5% of TAG's 200: a near-tie
+        assert not any("clearly below" in v for v in validate_fig6(fig))
+
+    def test_tdi_must_stay_lowest(self):
+        fig = fig6_like()
+        for row in fig.rows:
+            if row["workload"] == "lu" and row["nprocs"] == 4 and row["protocol"] == "tdi":
+                row["value"] = 45.0  # above TEL's 40
+        violations = validate_fig6(fig)
+        assert any("must exceed" in v for v in violations)
+
+    def test_tdi_linearity_violation(self):
+        fig = fig6_like()
+        for row in fig.rows:
+            if row["protocol"] == "tdi" and row["nprocs"] == 8:
+                row["value"] = 30.0
+        violations = validate_fig6(fig)
+        assert any("n+1" in v for v in violations)
+
+    def test_ratio_growth_violation(self):
+        fig = fig6_like()
+        for row in fig.rows:
+            if row["workload"] == "lu" and row["nprocs"] == 8 and row["protocol"] == "tag":
+                row["value"] = 18.5  # ratio shrinks (and LU no longer worst)
+        violations = validate_fig6(fig)
+        assert any("ratio" in v for v in violations)
+
+
+class TestFig7Validator:
+    def make(self):
+        fig = FigureResult(figure="fig7", title="t", metric="m")
+        for wl in ("lu",):
+            for n, scale in ((4, 1.0), (8, 1.1)):
+                fig.add(workload=wl, nprocs=n, protocol="tdi", value=0.1 * scale)
+                fig.add(workload=wl, nprocs=n, protocol="tel", value=1.0 * scale ** 4)
+                fig.add(workload=wl, nprocs=n, protocol="tag", value=3.0 * scale ** 8)
+        return fig
+
+    def test_good_shape_passes(self):
+        assert validate_fig7(self.make()) == []
+
+    def test_tdi_blowup_detected(self):
+        fig = self.make()
+        for row in fig.rows:
+            if row["protocol"] == "tdi" and row["nprocs"] == 8:
+                row["value"] = 10.0
+        violations = validate_fig7(fig)
+        assert any("nearly flat" in v for v in violations)
+
+
+class TestFig8Validator:
+    def make(self, nonblocking=0.95, gain=None):
+        fig = FigureResult(figure="fig8", title="t", metric="m")
+        fig.add(workload="lu", nprocs=4, mode="blocking", value=1.0)
+        fig.add(workload="lu", nprocs=4, mode="nonblocking", value=nonblocking)
+        fig.add(workload="lu", nprocs=4, mode="gain",
+                value=(1.0 - nonblocking) if gain is None else gain)
+        return fig
+
+    def test_good_shape_passes(self):
+        assert validate_fig8(self.make()) == []
+
+    def test_nonblocking_slower_detected(self):
+        violations = validate_fig8(self.make(nonblocking=1.2, gain=-0.2))
+        assert any("slower" in v for v in violations)
+        assert any("negative gain" in v for v in violations)
+
+    def test_huge_gain_detected(self):
+        violations = validate_fig8(self.make(nonblocking=0.2, gain=0.8))
+        assert any("implausibly large" in v for v in violations)
+
+
+class TestDispatch:
+    def test_known_figures_dispatch(self):
+        assert validate_figure(fig6_like()) == []
+
+    def test_unknown_figures_vacuous(self):
+        fig = FigureResult(figure="ablation-x", title="t", metric="m")
+        fig.add(workload="lu", nprocs=4, protocol="p", value=1.0)
+        assert validate_figure(fig) == []

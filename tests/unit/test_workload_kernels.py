@@ -1,0 +1,111 @@
+"""Direct unit tests of the workload kernels' numeric pieces — no
+cluster, no engine: just the update functions and exchange plans."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.adi import AdiKernel, AdiParams
+from repro.workloads.cg import CgKernel, CgParams
+from repro.workloads.is_sort import KEY_SPACE, IsKernel, IsParams
+from repro.workloads.lu import LuKernel, LuParams
+from repro.workloads.mg import MgKernel, MgParams
+
+
+class TestLuUpdates:
+    def make(self, rank=0):
+        return LuKernel(rank, 4, LuParams(tile=(6, 6), nz=2))
+
+    def test_update_deterministic(self):
+        a, b = self.make(), self.make()
+        ghost_w = np.ones(6) * 0.5
+        ghost_n = np.ones(6) * 0.25
+        a._update_lower(0, 3, ghost_w, ghost_n)
+        b._update_lower(0, 3, ghost_w, ghost_n)
+        assert np.array_equal(a.u, b.u)
+
+    def test_ghosts_change_the_result(self):
+        a, b = self.make(), self.make()
+        a._update_lower(0, 0, np.zeros(6), np.zeros(6))
+        b._update_lower(0, 0, np.ones(6), np.zeros(6))
+        assert not np.array_equal(a.u[0], b.u[0])
+        # the west ghost enters through column 0's neighbourhood
+        assert not np.allclose(a.u[0][:, 0], b.u[0][:, 0])
+
+    def test_boundary_ranks_use_constant_ghosts(self):
+        a = self.make()
+        before = a.u[0].copy()
+        a._update_lower(0, 0, None, None)
+        assert not np.array_equal(a.u[0], before)
+
+    def test_initial_field_varies_by_grid_position(self):
+        assert not np.array_equal(self.make(0).u, self.make(3).u)
+
+
+class TestAdiUpdates:
+    def make(self):
+        return AdiKernel(1, 4, AdiParams(tile=(2, 4, 4)))
+
+    def test_apply_face_uses_ghost(self):
+        a, b = self.make(), self.make()
+        ghost = np.zeros((2, 4))
+        a._apply_face(2, True, ghost, phase=0)
+        b._apply_face(2, True, ghost + 1.0, phase=0)
+        assert not np.array_equal(a.u, b.u)
+
+    def test_boundary_face_orientation(self):
+        k = self.make()
+        front = k._boundary_face(2, front=True)
+        back = k._boundary_face(2, front=False)
+        assert np.array_equal(front, k.u[:, :, -1])
+        assert np.array_equal(back, k.u[:, :, 0])
+
+    def test_faces_are_copies(self):
+        k = self.make()
+        face = k._boundary_face(1, front=True)
+        face += 99.0
+        assert not np.array_equal(face, k.u[:, -1, :])
+
+
+class TestCgPlan:
+    def test_power_of_two_is_hypercube(self):
+        k = CgKernel(5, 8, CgParams())
+        plan = k._exchange_plan()
+        assert [d for d, s in plan] == [5 ^ 1, 5 ^ 2, 5 ^ 4]
+        assert all(d == s for d, s in plan)
+
+    def test_ring_fallback_consistent(self):
+        n = 6
+        plans = {r: CgKernel(r, n, CgParams())._exchange_plan() for r in range(n)}
+        hops = len(plans[0])
+        assert all(len(p) == hops for p in plans.values())
+        # every send in round h has the matching receive at its target
+        for h in range(hops):
+            for r in range(n):
+                dest, _src = plans[r][h]
+                back_dest, back_src = plans[dest][h]
+                assert back_src == r
+
+    def test_single_rank_no_exchanges(self):
+        assert CgKernel(0, 1, CgParams())._exchange_plan() == []
+
+
+class TestMgLevels:
+    def test_level_sizes_halve(self):
+        k = MgKernel(0, 4, MgParams(levels=4, fine_points=64))
+        sizes = [len(v) for v in k.levels]
+        assert sizes == [64, 32, 16, 8]
+
+    def test_coarse_floor(self):
+        k = MgKernel(0, 4, MgParams(levels=6, fine_points=16))
+        assert min(len(v) for v in k.levels) >= 4
+
+
+class TestIsBuckets:
+    def test_initial_keys_in_range(self):
+        k = IsKernel(2, 4, IsParams(keys_per_rank=64))
+        assert k.keys.min() >= 0 and k.keys.max() < KEY_SPACE
+
+    def test_keys_differ_by_rank(self):
+        a = IsKernel(0, 4, IsParams())
+        b = IsKernel(1, 4, IsParams())
+        assert not np.array_equal(a.keys, b.keys)
