@@ -2,15 +2,23 @@
 """Quickstart: run an NPB-like workload under the paper's TDI protocol,
 kill a process mid-run, and watch it recover with the right answer.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--verify]
+
+``--verify`` runs the causal-consistency oracle alongside both runs and
+fails if any protocol invariant is violated.
 """
+
+import sys
 
 from repro import api
 
 
 def main() -> None:
+    verify = "--verify" in sys.argv[1:]
+
     # Failure-free reference: LU on 8 simulated processes.
-    reference = api.run_workload("lu", nprocs=8, protocol="tdi", seed=1)
+    reference = api.run_workload("lu", nprocs=8, protocol="tdi", seed=1,
+                                 verify=verify)
     print("failure-free:")
     print(f"  answer (global residual): {reference.answer['rnorm']:.6f}")
     print(f"  simulated time:           {reference.sim_time * 1e3:.2f} ms")
@@ -23,6 +31,7 @@ def main() -> None:
     faulted = api.run_workload(
         "lu", nprocs=8, protocol="tdi", seed=1,
         faults=[api.FaultSpec(rank=3, at_time=0.005)],
+        verify=verify,
     )
     print("\nwith a fault on rank 3:")
     print(f"  answer:                   {faulted.answer['rnorm']:.6f}")
@@ -36,6 +45,13 @@ def main() -> None:
           f"{faulted.detector.total_downtime(3) * 1e3:.2f} ms")
 
     assert faulted.results == reference.results, "recovery must be exact"
+    if verify:
+        for run, label in ((reference, "failure-free"), (faulted, "faulted")):
+            for violation in run.violations:
+                print(f"  VIOLATION ({label}): {violation}")
+        assert not reference.violations and not faulted.violations, \
+            "the causal-consistency oracle found invariant violations"
+        print("\nverified: 0 invariant violations in both runs.")
     print("\nOK: the faulted run reproduced the failure-free answer exactly.")
 
 

@@ -48,6 +48,7 @@ def run_workload(
     checkpoint_interval: float = 5.0,
     faults: Sequence[FaultSpec] | None = None,
     trace: bool = False,
+    verify: bool = False,
     config: SimulationConfig | None = None,
     **workload_overrides: Any,
 ) -> RunResult:
@@ -55,7 +56,9 @@ def run_workload(
 
     ``config`` overrides the assembled :class:`SimulationConfig` wholesale
     when provided; otherwise one is built from the keyword arguments.
-    Extra keyword arguments override workload preset fields (e.g.
+    ``verify=True`` runs the causal-consistency oracle alongside the
+    simulation and reports findings on ``RunResult.violations``.  Extra
+    keyword arguments override workload preset fields (e.g.
     ``iterations=50``).
     """
     if config is None:
@@ -66,6 +69,7 @@ def run_workload(
             checkpoint_interval=checkpoint_interval,
             seed=seed,
             trace_enabled=trace,
+            verify=verify,
         )
     factory = workload_factory(workload, scale=scale, **workload_overrides)
     return run_simulation(config, factory, faults)

@@ -44,6 +44,9 @@ class SimulationConfig:
     costs: CostModel = field(default_factory=CostModel)
     seed: int = 0
     trace_enabled: bool = False
+    #: run the causal-consistency oracle (repro.verify) alongside the
+    #: simulation; violations land on ``RunResult.violations``
+    verify: bool = False
     #: capture per-rank application-visible message streams for the
     #: record/replay debugger (repro.debug)
     record: bool = False

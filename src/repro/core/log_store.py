@@ -15,39 +15,61 @@ checkpoint (line 33), and is regenerated during the owner's own rolling
 forward because re-executed sends are re-logged even when their
 transmission is suppressed — that is how the multi-simultaneous-failure
 case of §III.D rebuilds lost logs.
+
+Idempotence contract: appends are keyed by ``(dest, send_index)`` and a
+per-destination **high-water mark** (the highest index ever appended for
+that destination) survives garbage collection.  A re-logged
+rolling-forward send whose index the mark already covers is a no-op —
+re-adding it would double-count ``nbytes`` and risk duplicate resends,
+and rejecting it would crash the regeneration path after a
+``release_upto`` emptied the chain.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, TYPE_CHECKING
 
 from repro.protocols.base import LoggedMessage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.trace import Trace
 
 
 class SenderLog:
     """Per-destination, send-index-ordered log of sent messages."""
 
-    def __init__(self, nprocs: int) -> None:
+    def __init__(self, nprocs: int, trace: "Trace | None" = None,
+                 owner: int = 0) -> None:
         self.nprocs = nprocs
+        self.trace = trace
+        self.owner = owner
         self._by_dest: dict[int, list[LoggedMessage]] = {}
+        #: highest send_index ever appended per destination; survives
+        #: release_upto so re-logged covered sends stay no-ops
+        self._high_water: dict[int, int] = {}
         self._nbytes: int = 0
 
     # ------------------------------------------------------------------
     def append(self, item: LoggedMessage) -> None:
-        """Log one sent message (Algorithm 1 line 12); idempotent for re-logged rolling-forward sends."""
-        chain = self._by_dest.setdefault(item.dest, [])
-        if chain and item.send_index <= chain[-1].send_index:
-            # Re-logged during rolling forward: the re-executed send
-            # regenerates an item that is already present (restored from
-            # the checkpoint or logged before the failure). Keep the
-            # existing copy — contents are identical by send-determinism.
-            if item.send_index >= chain[0].send_index:
-                return
+        """Log one sent message (Algorithm 1 line 12); idempotent for
+        re-logged rolling-forward sends, even after garbage collection
+        removed (or emptied) the destination's chain."""
+        high = self._high_water.get(item.dest, 0)
+        if item.send_index <= high:
+            # Re-logged during rolling forward: this index was already
+            # appended in this log's lifetime (it may since have been
+            # released by the receiver's CHECKPOINT_ADVANCE).  Contents
+            # are identical by send-determinism; keep the existing copy
+            # — or the release — and do nothing.
+            return
+        if high > 0 and item.send_index != high + 1:
             raise ValueError(
-                f"log append out of order: dest={item.dest} "
-                f"send_index={item.send_index} after {chain[-1].send_index}"
+                f"log append gap: dest={item.dest} "
+                f"send_index={item.send_index} after high-water {high}"
             )
+        chain = self._by_dest.setdefault(item.dest, [])
         chain.append(item)
+        self._high_water[item.dest] = item.send_index
         self._nbytes += item.size_bytes
 
     def release_upto(self, dest: int, send_index: int) -> int:
@@ -59,8 +81,15 @@ class SenderLog:
         keep = [m for m in chain if m.send_index > send_index]
         released = len(chain) - len(keep)
         if released:
-            self._nbytes -= sum(m.size_bytes for m in chain if m.send_index <= send_index)
+            dropped = [m for m in chain if m.send_index <= send_index]
+            self._nbytes -= sum(m.size_bytes for m in dropped)
             self._by_dest[dest] = keep
+            if self.trace is not None:
+                self.trace.emit(
+                    "verify.release", self.owner, dest=dest,
+                    upto=send_index, released=released,
+                    dropped_upto=dropped[-1].send_index,
+                )
         return released
 
     def items_for(self, dest: int, after_index: int) -> Iterator[LoggedMessage]:
@@ -74,6 +103,10 @@ class SenderLog:
     @property
     def nbytes(self) -> int:
         return self._nbytes
+
+    def high_water(self, dest: int) -> int:
+        """Highest send_index ever appended for ``dest`` (0 if none)."""
+        return self._high_water.get(dest, 0)
 
     def __len__(self) -> int:
         return sum(len(chain) for chain in self._by_dest.values())
@@ -94,8 +127,14 @@ class SenderLog:
         return self.all_items()
 
     @classmethod
-    def from_snapshot(cls, nprocs: int, items: list[LoggedMessage]) -> "SenderLog":
-        log = cls(nprocs)
+    def from_snapshot(cls, nprocs: int, items: list[LoggedMessage],
+                      trace: "Trace | None" = None,
+                      owner: int = 0) -> "SenderLog":
+        log = cls(nprocs, trace=trace, owner=owner)
         for item in sorted(items, key=lambda m: (m.dest, m.send_index)):
+            # seed the high-water mark so a chain whose prefix was
+            # garbage-collected before the checkpoint restores cleanly
+            if log._high_water.get(item.dest, 0) == 0:
+                log._high_water[item.dest] = item.send_index - 1
             log.append(item)
         return log

@@ -47,7 +47,7 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
         super().__init__(*args, **kwargs)
         n = self.nprocs
         # Algorithm 1 lines 2-7
-        self.log = SenderLog(n)
+        self.log = SenderLog(n, trace=self.trace, owner=self.rank)
         self.depend_interval = DependIntervalVector(n, owner=self.rank)
         self.vectors = VectorState(n)
         self.last_ckpt_deliver_index = [0] * n
@@ -183,7 +183,9 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
         )
         self.last_ckpt_deliver_index = list(state["last_ckpt_deliver_index"])
         self.rollback_last_send_index = list(state["rollback_last_send_index"])
-        self.log = SenderLog.from_snapshot(self.nprocs, copy.copy(state["log"]))
+        self.log = SenderLog.from_snapshot(
+            self.nprocs, copy.copy(state["log"]), trace=self.trace, owner=self.rank
+        )
 
     def handle_control(self, ctl: str, src: int, payload: Any) -> None:
         if ctl == CHECKPOINT_ADVANCE:

@@ -62,6 +62,9 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
     parser.add_argument("--check", action="store_true",
                         help="validate the generated figures against the "
                         "paper's qualitative claims; non-zero exit on violation")
+    parser.add_argument("--verify", action="store_true",
+                        help="run the causal-consistency oracle alongside every "
+                        "cell; abort on any protocol invariant violation")
     return parser.parse_args(argv)
 
 
@@ -72,6 +75,7 @@ def _options(args: argparse.Namespace) -> ExperimentOptions:
         preset=args.preset,
         checkpoint_interval=args.checkpoint_interval,
         seed=args.seed,
+        verify=args.verify,
     )
 
 

@@ -37,6 +37,9 @@ class ExperimentOptions:
     fault_fraction: float = 0.95
     #: Fig. 8 only: which rank is killed
     fault_rank: int | None = None
+    #: run every cell under the causal-consistency oracle (repro.verify);
+    #: any invariant violation aborts the experiment
+    verify: bool = False
     extra: dict = field(default_factory=dict)
 
     def sim_config(self, workload: str, nprocs: int, protocol: str,
@@ -48,6 +51,7 @@ class ExperimentOptions:
             comm_mode=comm_mode,
             checkpoint_interval=self.checkpoint_interval,
             seed=self.seed,
+            verify=self.verify,
         )
 
 

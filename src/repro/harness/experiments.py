@@ -53,6 +53,7 @@ def fig6(options: ExperimentOptions = ExperimentOptions()) -> FigureResult:
                     preset=options.preset,
                     checkpoint_interval=options.checkpoint_interval,
                     seed=options.seed,
+                    verify=options.verify,
                 )
                 result.add(
                     workload=workload,
@@ -86,6 +87,7 @@ def fig7(options: ExperimentOptions = ExperimentOptions()) -> FigureResult:
                     preset=options.preset,
                     checkpoint_interval=options.checkpoint_interval,
                     seed=options.seed,
+                    verify=options.verify,
                 )
                 intervals = checkpoint_intervals_elapsed(run, options.checkpoint_interval)
                 per_rank_interval = run.stats.tracking_time_total / nprocs / intervals
@@ -130,6 +132,7 @@ def fig8(options: ExperimentOptions = ExperimentOptions()) -> FigureResult:
                 preset=options.preset,
                 checkpoint_interval=1e9,
                 seed=options.seed,
+                verify=options.verify,
             )
             interval = probe.accomplishment_time / 6.0
             fault_time = (1.0 + options.fault_fraction) * interval
@@ -140,6 +143,7 @@ def fig8(options: ExperimentOptions = ExperimentOptions()) -> FigureResult:
                     preset=options.preset,
                     checkpoint_interval=interval,
                     seed=options.seed,
+                    verify=options.verify,
                 )
                 faulted = run_cell(
                     Cell(workload, nprocs, "tdi", comm_mode=mode),
@@ -147,6 +151,7 @@ def fig8(options: ExperimentOptions = ExperimentOptions()) -> FigureResult:
                     checkpoint_interval=interval,
                     seed=options.seed,
                     faults=[FaultSpec(rank=fault_rank, at_time=fault_time)],
+                    verify=options.verify,
                 )
                 runs[mode] = {
                     "base_time": base.accomplishment_time,
@@ -203,6 +208,7 @@ def overhead(options: ExperimentOptions = ExperimentOptions()) -> FigureResult:
                 preset=options.preset,
                 checkpoint_interval=options.checkpoint_interval,
                 seed=options.seed,
+                verify=options.verify,
             )
             t_none = baseline.accomplishment_time
             fault_time = min(
@@ -218,6 +224,7 @@ def overhead(options: ExperimentOptions = ExperimentOptions()) -> FigureResult:
                     preset=options.preset,
                     checkpoint_interval=options.checkpoint_interval,
                     seed=options.seed,
+                    verify=options.verify,
                 )
                 faulted = run_cell(
                     Cell(workload, nprocs, protocol),
@@ -225,6 +232,7 @@ def overhead(options: ExperimentOptions = ExperimentOptions()) -> FigureResult:
                     checkpoint_interval=options.checkpoint_interval,
                     seed=options.seed,
                     faults=[FaultSpec(rank=fault_rank, at_time=fault_time)],
+                    verify=options.verify,
                 )
                 result.add(
                     workload=workload,

@@ -8,6 +8,7 @@ from typing import Sequence
 from repro.config import SimulationConfig
 from repro.faults.injector import FaultSpec
 from repro.mpi.cluster import RunResult, run_simulation
+from repro.simnet.engine import SimulationError
 from repro.workloads.presets import workload_factory
 
 
@@ -30,7 +31,13 @@ def run_cell(
     faults: Sequence[FaultSpec] | None = None,
     **config_overrides,
 ) -> RunResult:
-    """Run one matrix cell to completion."""
+    """Run one matrix cell to completion.
+
+    With ``verify=True`` (forwarded to :class:`SimulationConfig`) the
+    causal-consistency oracle rides along and any invariant violation
+    aborts the experiment — figure numbers from a run that broke the
+    protocol's own safety obligations are worthless.
+    """
     config = SimulationConfig(
         nprocs=cell.nprocs,
         protocol=cell.protocol,
@@ -40,7 +47,14 @@ def run_cell(
         **config_overrides,
     )
     factory = workload_factory(cell.workload, scale=preset)
-    return run_simulation(config, factory, faults)
+    result = run_simulation(config, factory, faults)
+    if config.verify and result.violations:
+        shown = "\n  ".join(str(v) for v in result.violations[:5])
+        raise SimulationError(
+            f"invariant verification failed for {cell}: "
+            f"{len(result.violations)} violation(s)\n  {shown}"
+        )
+    return result
 
 
 def checkpoint_intervals_elapsed(result: RunResult, interval: float) -> float:

@@ -49,6 +49,9 @@ class RunResult:
     events_fired: int
     #: per-rank message streams when run with ``record=True``
     recording: Any = None
+    #: causal-consistency oracle findings when run with ``verify=True``
+    #: (empty both when the run is clean and when verification is off)
+    violations: list[Any] = field(default_factory=list)
 
     @property
     def answer(self) -> Any:
@@ -95,6 +98,13 @@ class Cluster:
             )
             self.services.append(logger)
 
+        self.oracle = None
+        if config.verify:
+            from repro.verify import CausalOracle
+
+            self.oracle = CausalOracle(config.nprocs)
+            self.oracle.attach(self)
+
         self.endpoints = [
             Endpoint(self, rank, app_factory(rank, config.nprocs, self.rng))
             for rank in range(config.nprocs)
@@ -118,10 +128,10 @@ class Cluster:
             (ep.rank, ep.app_error) for ep in self.endpoints if ep.app_error is not None
         ]
         if errors:
-            rank, error = errors[0]
+            detail = "; ".join(f"rank {rank}: {error!r}" for rank, error in errors)
             raise SimulationError(
-                f"application on rank {rank} raised: {error!r}"
-            ) from error
+                f"application raised on {len(errors)} rank(s) — {detail}"
+            ) from errors[0][1]
 
         unfinished = [ep for ep in self.endpoints if not ep.app_done]
         if unfinished and self.config.max_sim_time is None:
@@ -146,6 +156,7 @@ class Cluster:
             checkpoint_writes=self.checkpoints.writes,
             events_fired=self.engine.events_fired,
             recording=self.recording,
+            violations=list(self.oracle.violations) if self.oracle else [],
         )
 
     def _accomplishment_time(self) -> float:

@@ -133,7 +133,12 @@ class Endpoint:
         if task.error is not None:
             self.app_error = task.error
             self.trace.emit("app.error", self.rank, error=repr(task.error))
-            self.engine.stop()
+            # Stop *after* the current timestamp's queue drains, not
+            # immediately: when a bug hits several ranks at one barrier
+            # or iteration, their errors land at the same instant and
+            # the run report should name every failed rank, not just
+            # whichever event popped first.
+            self.engine.schedule(0.0, self.engine.stop)
             return
         if task.state.name == "DONE":
             self.result = task.result
@@ -329,6 +334,8 @@ class Endpoint:
             "app_size": app_size,
             "resend": resend,
         }
+        self.trace.emit("verify.send", self.rank, dest=dest, tag=tag,
+                        send_index=send_index, pb=piggyback, resend=resend)
         frame = Frame("app", self.rank, dest, payload, app_size + pb_bytes, meta)
         self.network.transmit(frame)
 
@@ -413,6 +420,9 @@ class Endpoint:
             return
         cost = self.protocol.on_deliver(frame.meta, frame.src)
         self.metrics.app_delivers += 1
+        self.trace.emit("verify.deliver", self.rank, src=frame.src,
+                        tag=frame.meta["tag"], send_index=frame.meta["send_index"],
+                        pb=frame.meta["pb"])
         if frame.meta.get("ack") == "delivery":
             self._send_ack_for(frame)
         self.metrics.recv_wait_time += self.engine.now - req.posted_at

@@ -62,7 +62,7 @@ class PwdCausalProtocol(Protocol):
     def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         n = self.nprocs
-        self.log = SenderLog(n)
+        self.log = SenderLog(n, trace=self.trace, owner=self.rank)
         self.vectors = VectorState(n)
         self.deliver_total = 0
         self.rollback_last_send_index = [0] * n
@@ -219,7 +219,9 @@ class PwdCausalProtocol(Protocol):
         self.vectors.restore(state["vectors"])
         self.deliver_total = state["deliver_total"]
         self.rollback_last_send_index = list(state["rollback_last_send_index"])
-        self.log = SenderLog.from_snapshot(self.nprocs, copy.copy(state["log"]))
+        self.log = SenderLog.from_snapshot(
+            self.nprocs, copy.copy(state["log"]), trace=self.trace, owner=self.rank
+        )
         self._restore_extra(state)
 
     def begin_recovery(self) -> None:

@@ -60,9 +60,6 @@ class NetworkConfig:
             raise ValueError("jitter_fraction must be >= 0")
 
 
-_frame_ids = itertools.count(1)
-
-
 @dataclass
 class Frame:
     """One unit on the wire.
@@ -72,6 +69,11 @@ class Frame:
     ``meta["ctl"]`` (e.g. ``"ROLLBACK"``, ``"RESPONSE"``,
     ``"CHECKPOINT_ADVANCE"``, ``"EVLOG"``).  ``size_bytes`` is the full
     modelled wire size including piggyback and headers.
+
+    ``frame_id`` is assigned by the :class:`Network` that transmits the
+    frame (0 until then).  Ids are per-network, not process-global, so
+    identical configs + seeds produce identical traces regardless of
+    what other simulations ran earlier in the same process.
     """
 
     kind: str
@@ -80,7 +82,7 @@ class Frame:
     payload: Any
     size_bytes: int
     meta: dict[str, Any] = field(default_factory=dict)
-    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    frame_id: int = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         ctl = self.meta.get("ctl")
@@ -120,6 +122,7 @@ class Network:
         self.trace = trace or Trace(enabled=False)
         self.stats = NetworkStats()
         self._receivers: dict[int, ReceiveCallback] = {}
+        self._frame_ids = itertools.count(1)
         #: last scheduled arrival per (src, dst), for the FIFO guarantee
         self._last_arrival: dict[tuple[int, int], float] = {}
         #: shared-medium mode: when the collision domain frees up
@@ -146,6 +149,8 @@ class Network:
         channel) unless the destination is dead at arrival time."""
         if not (0 <= frame.dst < len(self.nodes)):
             raise ValueError(f"invalid destination rank {frame.dst}")
+        if frame.frame_id == 0:
+            frame.frame_id = next(self._frame_ids)
         cfg = self.config
         delay = self.delay_for(frame.size_bytes)
         if cfg.jitter_fraction > 0:

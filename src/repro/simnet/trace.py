@@ -35,22 +35,43 @@ class TraceEvent:
 
 
 class Trace:
-    """An append-only event log with simple query helpers."""
+    """An append-only event log with simple query helpers.
+
+    Besides recording, a trace can carry *listeners*: callbacks invoked
+    on every emitted event even when recording is disabled.  The runtime
+    invariant verifier (:mod:`repro.verify`) observes the simulation
+    this way without the memory cost of retaining the full event list.
+    """
 
     def __init__(self, enabled: bool = False, clock: Callable[[], float] | None = None):
         self.enabled = enabled
         self._clock = clock or (lambda: 0.0)
         self.events: list[TraceEvent] = []
+        self._listeners: list[Callable[[TraceEvent], None]] = []
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Attach the simulated-time source stamped onto events."""
         self._clock = clock
 
+    def attach_listener(self, fn: Callable[[TraceEvent], None]) -> None:
+        """Invoke ``fn`` on every future event, recording or not."""
+        self._listeners.append(fn)
+
+    def detach_listener(self, fn: Callable[[TraceEvent], None]) -> None:
+        """Stop invoking ``fn``; safe if it was never attached."""
+        if fn in self._listeners:
+            self._listeners.remove(fn)
+
     def emit(self, kind: str, rank: int, **fields: Any) -> None:
-        """Record one event (no-op when tracing is disabled)."""
-        if not self.enabled:
+        """Record one event (no-op when tracing is disabled and nobody
+        listens)."""
+        if not self.enabled and not self._listeners:
             return
-        self.events.append(TraceEvent(self._clock(), kind, rank, fields))
+        event = TraceEvent(self._clock(), kind, rank, fields)
+        if self.enabled:
+            self.events.append(event)
+        for fn in self._listeners:
+            fn(event)
 
     # ------------------------------------------------------------------
     # Queries

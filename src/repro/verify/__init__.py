@@ -1,0 +1,28 @@
+"""Runtime invariant verification — the causal-consistency oracle.
+
+An opt-in subsystem (``SimulationConfig(verify=True)``, or ``--verify``
+on the harness CLI) that observes every send, delivery, checkpoint,
+rollback and log release through :class:`repro.simnet.trace.Trace`
+listeners and checks the safety obligations of the paper's protocol
+family *independently* of any protocol's own bookkeeping:
+
+1. **causal safety** — a delivered message's piggybacked
+   ``depend_interval`` entry for the receiver was satisfied at delivery
+   time (Algorithm 1 line 17), judged against a shadow happens-before
+   clock the oracle reconstructs itself;
+2. **exactly-once delivery** per ``(src, send_index)`` channel across
+   failures and replays;
+3. **GC safety** — ``SenderLog.release_upto`` never drops an item the
+   receiver's latest checkpoint does not cover (lines 38–39);
+4. **vector monotonicity** — ``depend_interval``,
+   ``last_deliver_index`` and ``rollback_last_send_index`` never
+   decrease within one incarnation epoch.
+
+Violations are reported as structured :class:`InvariantViolation`
+records on :attr:`repro.mpi.cluster.RunResult.violations`.
+"""
+
+from repro.verify.oracle import CausalOracle
+from repro.verify.violations import InvariantViolation
+
+__all__ = ["CausalOracle", "InvariantViolation"]

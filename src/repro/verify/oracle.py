@@ -1,0 +1,284 @@
+"""The causal-consistency oracle.
+
+:class:`CausalOracle` subscribes to the cluster's :class:`Trace` as a
+listener and maintains a **shadow reconstruction** of the system's
+causal state — per-rank delivery counters and a happens-before vector
+clock — fed exclusively by the observation events the middleware emits
+(``verify.send``, ``verify.deliver``, ``ckpt.write``,
+``recovery.incarnate``, ``verify.release``).  It never reads a
+protocol's ``depend_interval`` or index vectors to *form* its model, so
+a protocol that corrupts its own bookkeeping cannot fool the checks
+(protocol state is read only for the monotonicity invariant, whose
+subject *is* that state).
+
+Shadow semantics mirror the paper's Algorithm 1 exactly:
+
+* ``hb[r][r]`` counts the deliveries rank ``r`` has made — its current
+  process-state interval (line 20);
+* foreign entries take the pointwise max with each delivered message's
+  piggyback (lines 22–24);
+* at a checkpoint the shadow state is snapshotted under the checkpoint's
+  sequence number, and restored when an incarnation announces which
+  checkpoint it rolled back to — so the shadow rolls back exactly when
+  the real process does.
+
+Failures therefore need no special-casing: a replayed delivery is
+checked against the rolled-back shadow just as the original was checked
+against the live one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, TYPE_CHECKING
+
+from repro.simnet.trace import TraceEvent
+from repro.verify.violations import (
+    CAUSAL_GATE,
+    EXACTLY_ONCE,
+    GC_SAFETY,
+    MONOTONICITY,
+    PIGGYBACK_COMPLETENESS,
+    InvariantViolation,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.cluster import Cluster
+
+#: vectors sampled off live protocol state for the monotonicity check
+_MONOTONE_VECTORS = ("depend_interval", "last_deliver_index",
+                     "rollback_last_send_index")
+
+
+@dataclass
+class _Shadow:
+    """Oracle-side reconstruction of one rank's causal state."""
+
+    delivered_upto: list[int]
+    hb: list[int]
+
+    @classmethod
+    def fresh(cls, nprocs: int) -> "_Shadow":
+        return cls([0] * nprocs, [0] * nprocs)
+
+    def copy(self) -> "_Shadow":
+        return _Shadow(list(self.delivered_upto), list(self.hb))
+
+
+@dataclass
+class _MonotoneSample:
+    epoch: int
+    vectors: dict[str, list[int]] = field(default_factory=dict)
+
+
+class CausalOracle:
+    """Runtime invariant verifier for one cluster run."""
+
+    def __init__(self, nprocs: int, max_violations: int = 200) -> None:
+        self.nprocs = nprocs
+        self.max_violations = max_violations
+        self.violations: list[InvariantViolation] = []
+        #: events examined per invariant, for reporting
+        self.checks: dict[str, int] = {}
+        #: violations dropped after ``max_violations`` was reached
+        self.suppressed = 0
+        self._shadow = [_Shadow.fresh(nprocs) for _ in range(nprocs)]
+        #: shadow state frozen at each checkpoint: (rank, seq) -> _Shadow
+        self._ckpt_shadow: dict[tuple[int, int], _Shadow] = {}
+        #: per-rank delivery coverage of the latest durable checkpoint
+        self._ckpt_cover = [[0] * nprocs for _ in range(nprocs)]
+        self._samples: dict[int, _MonotoneSample] = {}
+        self._cluster: "Cluster | None" = None
+
+    # ------------------------------------------------------------------
+    def attach(self, cluster: "Cluster") -> None:
+        """Subscribe to the cluster's trace stream."""
+        self._cluster = cluster
+        cluster.trace.attach_listener(self.observe)
+
+    # ------------------------------------------------------------------
+    def observe(self, event: TraceEvent) -> None:
+        """Trace-listener entry point: dispatch one event."""
+        kind = event.kind
+        if kind == "verify.deliver":
+            self._on_deliver(event)
+        elif kind == "verify.send":
+            self._on_send(event)
+        elif kind == "ckpt.write":
+            self._on_checkpoint(event)
+        elif kind == "recovery.incarnate":
+            self._on_incarnate(event)
+        elif kind == "verify.release":
+            self._on_release(event)
+
+    # ------------------------------------------------------------------
+    # Invariant 1 + 2: delivery-time checks
+    # ------------------------------------------------------------------
+    def _on_deliver(self, ev: TraceEvent) -> None:
+        rank = ev.rank
+        if not (0 <= rank < self.nprocs):
+            return
+        src, send_index, pb = ev["src"], ev["send_index"], ev["pb"]
+        shadow = self._shadow[rank]
+
+        self._count(EXACTLY_ONCE)
+        expected = shadow.delivered_upto[src] + 1
+        if send_index != expected:
+            what = "duplicate" if send_index <= shadow.delivered_upto[src] else "gap"
+            self._report(ev.time, EXACTLY_ONCE, rank,
+                         f"delivery {what} on channel {src}->{rank}: "
+                         f"got send_index={send_index}, expected {expected}",
+                         src=src, send_index=send_index, expected=expected)
+        shadow.delivered_upto[src] = max(shadow.delivered_upto[src], send_index)
+
+        if self._is_depend_vector(pb):
+            self._count(CAUSAL_GATE)
+            if pb[rank] > shadow.hb[rank]:
+                self._report(
+                    ev.time, CAUSAL_GATE, rank,
+                    f"message {src}->{rank} #{send_index} delivered with "
+                    f"unsatisfied dependency: piggyback requires interval "
+                    f"{pb[rank]}, receiver has made {shadow.hb[rank]} "
+                    f"deliveries",
+                    src=src, send_index=send_index,
+                    required=pb[rank], have=shadow.hb[rank])
+            for k, entry in enumerate(pb):
+                if k != rank and entry > shadow.hb[k]:
+                    shadow.hb[k] = entry
+        shadow.hb[rank] += 1
+        self._sample_monotone(ev.time, rank)
+
+    # ------------------------------------------------------------------
+    # Invariant 1 (sender side): the piggyback must carry the sender's
+    # whole causal knowledge, or a recovering receiver could deliver a
+    # message whose dependencies it cannot satisfy (an orphan risk).
+    # ------------------------------------------------------------------
+    def _on_send(self, ev: TraceEvent) -> None:
+        rank = ev.rank
+        if not (0 <= rank < self.nprocs) or ev["resend"]:
+            # resends replay the piggyback captured at original send
+            # time verbatim; the shadow has legitimately moved on
+            return
+        pb = ev["pb"]
+        if self._is_depend_vector(pb):
+            self._count(PIGGYBACK_COMPLETENESS)
+            hb = self._shadow[rank].hb
+            lagging = [k for k in range(self.nprocs) if pb[k] < hb[k]]
+            if lagging:
+                self._report(
+                    ev.time, PIGGYBACK_COMPLETENESS, rank,
+                    f"send {rank}->{ev['dest']} #{ev['send_index']} "
+                    f"under-reports dependencies at entries {lagging}: "
+                    f"piggyback {tuple(pb)} < happens-before {tuple(hb)}",
+                    dest=ev["dest"], send_index=ev["send_index"],
+                    pb=tuple(pb), shadow_hb=tuple(hb))
+        self._sample_monotone(ev.time, rank)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / rollback bookkeeping
+    # ------------------------------------------------------------------
+    def _on_checkpoint(self, ev: TraceEvent) -> None:
+        rank = ev.rank
+        if not (0 <= rank < self.nprocs):
+            return
+        self._ckpt_shadow[(rank, ev["seq"])] = self._shadow[rank].copy()
+        self._ckpt_cover[rank] = list(self._shadow[rank].delivered_upto)
+        self._sample_monotone(ev.time, rank)
+
+    def _on_incarnate(self, ev: TraceEvent) -> None:
+        rank = ev.rank
+        if not (0 <= rank < self.nprocs):
+            return
+        frozen = self._ckpt_shadow.get((rank, ev["from_seq"]))
+        if frozen is None:  # pragma: no cover - start() always checkpoints
+            self._report(ev.time, EXACTLY_ONCE, rank,
+                         f"incarnation from unknown checkpoint seq "
+                         f"{ev['from_seq']}", from_seq=ev["from_seq"])
+            return
+        self._shadow[rank] = frozen.copy()
+
+    # ------------------------------------------------------------------
+    # Invariant 3: GC safety of the sender log
+    # ------------------------------------------------------------------
+    def _on_release(self, ev: TraceEvent) -> None:
+        sender, receiver = ev.rank, ev["dest"]
+        if not (0 <= sender < self.nprocs and 0 <= receiver < self.nprocs):
+            return
+        self._count(GC_SAFETY)
+        covered = self._ckpt_cover[receiver][sender]
+        dropped_upto = ev["dropped_upto"]
+        if dropped_upto > covered:
+            self._report(
+                ev.time, GC_SAFETY, sender,
+                f"sender log released {sender}->{receiver} items up to "
+                f"#{dropped_upto}, but {receiver}'s latest checkpoint only "
+                f"covers #{covered} — a failure of {receiver} now loses "
+                f"messages #{covered + 1}..#{dropped_upto}",
+                dest=receiver, dropped_upto=dropped_upto, covered=covered,
+                requested_upto=ev["upto"])
+
+    # ------------------------------------------------------------------
+    # Invariant 4: vector monotonicity within an incarnation epoch
+    # ------------------------------------------------------------------
+    def _sample_monotone(self, time: float, rank: int) -> None:
+        cluster = self._cluster
+        if cluster is None or not (0 <= rank < self.nprocs):
+            return
+        protocol = cluster.endpoints[rank].protocol
+        epoch = cluster.nodes[rank].epoch
+        current: dict[str, list[int]] = {}
+        vectors = getattr(protocol, "vectors", None)
+        if vectors is not None:
+            current["last_deliver_index"] = list(vectors.last_deliver_index)
+        for name in ("depend_interval", "rollback_last_send_index"):
+            vec = getattr(protocol, name, None)
+            if vec is not None:
+                current[name] = list(vec)
+        previous = self._samples.get(rank)
+        if previous is not None and previous.epoch == epoch:
+            self._count(MONOTONICITY)
+            for name, vec in current.items():
+                before = previous.vectors.get(name)
+                if before is None:
+                    continue
+                sunk = [k for k, (a, b) in enumerate(zip(vec, before)) if a < b]
+                if sunk:
+                    self._report(
+                        time, MONOTONICITY, rank,
+                        f"{name} decreased at entries {sunk} within epoch "
+                        f"{epoch}: {before} -> {vec}",
+                        vector=name, before=list(before), after=list(vec))
+        self._samples[rank] = _MonotoneSample(epoch, current)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _is_depend_vector(self, pb: Any) -> bool:
+        """True for TDI-style piggybacks: one integer per process."""
+        return (isinstance(pb, (list, tuple)) and len(pb) == self.nprocs
+                and all(isinstance(x, int) and not isinstance(x, bool)
+                        for x in pb))
+
+    def _count(self, invariant: str) -> None:
+        self.checks[invariant] = self.checks.get(invariant, 0) + 1
+
+    def _report(self, time: float, invariant: str, rank: int, detail: str,
+                **fields: Any) -> None:
+        if len(self.violations) >= self.max_violations:
+            self.suppressed += 1
+            return
+        self.violations.append(
+            InvariantViolation(time, invariant, rank, detail, fields))
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """Counts of checks performed and violations found, by invariant."""
+        by_invariant: dict[str, int] = {}
+        for violation in self.violations:
+            by_invariant[violation.invariant] = (
+                by_invariant.get(violation.invariant, 0) + 1)
+        return {
+            "checks": dict(self.checks),
+            "violations": by_invariant,
+            "suppressed": self.suppressed,
+        }

@@ -1,0 +1,42 @@
+"""Structured records for invariant-verification findings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: invariant identifiers the oracle reports
+CAUSAL_GATE = "causal-gate"
+PIGGYBACK_COMPLETENESS = "piggyback-completeness"
+EXACTLY_ONCE = "exactly-once"
+GC_SAFETY = "gc-safety"
+MONOTONICITY = "monotonicity"
+
+INVARIANTS = (
+    CAUSAL_GATE,
+    PIGGYBACK_COMPLETENESS,
+    EXACTLY_ONCE,
+    GC_SAFETY,
+    MONOTONICITY,
+)
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One observed breach of a checked invariant.
+
+    ``invariant`` is one of :data:`INVARIANTS`; ``rank`` is the process
+    at which the breach was observed (the receiver for delivery
+    invariants, the sender for log invariants); ``fields`` carries the
+    raw evidence (indexes, vectors) for debugging.
+    """
+
+    time: float
+    invariant: str
+    rank: int
+    detail: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (f"[t={self.time:.6f}] {self.invariant} at rank {self.rank}: "
+                f"{self.detail}")

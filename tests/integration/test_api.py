@@ -59,6 +59,31 @@ class TestClusterSemantics:
         with pytest.raises(SimulationError, match="kernel exploded"):
             api.run_app(lambda r, n, rng: Broken(r, n), cfg)
 
+    def test_errors_on_multiple_ranks_all_reported(self):
+        class BrokenEverywhere(Application):
+            name = "broken-everywhere"
+
+            def run(self, ctx):
+                yield ctx.compute(0.001)
+                raise RuntimeError(f"boom on rank {self.rank}")
+
+            def snapshot(self):
+                return {}
+
+            def restore(self, state):
+                pass
+
+            def snapshot_size_bytes(self):
+                return 1
+
+        cfg = SimulationConfig(nprocs=3, protocol="tdi", seed=1)
+        with pytest.raises(SimulationError,
+                           match=r"3 rank\(s\).*rank 0.*rank 1.*rank 2") as exc:
+            api.run_app(lambda r, n, rng: BrokenEverywhere(r, n), cfg)
+        # the first rank's original exception stays chained for tracebacks
+        assert isinstance(exc.value.__cause__, RuntimeError)
+        assert "boom on rank 0" in str(exc.value.__cause__)
+
     def test_deadlock_is_diagnosed(self):
         class Stuck(Application):
             name = "stuck"

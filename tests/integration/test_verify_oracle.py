@@ -1,0 +1,331 @@
+"""The causal-consistency oracle (repro.verify), proven both ways.
+
+Soundness: every protocol, run correctly through the existing fault
+scenarios with ``verify=True``, reports zero violations — the oracle
+must not cry wolf on legal executions (deferred deliveries, rollbacks,
+regenerated logs, duplicate discards are all *correct* behaviour).
+
+Completeness: mutation testing.  Each safety mechanism of Algorithm 1 is
+disabled in turn — the delivery gate (line 17), the piggyback merge
+(lines 22–24), duplicate suppression, checkpoint-bounded GC (line 39) —
+and the oracle must catch the resulting protocol violation, because its
+shadow state is reconstructed from raw observation events, not from the
+bookkeeping the mutation corrupts.
+"""
+
+from unittest import mock
+
+import pytest
+
+from repro import api
+from repro.config import SimulationConfig
+from repro.core.recovery import TdiRecoveryMixin
+from repro.core.tdi import TdiProtocol
+from repro.core.vectors import DependIntervalVector
+from repro.protocols.base import DeliveryVerdict
+from repro.verify.violations import (
+    CAUSAL_GATE,
+    EXACTLY_ONCE,
+    GC_SAFETY,
+    PIGGYBACK_COMPLETENESS,
+)
+from repro.workloads.base import Application
+
+PROTOCOLS = ("tdi", "tag", "tel", "pess", "part")
+
+
+def kinds(result):
+    return {v.invariant for v in result.violations}
+
+
+# ======================================================================
+# Soundness: correct protocols never trip the oracle
+# ======================================================================
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("workload", ("lu", "synthetic"))
+def test_clean_single_fault_run_has_no_violations(protocol, workload):
+    r = api.run_workload(workload, nprocs=4, protocol=protocol, seed=21,
+                         verify=True,
+                         faults=[api.FaultSpec(rank=1, at_time=0.003)])
+    assert r.violations == []
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_clean_failure_free_run_has_no_violations(protocol):
+    r = api.run_workload("lu", nprocs=4, protocol=protocol, seed=21,
+                         verify=True)
+    assert r.violations == []
+
+
+def test_clean_multi_failure_run_has_no_violations():
+    faults = api.simultaneous([1, 2], at_time=0.004) + [
+        api.FaultSpec(rank=2, at_time=0.012)
+    ]
+    r = api.run_workload("lu", nprocs=8, protocol="tdi", seed=9,
+                         verify=True, faults=faults)
+    assert r.violations == []
+    assert r.stats.total("recovery_count") == 3
+
+
+def test_clean_run_with_frequent_checkpoints_and_gc():
+    # tight interval: many CHECKPOINT_ADVANCE releases to judge
+    r = api.run_workload("lu", nprocs=4, protocol="tdi", seed=0,
+                         verify=True, checkpoint_interval=0.001)
+    assert r.violations == []
+    assert r.stats.total("log_items_released") > 0
+
+
+def test_clean_blocking_mode_run_has_no_violations():
+    r = api.run_workload("lu", nprocs=4, protocol="tdi", seed=21,
+                         comm_mode="blocking", verify=True,
+                         faults=[api.FaultSpec(rank=1, at_time=0.004)])
+    assert r.violations == []
+
+
+def test_verify_off_reports_nothing():
+    r = api.run_workload("lu", nprocs=4, protocol="tdi", seed=21)
+    assert r.violations == []
+
+
+# ======================================================================
+# Completeness: mutations must trip the oracle
+# ======================================================================
+
+class OrphanBait(Application):
+    """Minimal scenario where the delivery gate is load-bearing.
+
+    Rank 0 delivers a large message m1 from rank 1, then tells rank 2
+    (y); rank 2's reply z therefore causally depends on rank 0's
+    interval 1.  When rank 0 fails and rolls back to interval 0, both m1
+    and z are re-sent — and z (64 B) always beats m1 (256 kB) to the
+    wire.  Rank 0's first replayed receive is a wildcard, so only the
+    gate (Algorithm 1 line 17) stops z from being delivered before the
+    state it depends on exists again — the paper's orphan scenario.
+    """
+
+    name = "orphan-bait"
+
+    def snapshot(self):
+        return {}
+
+    def restore(self, state):
+        pass
+
+    def snapshot_size_bytes(self):
+        return 1024
+
+    def run(self, ctx):
+        if self.rank == 0:
+            m1 = yield ctx.recv(tag=0)
+            yield ctx.send(2, "y", tag=0)
+            z = yield ctx.recv(tag=0)
+            yield ctx.compute(0.05)  # stay alive for the fault
+            return (m1.payload, z.payload)
+        elif self.rank == 1:
+            yield ctx.send(0, "m1", tag=0, size_bytes=256_000)
+            return "m1-sent"
+        else:
+            y = yield ctx.recv(tag=0)
+            del y
+            yield ctx.send(0, "z", tag=0)
+            return "z-sent"
+
+
+def run_orphan_bait():
+    config = SimulationConfig(nprocs=3, protocol="tdi", seed=0, verify=True)
+    faults = [api.FaultSpec(rank=0, at_time=0.024)]
+    return api.run_app(lambda rank, nprocs, rng=None: OrphanBait(rank, nprocs),
+                       config, faults)
+
+
+def gateless_classify(self, frame_meta, src):
+    """TdiProtocol.classify with the depend-interval gate removed."""
+    send_index = frame_meta["send_index"]
+    last = self.vectors.last_deliver_index[src]
+    if send_index <= last:
+        return DeliveryVerdict.DUPLICATE
+    if send_index > last + 1:
+        return DeliveryVerdict.DEFER
+    return DeliveryVerdict.DELIVER
+
+
+class TestGateMutation:
+    def test_orphan_bait_is_clean_with_the_real_gate(self):
+        r = run_orphan_bait()
+        assert r.violations == []
+        assert r.answer == ("m1", "z")
+
+    def test_disabling_the_delivery_gate_trips_causal_gate(self):
+        with mock.patch.object(TdiProtocol, "classify", gateless_classify):
+            r = run_orphan_bait()
+        assert CAUSAL_GATE in kinds(r)
+        v = next(v for v in r.violations if v.invariant == CAUSAL_GATE)
+        assert v.rank == 0
+        assert v.fields["required"] > v.fields["have"]
+        # the orphan is observable: z consumed in m1's slot
+        assert r.answer == ("z", "m1")
+
+
+class TestMergeMutation:
+    def test_skipping_the_piggyback_merge_trips_completeness(self):
+        with mock.patch.object(DependIntervalVector, "merge",
+                               lambda self, piggyback: 0):
+            r = api.run_workload("lu", nprocs=4, protocol="tdi", seed=0,
+                                 verify=True)
+        assert kinds(r) == {PIGGYBACK_COMPLETENESS}
+        v = r.violations[0]
+        assert tuple(v.fields["pb"]) < tuple(v.fields["shadow_hb"])
+
+
+class DupBait(OrphanBait):
+    """OrphanBait plus a survivor (rank 2) that keeps a wildcard receive
+    pending through rank 0's recovery, and a late straggler w from
+    rank 1 to satisfy it in correct runs.  If rolling forward re-sends
+    y instead of suppressing it AND the receiver stops discarding
+    repetitive messages, that pending receive consumes y twice."""
+
+    name = "dup-bait"
+
+    def run(self, ctx):
+        if self.rank == 0:
+            m1 = yield ctx.recv(tag=0)
+            yield ctx.send(2, "y", tag=0)
+            z = yield ctx.recv(tag=0)
+            yield ctx.compute(0.05)
+            return (m1.payload, z.payload)
+        elif self.rank == 1:
+            yield ctx.send(0, "m1", tag=0, size_bytes=256_000)
+            yield ctx.compute(0.1)
+            yield ctx.send(2, "w", tag=0)
+            return "m1-sent"
+        else:
+            y = yield ctx.recv(tag=0)
+            del y
+            yield ctx.send(0, "z", tag=0)
+            w = yield ctx.recv(tag=0)  # pending throughout the recovery
+            return w.payload
+
+
+def run_dup_bait():
+    config = SimulationConfig(nprocs=3, protocol="tdi", seed=0, verify=True)
+    faults = [api.FaultSpec(rank=0, at_time=0.024)]
+    return api.run_app(lambda rank, nprocs, rng=None: DupBait(rank, nprocs),
+                       config, faults)
+
+
+class TestDuplicateMutation:
+    def test_dup_bait_is_clean_unmutated(self):
+        r = run_dup_bait()
+        assert r.violations == []
+        assert r.answer == ("m1", "z")
+
+    def test_delivering_duplicates_trips_exactly_once(self):
+        # two coordinated mutations: rolling forward re-transmits every
+        # re-executed send (suppression broken), and the receiver no
+        # longer discards repetitive messages (line 19 broken)
+        orig_prepare = TdiProtocol.prepare_send
+
+        def always_transmit(self, dest, tag, payload, size_bytes):
+            prepared = orig_prepare(self, dest, tag, payload, size_bytes)
+            return type(prepared)(
+                send_index=prepared.send_index,
+                piggyback=prepared.piggyback,
+                piggyback_identifiers=prepared.piggyback_identifiers,
+                cost=prepared.cost,
+                transmit=True,
+            )
+
+        def no_duplicate_check(self, frame_meta, src):
+            send_index = frame_meta["send_index"]
+            last = self.vectors.last_deliver_index[src]
+            if send_index > last + 1:
+                return DeliveryVerdict.DEFER
+            if self.depend_interval.own_interval >= frame_meta["pb"][self.rank]:
+                return DeliveryVerdict.DELIVER
+            return DeliveryVerdict.DEFER
+
+        def permissive_on_deliver(self, frame_meta, src):
+            # the protocol's own internal gap assert would fire before
+            # the oracle observes the delivery; the mutation removes the
+            # whole duplicate defense, last-ditch check included
+            send_index = frame_meta["send_index"]
+            self.depend_interval.advance_own()
+            self.vectors.last_deliver_index[src] = max(
+                self.vectors.last_deliver_index[src], send_index)
+            self.depend_interval.merge(frame_meta["pb"])
+            return 0.0
+
+        with mock.patch.object(TdiProtocol, "prepare_send", always_transmit), \
+                mock.patch.object(TdiProtocol, "classify", no_duplicate_check), \
+                mock.patch.object(TdiProtocol, "on_deliver", permissive_on_deliver):
+            r = run_dup_bait()
+        assert EXACTLY_ONCE in kinds(r)
+        v = next(v for v in r.violations if v.invariant == EXACTLY_ONCE)
+        assert "duplicate" in v.detail
+
+
+class TestGcMutation:
+    def test_over_eager_release_trips_gc_safety(self):
+        orig = TdiRecoveryMixin._handle_checkpoint_advance
+
+        def eager(self, src, upto_send_index):
+            return orig(self, src, upto_send_index + 2)
+
+        with mock.patch.object(TdiRecoveryMixin, "_handle_checkpoint_advance",
+                               eager):
+            r = api.run_workload("lu", nprocs=4, protocol="tdi", seed=0,
+                                 verify=True, checkpoint_interval=0.001)
+        assert kinds(r) == {GC_SAFETY}
+        v = r.violations[0]
+        assert v.fields["dropped_upto"] > v.fields["covered"]
+
+
+# ======================================================================
+# Reporting machinery
+# ======================================================================
+
+def test_oracle_summary_counts_checks():
+    from repro.mpi.cluster import Cluster
+
+    config = SimulationConfig(nprocs=4, protocol="tdi", seed=21, verify=True)
+    from repro.workloads.presets import workload_factory
+
+    cluster = Cluster(config, workload_factory("lu", scale="fast"))
+    cluster.run([api.FaultSpec(rank=1, at_time=0.003)])
+    summary = cluster.oracle.summary()
+    assert summary["violations"] == {}
+    assert summary["suppressed"] == 0
+    assert summary["checks"][CAUSAL_GATE] > 0
+    assert summary["checks"][EXACTLY_ONCE] > 0
+
+
+def test_violation_cap_suppresses_excess():
+    from repro.verify import CausalOracle
+
+    oracle = CausalOracle(nprocs=2, max_violations=3)
+    for i in range(5):
+        oracle._report(0.0, CAUSAL_GATE, 0, f"v{i}")
+    assert len(oracle.violations) == 3
+    assert oracle.suppressed == 2
+    assert oracle.summary()["suppressed"] == 2
+
+
+def test_violation_str_is_informative():
+    r = None
+    with mock.patch.object(TdiProtocol, "classify", gateless_classify):
+        r = run_orphan_bait()
+    text = str(next(v for v in r.violations if v.invariant == CAUSAL_GATE))
+    assert "causal-gate" in text
+    assert "rank 0" in text
+
+
+def test_harness_run_cell_aborts_on_violation():
+    from repro.harness.runner import Cell, run_cell
+    from repro.simnet.engine import SimulationError
+
+    with mock.patch.object(DependIntervalVector, "merge",
+                           lambda self, piggyback: 0):
+        with pytest.raises(SimulationError, match="invariant verification"):
+            run_cell(Cell("lu", 4, "tdi"), preset="fast",
+                     checkpoint_interval=0.02, seed=0, verify=True)

@@ -68,3 +68,87 @@ def test_nbytes_never_negative_and_zero_when_empty(operations):
     assert log.nbytes >= 0
     if not any(live.values()):
         assert log.nbytes == 0
+
+
+# ----------------------------------------------------------------------
+# High-water mark vs release interplay (the §III.D regeneration contract):
+# re-logging any index the mark covers is a no-op — even when the chain
+# was partially or fully released — and the mark itself never regresses
+# within a log's lifetime.
+# ----------------------------------------------------------------------
+
+hw_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("append"), st.integers(0, NPROCS - 1),
+                  st.integers(1, 64)),
+        # arg = how far below the current high-water mark to re-log
+        st.tuples(st.just("relog"), st.integers(0, NPROCS - 1),
+                  st.integers(0, 8)),
+        st.tuples(st.just("release"), st.integers(0, NPROCS - 1),
+                  st.integers(0, 30)),
+        st.tuples(st.just("snapshot"), st.just(0), st.just(0)),
+    ),
+    max_size=60,
+)
+
+
+def _msg(dest, idx, size=1):
+    return LoggedMessage(dest=dest, send_index=idx, tag=0, payload=None,
+                         size_bytes=size, piggyback=None)
+
+
+def apply_hw_ops(operations):
+    log = SenderLog(NPROCS)
+    hw = [0] * NPROCS          # model: highest index ever appended
+    live: dict[int, list[int]] = {d: [] for d in range(NPROCS)}
+    for op, dest, arg in operations:
+        if op == "append":
+            hw[dest] += 1
+            log.append(_msg(dest, hw[dest], size=arg))
+            live[dest].append(hw[dest])
+        elif op == "relog":
+            idx = hw[dest] - arg
+            if idx >= 1:
+                before = (len(log), log.nbytes)
+                log.append(_msg(dest, idx, size=99))
+                assert (len(log), log.nbytes) == before, \
+                    "covered re-log must be a no-op"
+        elif op == "release":
+            log.release_upto(dest, arg)
+            live[dest] = [i for i in live[dest] if i > arg]
+        else:
+            log = SenderLog.from_snapshot(NPROCS, log.snapshot())
+            # restoring re-seeds the mark from the surviving chain; an
+            # emptied chain forgets its history (the checkpoint carries
+            # no items to infer it from)
+            for d in range(NPROCS):
+                hw[d] = live[d][-1] if live[d] else 0
+    return log, hw, live
+
+
+@given(hw_ops)
+def test_covered_relog_is_always_noop(operations):
+    log, hw, live = apply_hw_ops(operations)
+    for dest in range(NPROCS):
+        assert [m.send_index for m in log.items_for(dest, 0)] == live[dest]
+
+
+@given(hw_ops)
+def test_high_water_matches_model_and_never_regresses(operations):
+    log, hw, live = apply_hw_ops(operations)
+    for dest in range(NPROCS):
+        assert log.high_water(dest) == hw[dest]
+        # the mark covers everything still stored
+        if live[dest]:
+            assert log.high_water(dest) >= live[dest][-1]
+
+
+@given(hw_ops)
+def test_append_beyond_gap_rejected(operations):
+    log, hw, live = apply_hw_ops(operations)
+    for dest in range(NPROCS):
+        if log.high_water(dest) > 0:
+            import pytest
+
+            with pytest.raises(ValueError):
+                log.append(_msg(dest, log.high_water(dest) + 2))

@@ -19,11 +19,21 @@ class TestAppend:
         assert len(log) == 2
         assert log.nbytes == 200
 
-    def test_out_of_order_append_rejected(self):
+    def test_covered_index_append_is_noop(self):
+        # an index at or below the high-water mark was already logged in
+        # this log's lifetime; re-logging it must not raise or double-add
         log = SenderLog(4)
+        log.append(item(idx=1))
         log.append(item(idx=2))
-        with pytest.raises(ValueError):
-            log.append(item(idx=1))
+        log.append(item(idx=1, payload="regenerated"))
+        assert len(log) == 2
+        assert log.all_items()[0].payload == "x"
+
+    def test_gap_beyond_high_water_rejected(self):
+        log = SenderLog(4)
+        log.append(item(idx=1))
+        with pytest.raises(ValueError, match="gap"):
+            log.append(item(idx=3))
 
     def test_relog_of_existing_index_is_ignored(self):
         # rolling forward regenerates items already present
@@ -94,3 +104,55 @@ class TestSnapshot:
         restored = SenderLog.from_snapshot(4, log.snapshot())
         restored.append(item(idx=2))
         assert len(restored) == 2
+
+
+class TestHighWaterRegeneration:
+    """Regression tests: rolling forward re-logs sends whose indexes the
+    receiver's CHECKPOINT_ADVANCE already released (paper §III.D).  The
+    seed code rejected those re-appends with ``ValueError`` (restored
+    GC'd chain) or silently re-added them (emptied chain), because the
+    ordering check keyed off the *remaining* chain head instead of a
+    high-water mark that survives garbage collection."""
+
+    def test_relog_after_release_emptied_chain_is_noop(self):
+        log = SenderLog(4)
+        log.append(item(idx=1))
+        log.append(item(idx=2))
+        assert log.release_upto(1, 2) == 2
+        assert len(log) == 0
+        # rolling forward regenerates send #1: already covered -> no-op
+        log.append(item(idx=1, payload="regenerated"))
+        assert len(log) == 0
+        assert log.nbytes == 0
+        assert log.high_water(1) == 2
+
+    def test_relog_after_partial_release_is_noop(self):
+        log = SenderLog(4)
+        for i in range(1, 6):
+            log.append(item(idx=i))
+        log.release_upto(1, 3)
+        log.append(item(idx=2, payload="regenerated"))
+        assert [m.send_index for m in log.all_items()] == [4, 5]
+
+    def test_restored_gcd_chain_accepts_covered_relog(self):
+        # checkpoint taken after items 1-3 were released: the snapshot
+        # holds only [4, 5]; re-logging send #2 during rolling forward
+        # must be a no-op, not a ValueError
+        log = SenderLog(4)
+        for i in range(1, 6):
+            log.append(item(idx=i))
+        log.release_upto(1, 3)
+        restored = SenderLog.from_snapshot(4, log.snapshot())
+        restored.append(item(idx=2, payload="regenerated"))
+        assert [m.send_index for m in restored.all_items()] == [4, 5]
+        restored.append(item(idx=6))
+        assert restored.high_water(1) == 6
+
+    def test_high_water_continues_after_release(self):
+        log = SenderLog(4)
+        log.append(item(idx=1))
+        log.release_upto(1, 1)
+        log.append(item(idx=2))  # next fresh send after GC
+        assert [m.send_index for m in log.all_items()] == [2]
+        with pytest.raises(ValueError, match="gap"):
+            log.append(item(idx=4))
