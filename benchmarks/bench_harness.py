@@ -1,0 +1,165 @@
+"""Harness-level performance: parallel fan-out and the engine hot path.
+
+Two roles:
+
+* under pytest (``pytest benchmarks/bench_harness.py``) — smoke-sized
+  benches of the serial and parallel matrix paths plus the engine and
+  vector micro-benchmarks, so CI exercises every code path cheaply;
+* as a script (``python benchmarks/bench_harness.py [-j N]``) — times
+  the full fast-preset fig6 matrix serially and with ``N`` workers and
+  **appends** a record to ``BENCH_harness.json`` at the repo root: the
+  perf trajectory artifact subsequent PRs diff against.  Records include
+  ``cpu_count`` — on a single-core box the parallel run measures pool
+  overhead, not speedup, and the artifact says so honestly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro._version import __version__
+from repro.core.vectors import DependIntervalVector
+from repro.harness.config import ExperimentOptions
+from repro.harness.experiments import fig6
+from repro.simnet.engine import Engine
+
+#: the fixed matrix the trajectory artifact times (27 fast cells)
+MATRIX = ExperimentOptions(workloads=("lu", "bt", "sp"), scales=(4, 8, 16),
+                           preset="fast", checkpoint_interval=0.02, seed=1)
+#: three-cell matrix for the pytest smoke benches
+SMOKE = ExperimentOptions(workloads=("lu",), scales=(4,), preset="fast",
+                          checkpoint_interval=0.02, seed=1)
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_harness.json"
+
+
+# ----------------------------------------------------------------------
+# Measurement primitives (shared by the pytest benches and the script)
+# ----------------------------------------------------------------------
+
+def engine_events_per_second(events: int = 200_000) -> float:
+    """Self-rescheduling tick chain: pure engine schedule/pop throughput."""
+    engine = Engine()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < events:
+            engine.schedule(1e-6, tick)
+
+    engine.schedule(0.0, tick)
+    t0 = time.perf_counter()
+    engine.run()
+    return events / (time.perf_counter() - t0)
+
+
+def vector_merge_ops_per_second(nprocs: int = 32, ops: int = 100_000) -> float:
+    """Pointwise-max merges of an ``nprocs``-entry dependency vector."""
+    local = DependIntervalVector(nprocs, owner=0)
+    piggybacks = [tuple(i + (j % 3) for j in range(nprocs)) for i in range(8)]
+    t0 = time.perf_counter()
+    for i in range(ops):
+        local.merge(piggybacks[i & 7])
+    return ops / (time.perf_counter() - t0)
+
+
+def time_matrix(jobs: int, options: ExperimentOptions = MATRIX) -> tuple[float, int]:
+    """Wall-clock seconds for one fig6 matrix at ``jobs`` workers."""
+    t0 = time.perf_counter()
+    result = fig6(options, jobs=jobs)
+    return time.perf_counter() - t0, len(result.rows)
+
+
+# ----------------------------------------------------------------------
+# pytest benches (smoke-sized; CI runs them with --benchmark-disable)
+# ----------------------------------------------------------------------
+
+def test_engine_event_throughput_hot_loop(benchmark):
+    """Tuple-heap schedule/pop rate (the innermost loop of every run)."""
+    assert benchmark(lambda: engine_events_per_second(20_000)) > 0
+
+
+def test_vector_merge_throughput(benchmark):
+    """C-level pointwise-max merge rate at the paper's largest scale."""
+    assert benchmark(lambda: vector_merge_ops_per_second(32, 10_000)) > 0
+
+
+def test_harness_matrix_serial(benchmark):
+    """Serial executor path over the smoke matrix."""
+    elapsed, rows = benchmark(lambda: time_matrix(1, SMOKE))
+    assert rows == 3
+
+
+def test_harness_matrix_parallel(benchmark):
+    """Process-pool executor path (2 workers) over the smoke matrix."""
+    elapsed, rows = benchmark(lambda: time_matrix(2, SMOKE))
+    assert rows == 3
+
+
+# ----------------------------------------------------------------------
+# Trajectory artifact
+# ----------------------------------------------------------------------
+
+def collect_record(jobs: int) -> dict:
+    """Measure everything once and package it as one artifact record."""
+    serial_s, cells = time_matrix(1)
+    parallel_s, _ = time_matrix(jobs)
+    return {
+        "date": time.strftime("%Y-%m-%d"),
+        "version": __version__,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "matrix": {
+            "figure": "fig6",
+            "preset": MATRIX.preset,
+            "workloads": list(MATRIX.workloads),
+            "scales": list(MATRIX.scales),
+            "cells": cells,
+        },
+        "jobs": jobs,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3),
+        "engine_events_per_s": round(engine_events_per_second()),
+        "vector_merge_ops_per_s": round(vector_merge_ops_per_second()),
+    }
+
+
+def append_record(record: dict, path: Path = ARTIFACT) -> None:
+    """Append ``record`` to the trajectory file (created on first use)."""
+    if path.exists():
+        data = json.loads(path.read_text(encoding="utf-8"))
+    else:
+        data = {"benchmark": "bench_harness",
+                "description": "serial vs parallel fast-preset fig6 matrix "
+                               "wall-clock and engine hot-path throughput, "
+                               "one record appended per measurement run",
+                "records": []}
+    data["records"].append(record)
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Measure, print, and append to the trajectory artifact."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-j", "--jobs", type=int, default=4,
+                        help="worker count for the parallel measurement "
+                        "(default: 4, the acceptance configuration)")
+    parser.add_argument("--out", type=Path, default=ARTIFACT,
+                        help=f"trajectory file (default: {ARTIFACT})")
+    args = parser.parse_args(argv)
+    record = collect_record(args.jobs)
+    append_record(record, args.out)
+    print(json.dumps(record, indent=2))
+    print(f"appended to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,7 +1,12 @@
 """Experiment harness: regenerates every result figure of the paper.
 
 * :mod:`repro.harness.config` — experiment matrices and defaults;
-* :mod:`repro.harness.runner` — run-matrix execution;
+* :mod:`repro.harness.runner` — run-matrix execution (cells, requests,
+  picklable run summaries);
+* :mod:`repro.harness.executor` — parallel plan execution
+  (``--jobs``/``-j``), deterministic row reassembly;
+* :mod:`repro.harness.cache` — on-disk content-addressed result cache
+  (``--cache-dir`` / ``--no-cache``);
 * :mod:`repro.harness.experiments` — Fig. 6 (piggyback amount), Fig. 7
   (tracking time), Fig. 8 (blocking vs non-blocking gain) plus the
   ablation studies DESIGN.md lists;
@@ -10,8 +15,20 @@
   ``python -m repro.harness``.
 """
 
+from repro.harness.cache import ResultCache
 from repro.harness.config import ExperimentOptions
+from repro.harness.executor import ExecutionStats, execute
 from repro.harness.experiments import fig6, fig7, fig8
 from repro.harness.tables import FigureResult, format_table
 
-__all__ = ["ExperimentOptions", "fig6", "fig7", "fig8", "FigureResult", "format_table"]
+__all__ = [
+    "ExperimentOptions",
+    "ExecutionStats",
+    "ResultCache",
+    "execute",
+    "fig6",
+    "fig7",
+    "fig8",
+    "FigureResult",
+    "format_table",
+]

@@ -1,0 +1,118 @@
+"""On-disk content-addressed cache of experiment-cell results.
+
+Every simulation is a pure function of its materialised
+:class:`~repro.config.SimulationConfig`, the workload (name, preset and
+kernel-parameter overrides), the fault schedule and the seed — PR 1 made
+frame identifiers per-``Network``, so nothing outside those inputs can
+leak into a run.  That purity is what makes caching sound: the cache key
+is a SHA-256 over the canonical JSON of exactly those inputs (plus the
+package version, so a new release never reuses stale numbers), and the
+value is the :class:`~repro.harness.runner.RunSummary` the row-builders
+consume.
+
+Re-rendering a figure, extending a matrix with one more scale, or
+running ``fig7`` after ``fig6`` (same cells, different row-builder) then
+only simulates the cells that were never run before.
+
+Layout: ``<root>/<key[:2]>/<key>.json``, one file per cell, written
+atomically (tmp file + ``os.replace``) so a crashed or parallel harness
+never leaves a torn entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+
+from repro._version import __version__
+from repro.harness.runner import RunRequest, RunSummary
+
+
+def request_fingerprint(request: RunRequest) -> dict:
+    """The canonical, JSON-able identity of one run.
+
+    Everything that can change the run's outcome appears here;
+    presentation-only fields (the request ``key``) deliberately do not.
+    """
+    return {
+        "version": __version__,
+        "cell": asdict(request.cell),
+        "preset": request.preset,
+        "workload_kwargs": sorted([list(kv) for kv in request.workload_kwargs]),
+        "config": asdict(request.config()),
+        "faults": [asdict(f) for f in request.faults],
+    }
+
+
+def cache_key(request: RunRequest) -> str:
+    """Stable hex digest naming ``request``'s cache entry."""
+    blob = json.dumps(request_fingerprint(request), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of ``RunSummary`` JSON files, addressed by cache key."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> RunSummary | None:
+        """The cached summary for ``key``, or ``None`` on a miss.
+
+        A corrupt entry (torn write from a killed process, manual edit)
+        counts as a miss and is removed rather than poisoning the run.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            summary = RunSummary.from_json_dict(data["summary"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def put(self, key: str, summary: RunSummary,
+            fingerprint: dict | None = None) -> None:
+        """Store ``summary`` under ``key`` (atomic; last writer wins).
+
+        ``fingerprint`` is stored alongside purely for debuggability —
+        ``cat`` an entry and see exactly which run produced it.
+        """
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"key": key, "summary": summary.to_json_dict()}
+        if fingerprint is not None:
+            payload["fingerprint"] = fingerprint
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=1)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

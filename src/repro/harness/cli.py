@@ -5,14 +5,24 @@ Examples::
     repro-harness fig6                        # full paper matrix
     repro-harness fig7 --preset fast --scales 4,8
     repro-harness fig8 --seed 7
-    repro-harness all --json results.json
-    repro-harness ablations
+    repro-harness all -j 0 --json results.json   # fan out over all cores
+    repro-harness fig6 --cache-dir .cache        # reuse cells across runs
+    repro-harness ablations --no-cache
+
+``--jobs``/``-j`` fans the experiment matrix out over worker processes
+(``0`` = all cores; ``1``, the default, is the serial in-process path).
+Every run is a pure function of its configuration and seed, so the rows
+are byte-identical regardless of the worker count.  ``--cache-dir``
+points the content-addressed result cache somewhere explicit and
+``--no-cache`` disables it entirely.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
+import os
 import sys
 import time
 
@@ -35,6 +45,14 @@ ABLATIONS = {
 }
 
 
+def default_cache_dir() -> str:
+    """Where results are cached unless ``--cache-dir`` says otherwise."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-harness")
+
+
 def _parse_args(argv: list[str] | None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(
         prog="repro-harness",
@@ -55,6 +73,14 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--checkpoint-interval", type=float, default=0.05,
                         help="simulated seconds between checkpoints")
+    parser.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the experiment matrix "
+                        "(0 = all cores, 1 = serial; default: 1)")
+    parser.add_argument("--cache-dir", default=default_cache_dir(), metavar="DIR",
+                        help="content-addressed result cache location "
+                        "(default: $REPRO_CACHE_DIR or ~/.cache/repro-harness)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="neither read nor write the result cache")
     parser.add_argument("--json", metavar="PATH",
                         help="also dump the raw rows as JSON")
     parser.add_argument("--plot", action="store_true",
@@ -79,12 +105,33 @@ def _options(args: argparse.Namespace) -> ExperimentOptions:
     )
 
 
+def _execution_kwargs(fn, args: argparse.Namespace, cache) -> dict:
+    """``jobs``/``cache`` keywords, but only the ones ``fn`` accepts.
+
+    The ablation table is monkeypatchable (and monkeypatched in tests)
+    with plain zero-argument callables; those run serially.
+    """
+    params = inspect.signature(fn).parameters
+    kwargs = {}
+    if "jobs" in params:
+        kwargs["jobs"] = args.jobs
+    if "cache" in params:
+        kwargs["cache"] = cache
+    return kwargs
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _parse_args(argv)
     options = _options(args)
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
     collected: list[FigureResult] = []
+
+    cache = None
+    if not args.no_cache:
+        from repro.harness.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir)
 
     def show(result: FigureResult, line_key: str, name: str, t0: float) -> None:
         print(result.render(line_key=line_key))
@@ -93,18 +140,26 @@ def main(argv: list[str] | None = None) -> int:
 
             print(render_all(result, line_key=line_key))
             print()
-        print(f"[{name} took {time.time() - t0:.1f}s]\n")
+        elapsed = time.perf_counter() - t0
+        execution = getattr(result, "execution", None)
+        if execution is not None:
+            print(f"[{name}: {execution.cells_total} cells "
+                  f"({execution.cells_simulated} simulated, "
+                  f"{execution.cells_cached} cached) in {elapsed:.1f}s]\n")
+        else:
+            print(f"[{name} took {elapsed:.1f}s]\n")
         collected.append(result)
 
     if args.figure == "ablations":
         for name, fn in ABLATIONS.items():
-            t0 = time.time()
-            show(fn(), "protocol", name, t0)
+            t0 = time.perf_counter()
+            show(fn(**_execution_kwargs(fn, args, cache)), "protocol", name, t0)
     else:
         for name in names:
             fn, line_key = FIGURES[name]
-            t0 = time.time()
-            show(fn(options), line_key, name, t0)
+            t0 = time.perf_counter()
+            show(fn(options, **_execution_kwargs(fn, args, cache)),
+                 line_key, name, t0)
 
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:

@@ -1,0 +1,159 @@
+"""Parallel execution of experiment plans.
+
+An experiment *plan* is a generator: it yields batches of
+:class:`~repro.harness.runner.RunRequest` (one batch per dependency
+stage — Fig. 8 first probes failure-free spans, then runs the faulted
+matrix those spans parameterise), receives the finished
+``{key: RunSummary}`` mapping back via ``send()``, and finally returns
+the assembled :class:`~repro.harness.tables.FigureResult`.
+
+:func:`execute` drives a plan; :func:`run_batch` executes one batch —
+serially in-process (``jobs=1``, the default, and what the test suite
+exercises) or fanned out over a ``ProcessPoolExecutor``.  Fan-out is
+safe because every run is a pure function of ``(config, seed)``: frame
+identifiers, RNG streams and event sequence numbers are all
+per-``Network``/per-``Engine``, so workers share nothing.  Results are
+reassembled in *request declaration order*, never completion order, so
+``-j 8`` produces byte-identical rows to ``-j 1``.
+
+A worker failure (a :class:`SimulationError`, an oracle violation under
+``--verify``, any crash) aborts the whole batch with the failing cell
+named and the remaining futures cancelled — a figure with a hole in its
+matrix is not a figure.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Generator, Iterable, Mapping
+
+from repro.harness.cache import ResultCache, cache_key, request_fingerprint
+from repro.harness.runner import RunRequest, RunSummary
+from repro.harness.tables import FigureResult
+from repro.simnet.engine import SimulationError
+
+#: a plan generator: yields request batches, receives result mappings,
+#: returns the finished figure
+Plan = Generator[list, Mapping[tuple, RunSummary], FigureResult]
+
+
+@dataclass
+class ExecutionStats:
+    """Where a figure's cells came from (for the CLI's per-figure line)."""
+
+    cells_total: int = 0
+    cells_simulated: int = 0
+    cells_cached: int = 0
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalise a ``--jobs`` value: ``0`` (or negative) means all cores."""
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def run_request(request: RunRequest) -> RunSummary:
+    """Worker entry point: run one request in this process."""
+    return request.execute()
+
+
+def _fail(request: RunRequest, exc: BaseException) -> "SimulationError":
+    """Wrap a worker failure with the failing cell named."""
+    return SimulationError(
+        f"experiment cell {request.cell} "
+        f"(preset={request.preset!r}, seed={request.seed}) failed: {exc}"
+    )
+
+
+def run_batch(
+    requests: Iterable[RunRequest],
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    stats: ExecutionStats | None = None,
+) -> dict[tuple, RunSummary]:
+    """Execute one batch of requests; return ``{request.key: summary}``.
+
+    The returned mapping preserves request declaration order.  Cached
+    cells are served from ``cache`` without simulating; fresh results
+    are written back to it.
+    """
+    requests = list(requests)
+    jobs = resolve_jobs(jobs)
+    results: dict[tuple, RunSummary | None] = {}
+    todo: list[RunRequest] = []
+    keys: dict[tuple, str] = {}
+    for request in requests:
+        if request.key in results:
+            raise ValueError(f"duplicate request key {request.key!r} in batch")
+        results[request.key] = None
+        if cache is not None:
+            keys[request.key] = cache_key(request)
+            hit = cache.get(keys[request.key])
+            if hit is not None:
+                results[request.key] = hit
+                continue
+        todo.append(request)
+    if stats is not None:
+        stats.cells_total += len(requests)
+        stats.cells_cached += len(requests) - len(todo)
+        stats.cells_simulated += len(todo)
+
+    def finish(request: RunRequest, summary: RunSummary) -> None:
+        results[request.key] = summary
+        if cache is not None:
+            cache.put(keys[request.key], summary,
+                      fingerprint=request_fingerprint(request))
+
+    if jobs == 1 or len(todo) <= 1:
+        for request in todo:
+            try:
+                finish(request, run_request(request))
+            except SimulationError as exc:
+                raise _fail(request, exc) from exc
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
+            futures = [(request, pool.submit(run_request, request))
+                       for request in todo]
+            for request, future in futures:
+                try:
+                    summary = future.result()
+                except (KeyboardInterrupt, SystemExit):
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+                except BaseException as exc:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise _fail(request, exc) from exc
+                finish(request, summary)
+    return results  # type: ignore[return-value]  # every value is filled in
+
+
+def execute(
+    plan: Plan,
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    stats: ExecutionStats | None = None,
+) -> FigureResult:
+    """Drive ``plan`` to completion and return its figure.
+
+    The figure comes back with an ``execution`` attribute (an
+    :class:`ExecutionStats`) describing how many cells ran vs came from
+    the cache.
+    """
+    if stats is None:
+        stats = ExecutionStats()
+    try:
+        batch = next(plan)
+        while True:
+            results = run_batch(batch, jobs=jobs, cache=cache, stats=stats)
+            batch = plan.send(results)
+    except StopIteration as stop:
+        figure = stop.value
+        if figure is None:
+            raise SimulationError("experiment plan returned no figure") from None
+        figure.execution = stats
+        return figure

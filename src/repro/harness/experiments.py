@@ -1,7 +1,11 @@
 """The paper's result figures, regenerated.
 
-Every experiment returns a :class:`~repro.harness.tables.FigureResult`
-whose rows are the points of the corresponding figure:
+Every experiment *declares* its matrix as a plan — a generator yielding
+batches of :class:`~repro.harness.runner.RunRequest` and building rows
+from the returned summaries (see :mod:`repro.harness.executor`).  The
+public functions keep their original shapes and defaults; they gained
+``jobs`` (fan the batch out over worker processes) and ``cache`` (serve
+already-simulated cells from the on-disk result cache) keywords:
 
 * :func:`fig6` — average amount of piggyback per message (number of
   identifiers), 3 protocols × 3 benchmarks × {4, 8, 16, 32} processes;
@@ -19,20 +23,41 @@ Plus the ablations promised in DESIGN.md:
   CHECKPOINT_ADVANCE garbage collection;
 * :func:`ablation_evlog_latency` — TEL piggyback vs event-logger
   stable-write latency.
+
+Row order is the declaration order of the requests, independent of
+which worker finishes first — ``jobs=8`` rows are byte-identical to
+``jobs=1`` rows.
 """
 
 from __future__ import annotations
 
-from repro.config import SimulationConfig
 from repro.faults.injector import FaultSpec
+from repro.harness.cache import ResultCache
 from repro.harness.config import ExperimentOptions
-from repro.harness.runner import Cell, checkpoint_intervals_elapsed, run_cell
+from repro.harness.executor import execute
+from repro.harness.runner import Cell, RunRequest, checkpoint_intervals_elapsed
 from repro.harness.tables import FigureResult
-from repro.mpi.cluster import run_simulation
-from repro.workloads.presets import workload_factory
 
 
-def fig6(options: ExperimentOptions = ExperimentOptions()) -> FigureResult:
+def _matrix_requests(options: ExperimentOptions) -> list[RunRequest]:
+    """The shared Fig. 6/7 matrix: workloads × scales × protocols."""
+    return [
+        RunRequest(
+            key=(workload, nprocs, protocol),
+            cell=Cell(workload, nprocs, protocol),
+            preset=options.preset,
+            checkpoint_interval=options.checkpoint_interval,
+            seed=options.seed,
+            verify=options.verify,
+        )
+        for workload in options.workloads
+        for nprocs in options.scales
+        for protocol in options.protocols
+    ]
+
+
+def fig6(options: ExperimentOptions = ExperimentOptions(), *,
+         jobs: int = 1, cache: ResultCache | None = None) -> FigureResult:
     """Fig. 6: average piggyback per message, in identifiers.
 
     TDI carries the n-entry dependent-interval vector plus the send
@@ -40,69 +65,72 @@ def fig6(options: ExperimentOptions = ExperimentOptions()) -> FigureResult:
     determinant); TEL carries the not-yet-stable determinants plus its
     stability vector.
     """
+    return execute(_fig6_plan(options), jobs=jobs, cache=cache)
+
+
+def _fig6_plan(options: ExperimentOptions):
+    requests = _matrix_requests(options)
+    runs = yield requests
     result = FigureResult(
         figure="fig6",
         title="Average amount of piggyback per message",
         metric="identifiers per application message",
     )
-    for workload in options.workloads:
-        for nprocs in options.scales:
-            for protocol in options.protocols:
-                run = run_cell(
-                    Cell(workload, nprocs, protocol),
-                    preset=options.preset,
-                    checkpoint_interval=options.checkpoint_interval,
-                    seed=options.seed,
-                    verify=options.verify,
-                )
-                result.add(
-                    workload=workload,
-                    nprocs=nprocs,
-                    protocol=protocol,
-                    value=run.stats.piggyback_identifiers_per_message,
-                    messages=run.stats.messages_total,
-                    piggyback_bytes=run.stats.total("piggyback_bytes"),
-                )
+    for request in requests:
+        workload, nprocs, protocol = request.key
+        run = runs[request.key]
+        result.add(
+            workload=workload,
+            nprocs=nprocs,
+            protocol=protocol,
+            value=run.stats.piggyback_identifiers_per_message,
+            messages=run.stats.messages_total,
+            piggyback_bytes=run.stats.total("piggyback_bytes"),
+        )
     return result
 
 
-def fig7(options: ExperimentOptions = ExperimentOptions()) -> FigureResult:
+def fig7(options: ExperimentOptions = ExperimentOptions(), *,
+         jobs: int = 1, cache: ResultCache | None = None) -> FigureResult:
     """Fig. 7: time overhead of dependency tracking.
 
     Reported as milliseconds of tracking CPU per rank per checkpoint
     interval — the paper measures "logging overhead ... in a checkpoint
     interval".  Tracking covers piggyback construction and merging plus,
     for TAG/TEL, the graph-increment computation.
+
+    The cells are the same as Fig. 6's: with a shared ``cache``, running
+    both figures simulates the matrix once.
     """
+    return execute(_fig7_plan(options), jobs=jobs, cache=cache)
+
+
+def _fig7_plan(options: ExperimentOptions):
+    requests = _matrix_requests(options)
+    runs = yield requests
     result = FigureResult(
         figure="fig7",
         title="Time overhead of dependency tracking",
         metric="tracking ms per rank per checkpoint interval",
     )
-    for workload in options.workloads:
-        for nprocs in options.scales:
-            for protocol in options.protocols:
-                run = run_cell(
-                    Cell(workload, nprocs, protocol),
-                    preset=options.preset,
-                    checkpoint_interval=options.checkpoint_interval,
-                    seed=options.seed,
-                    verify=options.verify,
-                )
-                intervals = checkpoint_intervals_elapsed(run, options.checkpoint_interval)
-                per_rank_interval = run.stats.tracking_time_total / nprocs / intervals
-                result.add(
-                    workload=workload,
-                    nprocs=nprocs,
-                    protocol=protocol,
-                    value=per_rank_interval * 1e3,
-                    tracking_total_s=run.stats.tracking_time_total,
-                    graph_nodes_scanned=run.stats.total("graph_nodes_scanned"),
-                )
+    for request in requests:
+        workload, nprocs, protocol = request.key
+        run = runs[request.key]
+        intervals = checkpoint_intervals_elapsed(run, options.checkpoint_interval)
+        per_rank_interval = run.stats.tracking_time_total / nprocs / intervals
+        result.add(
+            workload=workload,
+            nprocs=nprocs,
+            protocol=protocol,
+            value=per_rank_interval * 1e3,
+            tracking_total_s=run.stats.tracking_time_total,
+            graph_nodes_scanned=run.stats.total("graph_nodes_scanned"),
+        )
     return result
 
 
-def fig8(options: ExperimentOptions = ExperimentOptions()) -> FigureResult:
+def fig8(options: ExperimentOptions = ExperimentOptions(), *,
+         jobs: int = 1, cache: ResultCache | None = None) -> FigureResult:
     """Fig. 8: the gain from eliminating computation blocking.
 
     For each benchmark and scale, four TDI runs: blocking and
@@ -113,71 +141,88 @@ def fig8(options: ExperimentOptions = ExperimentOptions()) -> FigureResult:
     runs are normalized against the *blocking* faulted time, and the
     gain is the normalized difference: ``(T_blocking − T_nonblocking) /
     T_blocking``.
+
+    Two stages: probe runs first measure the failure-free span so the
+    checkpoint interval can be set to a fixed fraction of it (exactly as
+    the paper's 180 s interval is a fraction of an NPB run), then the
+    blocking/non-blocking × clean/faulted matrix those intervals
+    parameterise.
     """
+    return execute(_fig8_plan(options), jobs=jobs, cache=cache)
+
+
+def _fig8_plan(options: ExperimentOptions):
+    points = [(w, n) for w in options.workloads for n in options.scales]
+    probes = [
+        RunRequest(
+            key=("probe", workload, nprocs),
+            cell=Cell(workload, nprocs, "tdi"),
+            preset=options.preset,
+            checkpoint_interval=1e9,
+            seed=options.seed,
+            verify=options.verify,
+        )
+        for workload, nprocs in points
+    ]
+    probe_runs = yield probes
+
+    requests = []
+    for workload, nprocs in points:
+        fault_rank = options.fault_rank
+        if fault_rank is None:
+            fault_rank = nprocs // 2
+        interval = probe_runs[("probe", workload, nprocs)].accomplishment_time / 6.0
+        fault_time = (1.0 + options.fault_fraction) * interval
+        for mode in ("blocking", "nonblocking"):
+            for faulted in (False, True):
+                requests.append(RunRequest(
+                    key=(workload, nprocs, mode, "faulted" if faulted else "base"),
+                    cell=Cell(workload, nprocs, "tdi", comm_mode=mode),
+                    preset=options.preset,
+                    checkpoint_interval=interval,
+                    seed=options.seed,
+                    faults=(FaultSpec(rank=fault_rank, at_time=fault_time),)
+                    if faulted else (),
+                    verify=options.verify,
+                ))
+    runs = yield requests
+
     result = FigureResult(
         figure="fig8",
         title="Normalized accomplishment time: blocking vs non-blocking",
         metric="T_mode / T_blocking under one fault; gain = normalized difference",
     )
-    for workload in options.workloads:
-        for nprocs in options.scales:
-            fault_rank = options.fault_rank
-            if fault_rank is None:
-                fault_rank = nprocs // 2
-            # Probe run: measure the failure-free span so the checkpoint
-            # interval can be set to a fixed fraction of it, exactly as
-            # the paper's 180 s interval is a fraction of an NPB run.
-            probe = run_cell(
-                Cell(workload, nprocs, "tdi"),
-                preset=options.preset,
-                checkpoint_interval=1e9,
-                seed=options.seed,
-                verify=options.verify,
-            )
-            interval = probe.accomplishment_time / 6.0
-            fault_time = (1.0 + options.fault_fraction) * interval
-            runs: dict[str, dict[str, float]] = {}
-            for mode in ("blocking", "nonblocking"):
-                base = run_cell(
-                    Cell(workload, nprocs, "tdi", comm_mode=mode),
-                    preset=options.preset,
-                    checkpoint_interval=interval,
-                    seed=options.seed,
-                    verify=options.verify,
-                )
-                faulted = run_cell(
-                    Cell(workload, nprocs, "tdi", comm_mode=mode),
-                    preset=options.preset,
-                    checkpoint_interval=interval,
-                    seed=options.seed,
-                    faults=[FaultSpec(rank=fault_rank, at_time=fault_time)],
-                    verify=options.verify,
-                )
-                runs[mode] = {
-                    "base_time": base.accomplishment_time,
-                    "faulted_time": faulted.accomplishment_time,
-                    "blocked_time": faulted.stats.total("blocked_time"),
-                    "rollforward_time": faulted.stats.total("rollforward_time"),
-                }
-            t_blocking = runs["blocking"]["faulted_time"]
-            for mode in ("blocking", "nonblocking"):
-                result.add(
-                    workload=workload,
-                    nprocs=nprocs,
-                    mode=mode,
-                    value=runs[mode]["faulted_time"] / t_blocking,
-                    **runs[mode],
-                )
+    for workload, nprocs in points:
+        per_mode: dict[str, dict[str, float]] = {}
+        for mode in ("blocking", "nonblocking"):
+            base = runs[(workload, nprocs, mode, "base")]
+            faulted = runs[(workload, nprocs, mode, "faulted")]
+            per_mode[mode] = {
+                "base_time": base.accomplishment_time,
+                "faulted_time": faulted.accomplishment_time,
+                "blocked_time": faulted.stats.total("blocked_time"),
+                "rollforward_time": faulted.stats.total("rollforward_time"),
+            }
+        t_blocking = per_mode["blocking"]["faulted_time"]
+        for mode in ("blocking", "nonblocking"):
             result.add(
                 workload=workload,
                 nprocs=nprocs,
-                mode="gain",
-                value=(t_blocking - runs["nonblocking"]["faulted_time"]) / t_blocking,
+                mode=mode,
+                value=per_mode[mode]["faulted_time"] / t_blocking,
+                **per_mode[mode],
             )
+        result.add(
+            workload=workload,
+            nprocs=nprocs,
+            mode="gain",
+            value=(t_blocking - per_mode["nonblocking"]["faulted_time"]) / t_blocking,
+        )
     return result
 
 
-def overhead(options: ExperimentOptions = ExperimentOptions()) -> FigureResult:
+def overhead(options: ExperimentOptions = ExperimentOptions(), *,
+             jobs: int = 1, cache: ResultCache | None = None) -> FigureResult:
     """§IV methodology: "logging overhead and recovery overhead in a
     checkpoint interval".
 
@@ -194,55 +239,73 @@ def overhead(options: ExperimentOptions = ExperimentOptions()) -> FigureResult:
     overhead (its synchronous stable writes dominate), and partitioned
     logging shows the pre-TDI compromise (bounded piggyback, boundary
     stalls).
+
+    Two stages: the no-FT baselines (which set each cell's fault time),
+    then the clean + faulted protocol matrix.
     """
+    return execute(_overhead_plan(options), jobs=jobs, cache=cache)
+
+
+def _overhead_plan(options: ExperimentOptions):
+    points = [(w, n) for w in options.workloads for n in options.scales]
+    protocols = tuple(options.protocols) + ("pess", "part")
+    baselines = [
+        RunRequest(
+            key=("baseline", workload, nprocs),
+            cell=Cell(workload, nprocs, "none"),
+            preset=options.preset,
+            checkpoint_interval=options.checkpoint_interval,
+            seed=options.seed,
+            verify=options.verify,
+        )
+        for workload, nprocs in points
+    ]
+    baseline_runs = yield baselines
+
+    requests = []
+    for workload, nprocs in points:
+        t_none = baseline_runs[("baseline", workload, nprocs)].accomplishment_time
+        fault_time = min(
+            (1.0 + options.fault_fraction) * options.checkpoint_interval,
+            0.5 * t_none,
+        )
+        fault_rank = options.fault_rank
+        if fault_rank is None:
+            fault_rank = nprocs // 2
+        for protocol in protocols:
+            for faulted in (False, True):
+                requests.append(RunRequest(
+                    key=(workload, nprocs, protocol,
+                         "faulted" if faulted else "clean"),
+                    cell=Cell(workload, nprocs, protocol),
+                    preset=options.preset,
+                    checkpoint_interval=options.checkpoint_interval,
+                    seed=options.seed,
+                    faults=(FaultSpec(rank=fault_rank, at_time=fault_time),)
+                    if faulted else (),
+                    verify=options.verify,
+                ))
+    runs = yield requests
+
     result = FigureResult(
         figure="overhead",
         title="Logging and recovery overhead per run",
         metric="fraction of the no-FT accomplishment time",
     )
-    protocols = tuple(options.protocols) + ("pess", "part")
-    for workload in options.workloads:
-        for nprocs in options.scales:
-            baseline = run_cell(
-                Cell(workload, nprocs, "none"),
-                preset=options.preset,
-                checkpoint_interval=options.checkpoint_interval,
-                seed=options.seed,
-                verify=options.verify,
+    for workload, nprocs in points:
+        t_none = baseline_runs[("baseline", workload, nprocs)].accomplishment_time
+        for protocol in protocols:
+            clean = runs[(workload, nprocs, protocol, "clean")]
+            faulted = runs[(workload, nprocs, protocol, "faulted")]
+            result.add(
+                workload=workload,
+                nprocs=nprocs,
+                protocol=protocol,
+                value=clean.accomplishment_time / t_none - 1.0,
+                kind="logging",
+                recovery=(faulted.accomplishment_time - clean.accomplishment_time)
+                / t_none,
             )
-            t_none = baseline.accomplishment_time
-            fault_time = min(
-                (1.0 + options.fault_fraction) * options.checkpoint_interval,
-                0.5 * t_none,
-            )
-            fault_rank = options.fault_rank
-            if fault_rank is None:
-                fault_rank = nprocs // 2
-            for protocol in protocols:
-                clean = run_cell(
-                    Cell(workload, nprocs, protocol),
-                    preset=options.preset,
-                    checkpoint_interval=options.checkpoint_interval,
-                    seed=options.seed,
-                    verify=options.verify,
-                )
-                faulted = run_cell(
-                    Cell(workload, nprocs, protocol),
-                    preset=options.preset,
-                    checkpoint_interval=options.checkpoint_interval,
-                    seed=options.seed,
-                    faults=[FaultSpec(rank=fault_rank, at_time=fault_time)],
-                    verify=options.verify,
-                )
-                result.add(
-                    workload=workload,
-                    nprocs=nprocs,
-                    protocol=protocol,
-                    value=clean.accomplishment_time / t_none - 1.0,
-                    kind="logging",
-                    recovery=(faulted.accomplishment_time - clean.accomplishment_time)
-                    / t_none,
-                )
     return result
 
 
@@ -257,6 +320,9 @@ def sensitivity_message_frequency(
     fanout: int = 2,
     seed: int = 1,
     checkpoint_interval: float = 0.01,
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> FigureResult:
     """Message-frequency sensitivity (the paper's recurring driver).
 
@@ -272,39 +338,47 @@ def sensitivity_message_frequency(
     The table axis reuses ``nprocs`` for messages-per-second (rounded,
     in thousands).
     """
-    from repro.config import SimulationConfig
+    return execute(
+        _sensitivity_plan(nprocs, compute_per_round, rounds, fanout, seed,
+                          checkpoint_interval),
+        jobs=jobs, cache=cache,
+    )
 
+
+def _sensitivity_plan(nprocs, compute_per_round, rounds, fanout, seed,
+                      checkpoint_interval):
+    requests = [
+        RunRequest(
+            key=(compute, protocol),
+            cell=Cell("synthetic", nprocs, protocol),
+            preset="paper",
+            checkpoint_interval=checkpoint_interval,
+            seed=seed,
+            workload_kwargs=(("rounds", rounds), ("fanout", fanout),
+                             ("compute_per_round", compute)),
+        )
+        for compute in compute_per_round
+        for protocol in ("tdi", "tel", "tag")
+    ]
+    runs = yield requests
     result = FigureResult(
         figure="sensitivity-frequency",
         title="Piggyback vs message frequency",
         metric="identifiers per message (axis: app msgs per simulated second)",
     )
-    for compute in compute_per_round:
-        for protocol in ("tdi", "tel", "tag"):
-            config = SimulationConfig(
-                nprocs=nprocs,
-                protocol=protocol,
-                checkpoint_interval=checkpoint_interval,
-                seed=seed,
-            )
-            factory = workload_factory(
-                "synthetic",
-                scale="paper",
-                rounds=rounds,
-                fanout=fanout,
-                compute_per_round=compute,
-            )
-            run = run_simulation(config, factory)
-            frequency = run.stats.messages_total / max(run.accomplishment_time, 1e-12)
-            result.add(
-                workload="synthetic",
-                nprocs=int(round(frequency / 1000.0)),  # k msgs/s on the axis
-                protocol=protocol,
-                compute_per_round=compute,
-                frequency_hz=frequency,
-                value=run.stats.piggyback_identifiers_per_message,
-                tracking_s=run.stats.tracking_time_total,
-            )
+    for request in requests:
+        compute, protocol = request.key
+        run = runs[request.key]
+        frequency = run.stats.messages_total / max(run.accomplishment_time, 1e-12)
+        result.add(
+            workload="synthetic",
+            nprocs=int(round(frequency / 1000.0)),  # k msgs/s on the axis
+            protocol=protocol,
+            compute_per_round=compute,
+            frequency_hz=frequency,
+            value=run.stats.piggyback_identifiers_per_message,
+            tracking_s=run.stats.tracking_time_total,
+        )
     return result
 
 
@@ -314,6 +388,9 @@ def ablation_checkpoint_interval(
     intervals: tuple[float, ...] = (0.01, 0.025, 0.05, 0.1),
     preset: str = "paper",
     seed: int = 1,
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> FigureResult:
     """Piggyback per message vs checkpoint period.
 
@@ -321,26 +398,37 @@ def ablation_checkpoint_interval(
     graph (and, to a lesser degree, TEL's unstable window) grow, while
     TDI's vector piggyback is structurally independent of the period.
     """
+    return execute(_ablation_ckpt_plan(workload, nprocs, intervals, preset, seed),
+                   jobs=jobs, cache=cache)
+
+
+def _ablation_ckpt_plan(workload, nprocs, intervals, preset, seed):
+    requests = [
+        RunRequest(
+            key=(interval, protocol),
+            cell=Cell(workload, nprocs, protocol),
+            preset=preset,
+            checkpoint_interval=interval,
+            seed=seed,
+        )
+        for interval in intervals
+        for protocol in ("tdi", "tag", "tel")
+    ]
+    runs = yield requests
     result = FigureResult(
         figure="ablation-ckpt-interval",
         title="Piggyback sensitivity to checkpoint interval",
         metric="identifiers per message",
     )
-    for interval in intervals:
-        for protocol in ("tdi", "tag", "tel"):
-            run = run_cell(
-                Cell(workload, nprocs, protocol),
-                preset=preset,
-                checkpoint_interval=interval,
-                seed=seed,
-            )
-            result.add(
-                workload=workload,
-                nprocs=int(interval * 1000),  # reuse the table axis
-                interval=interval,
-                protocol=protocol,
-                value=run.stats.piggyback_identifiers_per_message,
-            )
+    for request in requests:
+        interval, protocol = request.key
+        result.add(
+            workload=workload,
+            nprocs=int(interval * 1000),  # reuse the table axis
+            interval=interval,
+            protocol=protocol,
+            value=runs[request.key].stats.piggyback_identifiers_per_message,
+        )
     return result
 
 
@@ -350,28 +438,44 @@ def ablation_log_gc(
     preset: str = "paper",
     seed: int = 1,
     checkpoint_interval: float = 0.05,
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> FigureResult:
     """TDI sender-log peak memory with vs without CHECKPOINT_ADVANCE GC.
 
     "Without GC" is modelled by a checkpoint interval longer than the
     run, so no CHECKPOINT_ADVANCE is ever emitted.
     """
+    return execute(
+        _ablation_log_gc_plan(workload, nprocs, preset, seed, checkpoint_interval),
+        jobs=jobs, cache=cache,
+    )
+
+
+def _ablation_log_gc_plan(workload, nprocs, preset, seed, checkpoint_interval):
+    requests = [
+        RunRequest(
+            key=(label,),
+            cell=Cell(workload, nprocs, "tdi"),
+            preset=preset,
+            checkpoint_interval=interval,
+            seed=seed,
+        )
+        for label, interval in (("gc", checkpoint_interval), ("no-gc", 1e9))
+    ]
+    runs = yield requests
     result = FigureResult(
         figure="ablation-log-gc",
         title="Sender-log peak bytes with/without checkpoint GC",
         metric="peak log bytes per rank (mean)",
     )
-    for label, interval in (("gc", checkpoint_interval), ("no-gc", 1e9)):
-        run = run_cell(
-            Cell(workload, nprocs, "tdi"),
-            preset=preset,
-            checkpoint_interval=interval,
-            seed=seed,
-        )
+    for request in requests:
+        run = runs[request.key]
         result.add(
             workload=workload,
             nprocs=nprocs,
-            protocol=label,
+            protocol=request.key[0],
             value=run.stats.mean("log_bytes_peak"),
             released=run.stats.total("log_items_released"),
         )
@@ -385,31 +489,45 @@ def ablation_evlog_latency(
     preset: str = "paper",
     seed: int = 1,
     checkpoint_interval: float = 0.05,
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> FigureResult:
     """TEL piggyback vs event-logger stable-write latency: the slower the
     logger, the wider the unstable window a message must carry."""
-    from dataclasses import replace
+    return execute(
+        _ablation_evlog_plan(workload, nprocs, latencies, preset, seed,
+                             checkpoint_interval),
+        jobs=jobs, cache=cache,
+    )
 
+
+def _ablation_evlog_plan(workload, nprocs, latencies, preset, seed,
+                         checkpoint_interval):
+    requests = [
+        RunRequest(
+            key=(latency,),
+            cell=Cell(workload, nprocs, "tel"),
+            preset=preset,
+            checkpoint_interval=checkpoint_interval,
+            seed=seed,
+            cost_overrides=(("evlog_latency", latency),),
+        )
+        for latency in latencies
+    ]
+    runs = yield requests
     result = FigureResult(
         figure="ablation-evlog-latency",
         title="TEL piggyback vs event-logger latency",
         metric="identifiers per message",
     )
-    for latency in latencies:
-        config = SimulationConfig(
-            nprocs=nprocs,
-            protocol="tel",
-            checkpoint_interval=checkpoint_interval,
-            seed=seed,
-        )
-        config = config.with_(costs=replace(config.costs, evlog_latency=latency))
-        factory = workload_factory(workload, scale=preset)
-        run = run_simulation(config, factory)
+    for request in requests:
+        latency = request.key[0]
         result.add(
             workload=workload,
             nprocs=int(latency * 1e6),  # µs on the table axis
             latency=latency,
             protocol="tel",
-            value=run.stats.piggyback_identifiers_per_message,
+            value=runs[request.key].stats.piggyback_identifiers_per_message,
         )
     return result

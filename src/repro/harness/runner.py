@@ -1,12 +1,28 @@
-"""Run-matrix execution helpers."""
+"""Run-matrix execution helpers.
+
+Besides the original :func:`run_cell` (one simulation, in process), this
+module now defines the vocabulary the parallel executor speaks:
+
+* :class:`RunRequest` — a fully materialisable description of one run
+  (cell + preset + interval + seed + faults + overrides).  Requests are
+  frozen, hashable and picklable, so they can be fanned out to worker
+  processes and fingerprinted by the result cache;
+* :class:`RunSummary` — the picklable, JSON-able subset of a
+  :class:`~repro.mpi.cluster.RunResult` that the figure row-builders
+  consume (accomplishment time plus the per-rank metric counters).
+  Workers return summaries, not full results: a ``RunResult`` drags the
+  trace, the network and the detector along, none of which a figure row
+  needs.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Sequence
 
 from repro.config import SimulationConfig
 from repro.faults.injector import FaultSpec
+from repro.metrics.counters import MetricsAggregate, RankMetrics, aggregate
 from repro.mpi.cluster import RunResult, run_simulation
 from repro.simnet.engine import SimulationError
 from repro.workloads.presets import workload_factory
@@ -22,21 +38,19 @@ class Cell:
     comm_mode: str = "nonblocking"
 
 
-def run_cell(
+def materialize_config(
     cell: Cell,
     *,
-    preset: str,
     checkpoint_interval: float,
     seed: int,
-    faults: Sequence[FaultSpec] | None = None,
-    **config_overrides,
-) -> RunResult:
-    """Run one matrix cell to completion.
+    cost_overrides: Sequence[tuple[str, Any]] = (),
+    **config_overrides: Any,
+) -> SimulationConfig:
+    """The :class:`SimulationConfig` a cell runs under.
 
-    With ``verify=True`` (forwarded to :class:`SimulationConfig`) the
-    causal-consistency oracle rides along and any invariant violation
-    aborts the experiment — figure numbers from a run that broke the
-    protocol's own safety obligations are worthless.
+    Shared between :func:`run_cell` (to run it) and the result cache (to
+    fingerprint it): whatever knob can change a run's outcome must flow
+    through here, so the cache key and the simulation can never disagree.
     """
     config = SimulationConfig(
         nprocs=cell.nprocs,
@@ -46,7 +60,41 @@ def run_cell(
         seed=seed,
         **config_overrides,
     )
-    factory = workload_factory(cell.workload, scale=preset)
+    if cost_overrides:
+        config = config.with_(costs=replace(config.costs, **dict(cost_overrides)))
+    return config
+
+
+def run_cell(
+    cell: Cell,
+    *,
+    preset: str,
+    checkpoint_interval: float,
+    seed: int,
+    faults: Sequence[FaultSpec] | None = None,
+    workload_kwargs: Sequence[tuple[str, Any]] = (),
+    cost_overrides: Sequence[tuple[str, Any]] = (),
+    **config_overrides,
+) -> RunResult:
+    """Run one matrix cell to completion.
+
+    With ``verify=True`` (forwarded to :class:`SimulationConfig`) the
+    causal-consistency oracle rides along and any invariant violation
+    aborts the experiment — figure numbers from a run that broke the
+    protocol's own safety obligations are worthless.
+
+    ``workload_kwargs`` override individual kernel parameters of the
+    preset; ``cost_overrides`` replace fields of the cost model.  Both
+    are sequences of ``(name, value)`` pairs so requests stay hashable.
+    """
+    config = materialize_config(
+        cell,
+        checkpoint_interval=checkpoint_interval,
+        seed=seed,
+        cost_overrides=cost_overrides,
+        **config_overrides,
+    )
+    factory = workload_factory(cell.workload, scale=preset, **dict(workload_kwargs))
     result = run_simulation(config, factory, faults)
     if config.verify and result.violations:
         shown = "\n  ".join(str(v) for v in result.violations[:5])
@@ -57,6 +105,122 @@ def run_cell(
     return result
 
 
-def checkpoint_intervals_elapsed(result: RunResult, interval: float) -> float:
+def checkpoint_intervals_elapsed(result: "RunResult | RunSummary",
+                                 interval: float) -> float:
     """How many checkpoint intervals the run spanned (>= 1)."""
     return max(1.0, result.accomplishment_time / interval)
+
+
+# ----------------------------------------------------------------------
+# Executor vocabulary
+# ----------------------------------------------------------------------
+
+@dataclass
+class RunSummary:
+    """The slice of a :class:`RunResult` a figure row-builder needs.
+
+    ``stats`` reconstructs a :class:`MetricsAggregate` from the stored
+    per-rank counters, so row-builders use the exact same accessors
+    (``stats.total(...)``, ``stats.piggyback_identifiers_per_message``,
+    ...) against a summary as against a live result.
+    """
+
+    accomplishment_time: float
+    sim_time: float
+    events_fired: int
+    checkpoint_writes: int
+    #: one plain dict of counters per rank (``RankMetrics`` fields)
+    per_rank: list = field(default_factory=list)
+    #: stringified oracle findings (empty for clean or unverified runs)
+    violations: list = field(default_factory=list)
+
+    @property
+    def stats(self) -> MetricsAggregate:
+        """Aggregate view over the stored per-rank counters (memoised)."""
+        cached = self.__dict__.get("_stats")
+        if cached is None:
+            cached = aggregate([RankMetrics(**d) for d in self.per_rank])
+            self.__dict__["_stats"] = cached
+        return cached
+
+    def to_json_dict(self) -> dict:
+        """Plain-JSON form, as stored by the result cache."""
+        return {
+            "accomplishment_time": self.accomplishment_time,
+            "sim_time": self.sim_time,
+            "events_fired": self.events_fired,
+            "checkpoint_writes": self.checkpoint_writes,
+            "per_rank": self.per_rank,
+            "violations": self.violations,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "RunSummary":
+        """Inverse of :meth:`to_json_dict`."""
+        return cls(
+            accomplishment_time=data["accomplishment_time"],
+            sim_time=data["sim_time"],
+            events_fired=data["events_fired"],
+            checkpoint_writes=data["checkpoint_writes"],
+            per_rank=list(data["per_rank"]),
+            violations=list(data["violations"]),
+        )
+
+
+def summarize(result: RunResult) -> RunSummary:
+    """Boil a full :class:`RunResult` down to a :class:`RunSummary`."""
+    return RunSummary(
+        accomplishment_time=result.accomplishment_time,
+        sim_time=result.sim_time,
+        events_fired=result.events_fired,
+        checkpoint_writes=result.checkpoint_writes,
+        per_rank=[asdict(m) for m in result.metrics.per_rank],
+        violations=[str(v) for v in result.violations],
+    )
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One run of one matrix cell, fully described up front.
+
+    ``key`` identifies the request inside its figure plan (row-builders
+    look results up by it); everything else materialises the run.  The
+    dataclass is frozen and built from hashable pieces so it can be
+    pickled to a worker process and hashed into a cache key.
+    """
+
+    key: tuple
+    cell: Cell
+    preset: str
+    checkpoint_interval: float
+    seed: int
+    faults: tuple = ()
+    verify: bool = False
+    #: ``(name, value)`` kernel-parameter overrides for the workload preset
+    workload_kwargs: tuple = ()
+    #: ``(name, value)`` overrides applied to the cost model
+    cost_overrides: tuple = ()
+
+    def config(self) -> SimulationConfig:
+        """The materialised :class:`SimulationConfig` this request runs under."""
+        return materialize_config(
+            self.cell,
+            checkpoint_interval=self.checkpoint_interval,
+            seed=self.seed,
+            cost_overrides=self.cost_overrides,
+            verify=self.verify,
+        )
+
+    def execute(self) -> RunSummary:
+        """Run the cell (in this process) and summarise the outcome."""
+        result = run_cell(
+            self.cell,
+            preset=self.preset,
+            checkpoint_interval=self.checkpoint_interval,
+            seed=self.seed,
+            faults=list(self.faults) or None,
+            verify=self.verify,
+            workload_kwargs=self.workload_kwargs,
+            cost_overrides=self.cost_overrides,
+        )
+        return summarize(result)

@@ -4,13 +4,21 @@ A single priority queue of ``(time, seq, callback)`` entries.  ``seq`` is a
 monotonically increasing tie-breaker so that two events scheduled for the
 same instant always fire in scheduling order — this is what makes every
 simulation run bit-for-bit reproducible from its configuration and seed.
+
+The heap holds plain tuples, not wrapper objects: tuple comparison runs
+in C, whereas a ``@dataclass(order=True)`` entry pays a Python-level
+``__lt__`` call on every heap sift — and the sift comparisons are the
+innermost loop of every simulation.  Cancellation is tracked out of
+band: a cancelled event's ``seq`` moves from the pending set to the
+cancelled set, and the run loop discards such entries when they surface
+at the heap head.  ``seq`` values are unique, so two entries never
+compare beyond their first two fields and the callback itself is never
+compared.
 """
 
 from __future__ import annotations
 
 import heapq
-import math
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 
@@ -19,33 +27,36 @@ class SimulationError(RuntimeError):
     finished engine, event-count overruns, deadlock detection)."""
 
 
-@dataclass(order=True)
-class _Entry:
-    time: float
-    seq: int
-    fn: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(compare=False, default=False)
-
-
 class EventHandle:
     """A cancellable reference to a scheduled event."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_engine", "_time", "_seq", "_cancelled")
 
-    def __init__(self, entry: _Entry) -> None:
-        self._entry = entry
+    def __init__(self, engine: "Engine", time: float, seq: int) -> None:
+        self._engine = engine
+        self._time = time
+        self._seq = seq
+        self._cancelled = False
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent; safe after firing."""
-        self._entry.cancelled = True
+        if self._cancelled:
+            return
+        self._cancelled = True
+        pending = self._engine._pending
+        if self._seq in pending:
+            # Still queued: hide it from the run loop.  (After firing the
+            # seq is gone from the pending set and there is nothing to do.)
+            pending.discard(self._seq)
+            self._engine._cancelled.add(self._seq)
 
     @property
     def cancelled(self) -> bool:
-        return self._entry.cancelled
+        return self._cancelled
 
     @property
     def time(self) -> float:
-        return self._entry.time
+        return self._time
 
 
 class Engine:
@@ -59,7 +70,12 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[_Entry] = []
+        #: heap of (time, seq, callback) tuples
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        #: seqs queued and live — ``pending_events`` is its size, O(1)
+        self._pending: set[int] = set()
+        #: seqs cancelled while still queued; discarded lazily at the head
+        self._cancelled: set[int] = set()
         self._seq: int = 0
         self._events_fired: int = 0
         self._running: bool = False
@@ -70,20 +86,26 @@ class Engine:
     # ------------------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[[], None]) -> EventHandle:
         """Schedule ``fn`` to run ``delay`` simulated seconds from now."""
-        if delay < 0 or math.isnan(delay):
+        if delay < 0 or delay != delay:  # second test catches NaN
             raise SimulationError(f"cannot schedule event with delay {delay!r}")
-        return self.schedule_at(self.now + delay, fn)
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, fn))
+        self._pending.add(seq)
+        return EventHandle(self, time, seq)
 
     def schedule_at(self, time: float, fn: Callable[[], None]) -> EventHandle:
         """Schedule ``fn`` at an absolute simulated time (>= now)."""
-        if time < self.now:
+        if time < self.now or time != time:
             raise SimulationError(
                 f"cannot schedule event in the past (t={time}, now={self.now})"
             )
-        entry = _Entry(time, self._seq, fn)
-        self._seq += 1
-        heapq.heappush(self._heap, entry)
-        return EventHandle(entry)
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, fn))
+        self._pending.add(seq)
+        return EventHandle(self, time, seq)
 
     # ------------------------------------------------------------------
     # Running
@@ -103,26 +125,32 @@ class Engine:
             raise SimulationError("engine is already running (re-entrant run())")
         self._running = True
         self._stopped = False
+        heap = self._heap
+        pending = self._pending
+        cancelled = self._cancelled
+        pop = heapq.heappop
         try:
-            while self._heap:
+            while heap:
                 if self._stopped:
                     break
-                entry = self._heap[0]
-                if entry.cancelled:
-                    heapq.heappop(self._heap)
+                head = heap[0]
+                if cancelled and head[1] in cancelled:
+                    pop(heap)
+                    cancelled.discard(head[1])
                     continue
-                if until is not None and entry.time > until:
+                if until is not None and head[0] > until:
                     self.now = until
                     break
-                heapq.heappop(self._heap)
-                self.now = entry.time
+                pop(heap)
+                pending.discard(head[1])
+                self.now = head[0]
                 self._events_fired += 1
                 if max_events is not None and self._events_fired > max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; "
                         "likely a livelock in the simulated system"
                     )
-                entry.fn()
+                head[2]()
             else:
                 if until is not None and until > self.now:
                     self.now = until
@@ -138,8 +166,8 @@ class Engine:
     # ------------------------------------------------------------------
     @property
     def pending_events(self) -> int:
-        """Number of queued, non-cancelled events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of queued, non-cancelled events (O(1))."""
+        return len(self._pending)
 
     @property
     def events_fired(self) -> int:
@@ -147,9 +175,12 @@ class Engine:
 
     def peek_next_time(self) -> float | None:
         """Simulated time of the next live event, or ``None`` if idle."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        cancelled = self._cancelled
+        while heap and heap[0][1] in cancelled:
+            cancelled.discard(heap[0][1])
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
 
 def make_engine() -> Engine:

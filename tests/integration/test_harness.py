@@ -136,7 +136,7 @@ class TestAblations:
 class TestCli:
     def test_cli_fig6_runs(self, capsys):
         rc = cli_main(["fig6", "--preset", "fast", "--scales", "4",
-                       "--workloads", "lu"])
+                       "--workloads", "lu", "--no-cache"])
         assert rc == 0
         out = capsys.readouterr().out
         assert "fig6" in out and "tdi" in out
@@ -144,7 +144,7 @@ class TestCli:
     def test_cli_json_export(self, tmp_path, capsys):
         path = tmp_path / "out.json"
         rc = cli_main(["fig6", "--preset", "fast", "--scales", "4",
-                       "--workloads", "lu", "--json", str(path)])
+                       "--workloads", "lu", "--no-cache", "--json", str(path)])
         assert rc == 0
         data = json.loads(path.read_text())
         assert data[0]["figure"] == "fig6"

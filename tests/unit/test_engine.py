@@ -152,3 +152,42 @@ class TestRunControl:
         engine.schedule(2.0, lambda: None)
         h.cancel()
         assert engine.peek_next_time() == 2.0
+
+
+class TestHeapBookkeeping:
+    """The tuple-heap rewrite keeps its live-event accounting exact."""
+
+    def test_handle_reports_scheduled_time(self, engine):
+        engine.schedule(1.0, lambda: None)  # advance seq past zero
+        handle = engine.schedule(2.5, lambda: None)
+        assert handle.time == 2.5
+
+    def test_cancel_after_fire_keeps_pending_count(self, engine):
+        fired = engine.schedule(1.0, lambda: None)
+        engine.schedule(5.0, lambda: None)
+        engine.run(until=2.0)
+        fired.cancel()  # stale handle: must not corrupt the live counter
+        assert fired.cancelled
+        assert engine.pending_events == 1
+        engine.run()
+        assert engine.pending_events == 0
+
+    def test_mass_cancellation_count(self, engine):
+        handles = [engine.schedule(float(i), lambda: None) for i in range(100)]
+        for handle in handles[::2]:
+            handle.cancel()
+        assert engine.pending_events == 50
+        engine.run()
+        assert engine.events_fired == 50
+        assert engine.pending_events == 0
+
+    def test_cancelled_entries_are_purged_from_heap(self, engine):
+        handles = [engine.schedule(1.0, lambda: None) for _ in range(10)]
+        for handle in handles:
+            handle.cancel()
+        engine.run()
+        assert engine._heap == [] and engine._cancelled == set()
+
+    def test_schedule_at_nan_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.schedule_at(float("nan"), lambda: None)

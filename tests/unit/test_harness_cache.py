@@ -1,0 +1,109 @@
+"""Unit tests for the content-addressed result cache and run summaries."""
+
+import json
+
+import pytest
+
+from repro.harness.cache import ResultCache, cache_key, request_fingerprint
+from repro.harness.runner import Cell, RunRequest, RunSummary, summarize
+
+
+def request(**overrides) -> RunRequest:
+    base = dict(key=("k",), cell=Cell("lu", 4, "tdi"), preset="fast",
+                checkpoint_interval=0.02, seed=1)
+    base.update(overrides)
+    return RunRequest(**base)
+
+
+def summary() -> RunSummary:
+    return RunSummary(
+        accomplishment_time=1.5,
+        sim_time=1.6,
+        events_fired=1000,
+        checkpoint_writes=4,
+        per_rank=[{"rank": 0, "app_sends": 10, "piggyback_identifiers": 50},
+                  {"rank": 1, "app_sends": 30, "piggyback_identifiers": 70}],
+    )
+
+
+class TestCacheKey:
+    def test_key_is_stable(self):
+        assert cache_key(request()) == cache_key(request())
+
+    def test_key_ignores_presentation_only_fields(self):
+        assert cache_key(request(key=("a",))) == cache_key(request(key=("b",)))
+
+    @pytest.mark.parametrize("changed", [
+        dict(seed=2),
+        dict(cell=Cell("lu", 4, "tag")),
+        dict(cell=Cell("bt", 4, "tdi")),
+        dict(cell=Cell("lu", 8, "tdi")),
+        dict(cell=Cell("lu", 4, "tdi", comm_mode="blocking")),
+        dict(preset="paper"),
+        dict(checkpoint_interval=0.05),
+        dict(verify=True),
+        dict(workload_kwargs=(("iterations", 3),)),
+        dict(cost_overrides=(("evlog_latency", 0.5),)),
+    ])
+    def test_key_covers_every_outcome_affecting_knob(self, changed):
+        assert cache_key(request(**changed)) != cache_key(request())
+
+    def test_fingerprint_is_json_round_trippable(self):
+        fp = request_fingerprint(request())
+        assert json.loads(json.dumps(fp)) == fp
+        assert fp["cell"]["workload"] == "lu"
+        assert "version" in fp
+
+
+class TestResultCacheStore:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(request())
+        assert cache.get(key) is None
+        cache.put(key, summary())
+        got = cache.get(key)
+        assert got == summary()
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(request())
+        cache.put(key, summary())
+        path = cache._path(key)
+        path.write_text("{ not json", encoding="utf-8")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_missing_root_is_empty(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert len(cache) == 0
+        assert cache.get("0" * 64) is None
+
+
+class TestRunSummary:
+    def test_json_roundtrip(self):
+        s = summary()
+        assert RunSummary.from_json_dict(s.to_json_dict()) == s
+
+    def test_stats_reconstruction(self):
+        s = summary()
+        assert s.stats.messages_total == 40
+        assert s.stats.total("piggyback_identifiers") == 120
+        assert s.stats.piggyback_identifiers_per_message == pytest.approx(3.0)
+        assert s.stats is s.stats  # memoised
+
+    def test_summarize_matches_live_result(self):
+        from repro.config import SimulationConfig
+        from repro.mpi.cluster import run_simulation
+        from repro.workloads.presets import workload_factory
+
+        config = SimulationConfig(nprocs=4, protocol="tdi",
+                                  checkpoint_interval=0.02, seed=1)
+        result = run_simulation(config, workload_factory("lu", scale="fast"))
+        s = summarize(result)
+        assert s.accomplishment_time == result.accomplishment_time
+        assert s.events_fired == result.events_fired
+        assert (s.stats.piggyback_identifiers_per_message
+                == result.stats.piggyback_identifiers_per_message)
+        assert s.stats.total("tracking_time") == result.stats.total("tracking_time")
