@@ -79,8 +79,17 @@ class TdiRecoveryMixin:
         self.services.send_control(
             src, RESPONSE, delivered_from_src, self.costs.identifier_bytes
         )
+        # A suppression index learned from the peer's *previous*
+        # incarnation (its RESPONSE to our own earlier rollback) is stale
+        # now: the peer has lost every delivery past its checkpoint, so
+        # re-executed sends beyond that point must transmit again.  The
+        # receiver's duplicate filter makes over-sending harmless; the
+        # stale suppression would silently starve it instead.
+        covered = lost_deliver_index[self.rank]
+        if self.rollback_last_send_index[src] > covered:
+            self.rollback_last_send_index[src] = covered
         resent = 0
-        for item in self.log.items_for(src, after_index=lost_deliver_index[self.rank]):
+        for item in self.log.items_for(src, after_index=covered):
             self.services.resend_logged(item)
             resent += 1
         self.metrics.resends += resent

@@ -171,3 +171,17 @@ def replay_all(
         replay_rank(app_factory, recordings.rank(rank), nprocs)
         for rank in range(nprocs)
     ]
+
+
+def audit_run(result: Any, app_factory: Callable[[int, int], Application]) -> list[Any]:
+    """Audit a finished run's recording rank by rank.
+
+    ``result`` is a :class:`~repro.mpi.cluster.RunResult` produced with
+    ``record=True`` (the fuzz corpus triage path hands one in).  Returns
+    the per-rank replayed results; raises :class:`ReplayDivergence` at
+    the first rank whose kernel is not send-deterministic over its own
+    recorded history.
+    """
+    if result.recording is None:
+        raise ValueError("run was not recorded; re-run with record=True")
+    return replay_all(app_factory, result.recording, result.config.nprocs)

@@ -1,0 +1,58 @@
+"""Differential protocol fuzzer (``python -m repro.fuzz``).
+
+Seeded scenario generation, differential execution across every
+registered protocol, greedy shrinking of failures to minimal repros,
+and a replayable JSON corpus under ``tests/corpus/``.
+"""
+
+from repro.fuzz.campaign import CampaignResult, FailureReport, run_campaign
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    DEFAULT_CORPUS_DIR,
+    audit_entry,
+    load_corpus,
+    replay_entry,
+    save_entry,
+)
+from repro.fuzz.differential import (
+    DEFAULT_PROTOCOLS,
+    Finding,
+    GROUND_TRUTH,
+    ScenarioVerdict,
+    run_scenario,
+    scenario_requests,
+)
+from repro.fuzz.scenario import (
+    FUZZ_MAX_EVENTS,
+    Scenario,
+    generate_scenario,
+    load_scenario,
+    save_scenario,
+)
+from repro.fuzz.shrink import ShrinkResult, scenario_size, shrink_scenario
+
+__all__ = [
+    "CampaignResult",
+    "CorpusEntry",
+    "DEFAULT_CORPUS_DIR",
+    "DEFAULT_PROTOCOLS",
+    "FUZZ_MAX_EVENTS",
+    "FailureReport",
+    "Finding",
+    "GROUND_TRUTH",
+    "Scenario",
+    "ScenarioVerdict",
+    "ShrinkResult",
+    "audit_entry",
+    "generate_scenario",
+    "load_corpus",
+    "load_scenario",
+    "replay_entry",
+    "run_campaign",
+    "run_scenario",
+    "save_entry",
+    "save_scenario",
+    "scenario_requests",
+    "scenario_size",
+    "shrink_scenario",
+]

@@ -1,0 +1,286 @@
+"""Frozen fuzz scenarios and their seeded generator.
+
+A :class:`Scenario` is everything the differential harness needs to
+reproduce one point of the protocol state space: workload (plus kernel
+parameter overrides), process count, communication mode, eager
+threshold, checkpoint interval, network seed and fault schedule.  It is
+frozen, hashable and JSON-serialisable — the same object drives live
+fuzz runs, shrinking, and corpus replay years later.
+
+:func:`generate_scenario` maps an integer seed to a scenario
+deterministically (``random.Random`` with a fixed salt), so a failing
+seed printed by one fuzz campaign regenerates the identical scenario in
+any other checkout of the same version.
+
+The generator is biased toward the regions where message-logging bugs
+historically live: faults are present ~85% of the time, wildcard
+(``MPI_ANY_SOURCE``) workloads are common, and the *nasty-timing* fault
+kind aims kills at the fragile instants — time zero, mid-checkpoint
+windows, and the restart boundary right after a recovery.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any
+
+from repro.config import SimulationConfig
+from repro.faults.injector import FaultSpec
+from repro.workloads.presets import workload_factory
+
+#: workloads the generator draws from, weighted toward the wildcard-heavy
+#: ones (causal-delivery bugs need nondeterministic receives to surface)
+WORKLOAD_WEIGHTS = (
+    ("synthetic", 0.35),
+    ("reduce", 0.20),
+    ("lu", 0.25),
+    ("cg", 0.20),
+)
+
+#: the kernel parameter that bounds each workload's horizon
+LENGTH_KWARG = {
+    "synthetic": "rounds",
+    "reduce": "iterations",
+    "lu": "iterations",
+    "cg": "iterations",
+    "mg": "iterations",
+    "is": "iterations",
+}
+
+#: fault-schedule kinds and their generator weights
+FAULT_KINDS = (
+    ("none", 0.15),
+    ("single", 0.35),
+    ("staggered", 0.20),
+    ("simultaneous", 0.15),
+    ("nasty", 0.15),
+)
+
+#: engine backstop for fuzz runs: far above any legal fast-preset run
+#: (~10^4–10^5 events), far below the engine default, so a mutant that
+#: livelocks recovery fails fast instead of spinning for minutes
+FUZZ_MAX_EVENTS = 2_000_000
+
+#: largest fast-preset message each generator workload sends (synthetic
+#: is parameterised, so its size comes from the drawn kwargs instead)
+_FAST_MAX_MSG_BYTES = {"reduce": 256, "lu": 2 * 1024, "cg": 16 * 1024}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One reproducible point of the protocol state space."""
+
+    name: str
+    workload: str
+    nprocs: int
+    seed: int
+    comm_mode: str = "nonblocking"
+    checkpoint_interval: float = 0.005
+    eager_threshold_bytes: int = 8192
+    #: ``(rank, at_time)`` pairs, in schedule order
+    faults: tuple = ()
+    #: ``(name, value)`` kernel-parameter overrides (kept sorted so equal
+    #: scenarios hash equal)
+    workload_kwargs: tuple = ()
+    preset: str = "fast"
+    #: how the fault schedule was generated (documentation only)
+    fault_kind: str = "none"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(
+            (int(r), float(t)) for r, t in self.faults))
+        object.__setattr__(self, "workload_kwargs",
+                           tuple(sorted(tuple(kv) for kv in self.workload_kwargs)))
+
+    # ------------------------------------------------------------------
+    def fault_specs(self) -> tuple[FaultSpec, ...]:
+        """The schedule as injector-ready :class:`FaultSpec` objects."""
+        return tuple(FaultSpec(rank=r, at_time=t) for r, t in self.faults)
+
+    def with_(self, **changes: Any) -> "Scenario":
+        """Functional update (shrinker convenience)."""
+        return replace(self, **changes)
+
+    def horizon_kwarg(self) -> tuple[str, int] | None:
+        """The ``(name, value)`` kernel parameter bounding this run."""
+        name = LENGTH_KWARG.get(self.workload)
+        if name is None:
+            return None
+        for key, value in self.workload_kwargs:
+            if key == name:
+                return (name, int(value))
+        return None
+
+    def validate(self) -> str | None:
+        """``None`` if the scenario can be materialised, else the reason.
+
+        Used by the shrinker to discard structurally invalid candidates
+        (a crash from an invalid *configuration* is not a protocol bug).
+        """
+        try:
+            SimulationConfig(
+                nprocs=self.nprocs,
+                protocol="none",
+                comm_mode=self.comm_mode,
+                checkpoint_interval=self.checkpoint_interval,
+                eager_threshold_bytes=self.eager_threshold_bytes,
+                seed=self.seed,
+            )
+            factory = workload_factory(self.workload, scale=self.preset,
+                                       **dict(self.workload_kwargs))
+            factory(0, self.nprocs, None)
+            for rank, at_time in self.faults:
+                FaultSpec(rank=rank, at_time=at_time)
+                if not (0 <= rank < self.nprocs):
+                    return f"fault rank {rank} out of range for nprocs={self.nprocs}"
+        except (ValueError, TypeError) as exc:
+            return str(exc)
+        return None
+
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> dict:
+        """Plain-JSON form (corpus entry payload)."""
+        return {
+            "name": self.name,
+            "workload": self.workload,
+            "nprocs": self.nprocs,
+            "seed": self.seed,
+            "comm_mode": self.comm_mode,
+            "checkpoint_interval": self.checkpoint_interval,
+            "eager_threshold_bytes": self.eager_threshold_bytes,
+            "faults": [list(f) for f in self.faults],
+            "workload_kwargs": {k: v for k, v in self.workload_kwargs},
+            "preset": self.preset,
+            "fault_kind": self.fault_kind,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "Scenario":
+        """Inverse of :meth:`to_json_dict`."""
+        return cls(
+            name=data["name"],
+            workload=data["workload"],
+            nprocs=int(data["nprocs"]),
+            seed=int(data["seed"]),
+            comm_mode=data.get("comm_mode", "nonblocking"),
+            checkpoint_interval=float(data.get("checkpoint_interval", 0.005)),
+            eager_threshold_bytes=int(data.get("eager_threshold_bytes", 8192)),
+            faults=tuple((int(r), float(t)) for r, t in data.get("faults", [])),
+            workload_kwargs=tuple(sorted(data.get("workload_kwargs", {}).items())),
+            preset=data.get("preset", "fast"),
+            fault_kind=data.get("fault_kind", "none"),
+        )
+
+    def describe(self) -> str:
+        """One-line human summary for fuzz logs."""
+        kwargs = ", ".join(f"{k}={v}" for k, v in self.workload_kwargs)
+        faults = "; ".join(f"rank {r}@{t:g}s" for r, t in self.faults) or "none"
+        return (f"{self.name}: {self.workload}({kwargs}) nprocs={self.nprocs} "
+                f"{self.comm_mode} ckpt={self.checkpoint_interval:g}s "
+                f"eager={self.eager_threshold_bytes} seed={self.seed} "
+                f"faults[{self.fault_kind}]={faults}")
+
+
+# ----------------------------------------------------------------------
+# Seeded generation
+# ----------------------------------------------------------------------
+
+def _weighted(rng: random.Random, table) -> str:
+    return rng.choices([k for k, _ in table], weights=[w for _, w in table])[0]
+
+
+def _fault_times_nasty(rng: random.Random, checkpoint_interval: float) -> list[float]:
+    """Times inside the historically fragile windows."""
+    windows = [
+        0.0,                                        # first event of the run
+        checkpoint_interval + rng.choice((1e-5, 3e-4, 9e-4)),  # mid-ckpt write
+        2 * checkpoint_interval - 1e-5,             # just before the next one
+        rng.uniform(1e-4, 8e-4),                    # early, before warm-up
+    ]
+    return [rng.choice(windows) for _ in range(rng.randint(1, 2))]
+
+
+def generate_scenario(seed: int) -> Scenario:
+    """Deterministically map ``seed`` to a random scenario."""
+    rng = random.Random(f"repro.fuzz:{seed}")
+
+    workload = _weighted(rng, WORKLOAD_WEIGHTS)
+    nprocs = rng.randint(2, 8)
+    kwargs: dict[str, Any] = {}
+    if workload == "synthetic":
+        kwargs["rounds"] = rng.randint(4, 8)
+        kwargs["any_source"] = rng.random() < 0.5
+        kwargs["fanout"] = 2 if rng.random() < 0.25 else 1
+        kwargs["msg_bytes"] = rng.choice((256, 2048, 16384))
+    elif workload == "reduce":
+        kwargs["iterations"] = rng.randint(4, 8)
+    elif workload == "lu":
+        kwargs["iterations"] = rng.randint(4, 7)
+    elif workload == "cg":
+        kwargs["iterations"] = rng.randint(4, 6)
+
+    comm_mode = "blocking" if rng.random() < 0.3 else "nonblocking"
+    checkpoint_interval = rng.choice((0.001, 0.002, 0.005, 0.01, 0.02, 1.0))
+    eager = rng.choice((512, 8192, 1 << 20))
+    if comm_mode == "blocking":
+        # every generator workload does send-before-receive exchanges
+        # somewhere; over rendezvous that ordering deadlocks even
+        # without fault tolerance (as it would on real MPI), so in
+        # blocking mode keep messages below the eager threshold
+        largest = kwargs.get("msg_bytes", _FAST_MAX_MSG_BYTES.get(workload, 0))
+        eager = max(eager, largest + 1)
+    sim_seed = rng.randrange(1 << 20)
+
+    kind = _weighted(rng, FAULT_KINDS)
+    faults: list[tuple[int, float]] = []
+    if kind == "single":
+        faults = [(rng.randrange(nprocs), rng.uniform(1e-4, 8e-3))]
+    elif kind == "staggered":
+        start = rng.uniform(1e-4, 4e-3)
+        gap = rng.uniform(5e-4, 3e-3)
+        victims = [rng.randrange(nprocs) for _ in range(rng.randint(2, 3))]
+        if rng.random() < 0.3:  # recovery-of-a-recovery: hit one rank twice
+            victims[-1] = victims[0]
+        faults = [(v, start + i * gap) for i, v in enumerate(victims)]
+    elif kind == "simultaneous":
+        at = rng.uniform(1e-4, 6e-3)
+        count = rng.randint(2, min(3, nprocs))
+        victims = rng.sample(range(nprocs), count)
+        faults = [(v, at) for v in victims]
+    elif kind == "nasty":
+        faults = [(rng.randrange(nprocs), t)
+                  for t in _fault_times_nasty(rng, checkpoint_interval)]
+
+    return Scenario(
+        name=f"seed-{seed:06d}",
+        workload=workload,
+        nprocs=nprocs,
+        seed=sim_seed,
+        comm_mode=comm_mode,
+        checkpoint_interval=checkpoint_interval,
+        eager_threshold_bytes=eager,
+        faults=tuple(faults),
+        workload_kwargs=tuple(sorted(kwargs.items())),
+        fault_kind=kind,
+    )
+
+
+# ----------------------------------------------------------------------
+# Disk form
+# ----------------------------------------------------------------------
+
+def save_scenario(scenario: Scenario, path: str | Path) -> None:
+    """Write one scenario as pretty JSON."""
+    Path(path).write_text(
+        json.dumps(scenario.to_json_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_scenario(path: str | Path) -> Scenario:
+    """Read a scenario written by :func:`save_scenario`."""
+    return Scenario.from_json_dict(
+        json.loads(Path(path).read_text(encoding="utf-8")))

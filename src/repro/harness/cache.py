@@ -45,6 +45,10 @@ def request_fingerprint(request: RunRequest) -> dict:
         "workload_kwargs": sorted([list(kv) for kv in request.workload_kwargs]),
         "config": asdict(request.config()),
         "faults": [asdict(f) for f in request.faults],
+        # not an input to the simulation, but it decides whether a
+        # violating run raises or returns — a tolerant (fuzzer) entry
+        # carrying violations must never satisfy a strict (harness) read
+        "strict_verify": request.strict_verify,
     }
 
 

@@ -60,6 +60,29 @@ def run_request(request: RunRequest) -> RunSummary:
     return request.execute()
 
 
+def run_request_capturing(request: RunRequest) -> RunSummary:
+    """Worker entry point that turns a crash into a summary.
+
+    The fuzzer treats a crashed run (deadlocked recovery, runaway event
+    loop, application error) as a *finding* about that protocol, not as
+    a reason to abort the batch — the other cells of the scenario must
+    still complete so the differential comparison can name the odd one
+    out.
+    """
+    try:
+        return request.execute()
+    except (KeyboardInterrupt, SystemExit):  # pragma: no cover - interactive
+        raise
+    except BaseException as exc:
+        return RunSummary(
+            accomplishment_time=0.0,
+            sim_time=0.0,
+            events_fired=0,
+            checkpoint_writes=0,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
 def _fail(request: RunRequest, exc: BaseException) -> "SimulationError":
     """Wrap a worker failure with the failing cell named."""
     return SimulationError(
@@ -74,15 +97,21 @@ def run_batch(
     jobs: int = 1,
     cache: ResultCache | None = None,
     stats: ExecutionStats | None = None,
+    capture_errors: bool = False,
 ) -> dict[tuple, RunSummary]:
     """Execute one batch of requests; return ``{request.key: summary}``.
 
     The returned mapping preserves request declaration order.  Cached
     cells are served from ``cache`` without simulating; fresh results
     are written back to it.
+
+    With ``capture_errors=True`` a failing run does not abort the batch:
+    its summary comes back with ``error`` set (and is never written to
+    the cache — an errored summary carries no reusable data).
     """
     requests = list(requests)
     jobs = resolve_jobs(jobs)
+    worker = run_request_capturing if capture_errors else run_request
     results: dict[tuple, RunSummary | None] = {}
     todo: list[RunRequest] = []
     keys: dict[tuple, str] = {}
@@ -104,19 +133,19 @@ def run_batch(
 
     def finish(request: RunRequest, summary: RunSummary) -> None:
         results[request.key] = summary
-        if cache is not None:
+        if cache is not None and summary.error is None:
             cache.put(keys[request.key], summary,
                       fingerprint=request_fingerprint(request))
 
     if jobs == 1 or len(todo) <= 1:
         for request in todo:
             try:
-                finish(request, run_request(request))
+                finish(request, worker(request))
             except SimulationError as exc:
                 raise _fail(request, exc) from exc
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
-            futures = [(request, pool.submit(run_request, request))
+            futures = [(request, pool.submit(worker, request))
                        for request in todo]
             for request, future in futures:
                 try:

@@ -17,6 +17,7 @@ module now defines the vocabulary the parallel executor speaks:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Sequence
 
@@ -74,6 +75,7 @@ def run_cell(
     faults: Sequence[FaultSpec] | None = None,
     workload_kwargs: Sequence[tuple[str, Any]] = (),
     cost_overrides: Sequence[tuple[str, Any]] = (),
+    raise_on_violation: bool = True,
     **config_overrides,
 ) -> RunResult:
     """Run one matrix cell to completion.
@@ -81,7 +83,9 @@ def run_cell(
     With ``verify=True`` (forwarded to :class:`SimulationConfig`) the
     causal-consistency oracle rides along and any invariant violation
     aborts the experiment — figure numbers from a run that broke the
-    protocol's own safety obligations are worthless.
+    protocol's own safety obligations are worthless.  The fuzzer sets
+    ``raise_on_violation=False`` instead: there a violation is the
+    *finding*, reported on ``RunResult.violations``, not an abort.
 
     ``workload_kwargs`` override individual kernel parameters of the
     preset; ``cost_overrides`` replace fields of the cost model.  Both
@@ -96,7 +100,7 @@ def run_cell(
     )
     factory = workload_factory(cell.workload, scale=preset, **dict(workload_kwargs))
     result = run_simulation(config, factory, faults)
-    if config.verify and result.violations:
+    if config.verify and raise_on_violation and result.violations:
         shown = "\n  ".join(str(v) for v in result.violations[:5])
         raise SimulationError(
             f"invariant verification failed for {cell}: "
@@ -114,6 +118,33 @@ def checkpoint_intervals_elapsed(result: "RunResult | RunSummary",
 # ----------------------------------------------------------------------
 # Executor vocabulary
 # ----------------------------------------------------------------------
+
+def canonical_repr(value: Any) -> str:
+    """A stable, comparison-safe rendering of an application value.
+
+    ``repr`` alone is not safe across large numpy arrays (it truncates),
+    so arrays become ``(shape, dtype, sha256(tobytes))`` and containers
+    are rendered recursively.  Two runs agree on a value iff they agree
+    on its canonical repr.
+    """
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a hard dep today
+        np = None
+    if np is not None and isinstance(value, np.ndarray):
+        digest = hashlib.sha256(np.ascontiguousarray(value).tobytes()).hexdigest()
+        return f"ndarray(shape={value.shape}, dtype={value.dtype}, sha256={digest[:16]})"
+    if isinstance(value, dict):
+        inner = ", ".join(
+            f"{canonical_repr(k)}: {canonical_repr(v)}"
+            for k, v in sorted(value.items(), key=lambda kv: repr(kv[0]))
+        )
+        return "{" + inner + "}"
+    if isinstance(value, (list, tuple)):
+        open_, close = ("[", "]") if isinstance(value, list) else ("(", ")")
+        return open_ + ", ".join(canonical_repr(v) for v in value) + close
+    return repr(value)
+
 
 @dataclass
 class RunSummary:
@@ -133,6 +164,13 @@ class RunSummary:
     per_rank: list = field(default_factory=list)
     #: stringified oracle findings (empty for clean or unverified runs)
     violations: list = field(default_factory=list)
+    #: canonical reprs of the per-rank application answers
+    results: list | None = None
+    #: per-rank sorted multisets of delivered-message digests (only for
+    #: runs with ``record=True``; the fuzzer diffs these across protocols)
+    delivered: list | None = None
+    #: captured failure (``run_batch(capture_errors=True)`` only)
+    error: str | None = None
 
     @property
     def stats(self) -> MetricsAggregate:
@@ -152,11 +190,14 @@ class RunSummary:
             "checkpoint_writes": self.checkpoint_writes,
             "per_rank": self.per_rank,
             "violations": self.violations,
+            "results": self.results,
+            "delivered": self.delivered,
+            "error": self.error,
         }
 
     @classmethod
     def from_json_dict(cls, data: dict) -> "RunSummary":
-        """Inverse of :meth:`to_json_dict`."""
+        """Inverse of :meth:`to_json_dict` (tolerant of pre-1.1 entries)."""
         return cls(
             accomplishment_time=data["accomplishment_time"],
             sim_time=data["sim_time"],
@@ -164,7 +205,31 @@ class RunSummary:
             checkpoint_writes=data["checkpoint_writes"],
             per_rank=list(data["per_rank"]),
             violations=list(data["violations"]),
+            results=data.get("results"),
+            delivered=data.get("delivered"),
+            error=data.get("error"),
         )
+
+
+def _delivered_multisets(result: RunResult) -> list | None:
+    """Per-rank sorted multisets of delivered-message digests.
+
+    Each delivery is rendered as ``src:tag:payload-digest`` and each
+    rank's list is sorted, so two runs compare equal iff every rank
+    received exactly the same bag of messages — regardless of the
+    (legitimately protocol-dependent) delivery order.
+    """
+    if result.recording is None:
+        return None
+    out = []
+    for rank in range(result.config.nprocs):
+        rec = result.recording.rank(rank)
+        digests = sorted(
+            f"{d.source}:{d.tag}:{canonical_repr(d.payload)}"
+            for d in rec.deliveries
+        )
+        out.append(digests)
+    return out
 
 
 def summarize(result: RunResult) -> RunSummary:
@@ -176,6 +241,8 @@ def summarize(result: RunResult) -> RunSummary:
         checkpoint_writes=result.checkpoint_writes,
         per_rank=[asdict(m) for m in result.metrics.per_rank],
         violations=[str(v) for v in result.violations],
+        results=[canonical_repr(r) for r in result.results],
+        delivered=_delivered_multisets(result),
     )
 
 
@@ -200,19 +267,39 @@ class RunRequest:
     workload_kwargs: tuple = ()
     #: ``(name, value)`` overrides applied to the cost model
     cost_overrides: tuple = ()
+    #: ``(name, value)`` overrides applied to remaining
+    #: :class:`SimulationConfig` fields (``record``, ``eager_threshold_bytes``,
+    #: ``max_events``, ...) — the knobs the figure matrices never vary but
+    #: the fuzzer does
+    config_overrides: tuple = ()
+    #: with ``verify=True``: abort on a violation (the harness stance) or
+    #: report it on ``RunSummary.violations`` (the fuzzer stance)
+    strict_verify: bool = True
+
+    _RESERVED_OVERRIDES = ("nprocs", "protocol", "comm_mode",
+                           "checkpoint_interval", "seed", "verify", "costs")
 
     def config(self) -> SimulationConfig:
         """The materialised :class:`SimulationConfig` this request runs under."""
+        overrides = dict(self.config_overrides)
+        for name in self._RESERVED_OVERRIDES:
+            if name in overrides:
+                raise ValueError(
+                    f"config override {name!r} shadows a dedicated "
+                    f"RunRequest field; set that field instead"
+                )
         return materialize_config(
             self.cell,
             checkpoint_interval=self.checkpoint_interval,
             seed=self.seed,
             cost_overrides=self.cost_overrides,
             verify=self.verify,
+            **overrides,
         )
 
     def execute(self) -> RunSummary:
         """Run the cell (in this process) and summarise the outcome."""
+        self.config()  # reject reserved/unknown overrides up front
         result = run_cell(
             self.cell,
             preset=self.preset,
@@ -222,5 +309,7 @@ class RunRequest:
             verify=self.verify,
             workload_kwargs=self.workload_kwargs,
             cost_overrides=self.cost_overrides,
+            raise_on_violation=self.strict_verify,
+            **dict(self.config_overrides),
         )
         return summarize(result)

@@ -7,7 +7,7 @@ that the registry module itself stays dependency-light.
 
 from __future__ import annotations
 
-from typing import Callable, Type
+from typing import Callable, Iterable, Type
 
 from repro.protocols.base import Protocol
 
@@ -25,6 +25,22 @@ def available_protocols() -> list[str]:
     """Sorted names of all registered protocols."""
     _ensure_builtins()
     return sorted(_REGISTRY)
+
+
+def validate_protocols(names: Iterable[str]) -> None:
+    """Raise ``ValueError`` naming every entry not in the registry.
+
+    Front-ends that accept protocol lists (the fuzzer's ``--protocols``)
+    call this up front so a typo fails fast with the available names,
+    instead of surfacing later as one crashed run per scenario.
+    """
+    _ensure_builtins()
+    unknown = [name for name in names if name not in _REGISTRY]
+    if unknown:
+        raise ValueError(
+            f"unknown protocol(s) {', '.join(map(repr, unknown))}; "
+            f"available: {', '.join(sorted(_REGISTRY))}"
+        )
 
 
 def create_protocol(name: str, *args, **kwargs) -> Protocol:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -40,3 +41,31 @@ class InvariantViolation:
     def __str__(self) -> str:
         return (f"[t={self.time:.6f}] {self.invariant} at rank {self.rank}: "
                 f"{self.detail}")
+
+
+_RENDERED = re.compile(
+    r"^\[t=(?P<time>[0-9.eE+-]+)\] (?P<invariant>\S+) "
+    r"at rank (?P<rank>-?\d+): (?P<detail>.*)$",
+    re.DOTALL,
+)
+
+
+def parse_violation(text: str) -> InvariantViolation | None:
+    """Parse the ``str(InvariantViolation)`` form back into a record.
+
+    ``RunSummary`` stores violations stringified (they must survive the
+    JSON result cache); consumers that group by invariant — the fuzzer's
+    differential diff, the corpus replay test — parse them back with
+    this instead of re-implementing the format.  ``fields`` is not
+    rendered and so not recovered.  Returns ``None`` for text not in
+    the rendered form.
+    """
+    match = _RENDERED.match(text)
+    if match is None:
+        return None
+    return InvariantViolation(
+        time=float(match["time"]),
+        invariant=match["invariant"],
+        rank=int(match["rank"]),
+        detail=match["detail"],
+    )

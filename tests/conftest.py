@@ -1,12 +1,43 @@
-"""Shared fixtures and protocol-level test doubles."""
+"""Shared fixtures, hypothesis profiles and protocol-level test doubles."""
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.metrics.costs import CostModel
+
+# ----------------------------------------------------------------------
+# Hypothesis profiles
+#
+# Property tests across tests/properties/ share one policy instead of
+# duplicating per-file settings: simulation-backed examples legitimately
+# take tens of milliseconds each, so wall-clock deadlines are off and
+# the too_slow health check is suppressed everywhere.  Individual tests
+# still choose their own max_examples (example budget is per-property
+# tuning; timing policy is not).
+#
+# Select with HYPOTHESIS_PROFILE=ci|dev (default: dev).  CI uses the
+# derandomized profile so runs are reproducible across the matrix, and
+# print_blob so a failing example can be replayed locally verbatim.
+# ----------------------------------------------------------------------
+
+settings.register_profile(
+    "dev",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+    print_blob=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 from repro.metrics.counters import RankMetrics
 from repro.simnet.engine import Engine
 from repro.simnet.trace import Trace

@@ -1,0 +1,59 @@
+"""Tier-1 replay of the regression corpus (``tests/corpus/*.json``).
+
+Every corpus entry is replayed under every default protocol with the
+causal-consistency oracle armed:
+
+* ``status: "fixed"`` entries are regressions — their differential
+  verdict must be clean, or a past bug is back;
+* ``status: "open"`` entries document known-failing scenarios — they
+  must *still* fail with the recorded failure signature, so a fix (flip
+  the entry to ``fixed``!) or an unrelated change masking the repro is
+  noticed either way.
+"""
+
+import pytest
+
+from repro.fuzz.corpus import DEFAULT_CORPUS_DIR, load_corpus, replay_entry
+from repro.fuzz.differential import Finding
+
+ENTRIES = load_corpus(DEFAULT_CORPUS_DIR)
+
+
+def _entry_id(entry):
+    return f"{entry.path.stem}[{entry.status}]"
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, f"no corpus entries under {DEFAULT_CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=_entry_id)
+def test_corpus_entry_replays(entry):
+    verdict = replay_entry(entry)
+    assert verdict.invalid is None, (
+        f"{entry.path}: ground truth cannot run the scenario any more "
+        f"({verdict.invalid}); the entry no longer reproduces anything"
+    )
+    if entry.status == "fixed":
+        assert verdict.ok, (
+            f"{entry.path}: regression! a fixed corpus entry fails again:\n  "
+            + "\n  ".join(str(f) for f in verdict.findings)
+        )
+    elif entry.status == "open":
+        assert not verdict.ok, (
+            f"{entry.path}: this known-failing entry now replays clean — "
+            f"if the bug is fixed, flip its status to \"fixed\" and record "
+            f"the fixing change in its reason"
+        )
+        # the failure must still be the recorded one, not a new breakage
+        # that happens to hide the original repro
+        recorded = [Finding.parse(text) for text in entry.findings]
+        assert all(recorded), f"{entry.path}: unparseable recorded finding"
+        recorded_kinds = {f"{f.protocol}:{f.kind}" for f in recorded}
+        replayed_kinds = {f"{f.protocol}:{f.kind}" for f in verdict.findings}
+        assert recorded_kinds & replayed_kinds, (
+            f"{entry.path}: replay fails differently than recorded "
+            f"(recorded {sorted(recorded_kinds)}, got {sorted(replayed_kinds)})"
+        )
+    else:  # pragma: no cover - corpus hygiene
+        pytest.fail(f"{entry.path}: unknown status {entry.status!r}")

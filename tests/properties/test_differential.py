@@ -9,12 +9,12 @@ stronger check than comparing any one against a fixed expectation.
 
 from functools import lru_cache
 
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro import api
 
-SETTINGS = settings(max_examples=12, deadline=None,
-                    suppress_health_check=[HealthCheck.too_slow])
+# deadline/health-check policy comes from the profile in tests/conftest.py
+SETTINGS = settings(max_examples=12)
 
 PROTOCOLS = ("tdi", "tag", "tel", "pess")
 

@@ -10,15 +10,12 @@ effects (those would change the deterministic checksums).
 
 from functools import lru_cache
 
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro import api
 
-SETTINGS = settings(
-    max_examples=20,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
+# deadline/health-check policy comes from the profile in tests/conftest.py
+SETTINGS = settings(max_examples=20)
 
 
 @lru_cache(maxsize=None)
@@ -70,8 +67,7 @@ def test_tdi_lu_single_fault_anywhere(victim, at, seed):
     assert tuple(map(repr, r.results)) == ref
 
 
-@settings(max_examples=10, deadline=None,
-          suppress_health_check=[HealthCheck.too_slow])
+@settings(max_examples=10)
 @given(protocol=st.sampled_from(["tag", "tel"]),
        victim=st.integers(0, 3),
        at=st.floats(5e-4, 5e-3, allow_nan=False))
@@ -82,8 +78,7 @@ def test_pwd_baselines_single_fault(protocol, victim, at):
     assert tuple(map(repr, r.results)) == ref
 
 
-@settings(max_examples=10, deadline=None,
-          suppress_health_check=[HealthCheck.too_slow])
+@settings(max_examples=10)
 @given(nprocs=st.sampled_from([2, 3, 5, 6, 8]),
        seed=st.integers(0, 20))
 def test_tdi_simultaneous_pair_any_scale(nprocs, seed):

@@ -120,5 +120,6 @@ class TagMachine(RuleBasedStateMachine):
 
 
 TestTagStateMachine = TagMachine.TestCase
+# deadline policy comes from the profile in tests/conftest.py
 TestTagStateMachine.settings = settings(
-    max_examples=40, stateful_step_count=30, deadline=None)
+    max_examples=40, stateful_step_count=30)

@@ -118,5 +118,6 @@ class TdiMachine(RuleBasedStateMachine):
 
 
 TestTdiStateMachine = TdiMachine.TestCase
+# deadline policy comes from the profile in tests/conftest.py
 TestTdiStateMachine.settings = settings(
-    max_examples=60, stateful_step_count=40, deadline=None)
+    max_examples=60, stateful_step_count=40)

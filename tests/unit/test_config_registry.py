@@ -3,7 +3,12 @@
 import pytest
 
 from repro.config import SimulationConfig
-from repro.protocols.registry import available_protocols, create_protocol, protocol_class
+from repro.protocols.registry import (
+    available_protocols,
+    create_protocol,
+    protocol_class,
+    validate_protocols,
+)
 
 
 class TestSimulationConfig:
@@ -48,3 +53,10 @@ class TestRegistry:
     def test_create_protocol_unknown(self):
         with pytest.raises(ValueError):
             create_protocol("nope")
+
+    def test_validate_protocols_accepts_registered(self):
+        validate_protocols(("tdi", "tag", "tel", "none"))
+
+    def test_validate_protocols_names_every_unknown(self):
+        with pytest.raises(ValueError, match="'bogus'.*'nope'"):
+            validate_protocols(("tdi", "bogus", "nope"))

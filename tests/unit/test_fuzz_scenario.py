@@ -1,0 +1,214 @@
+"""Unit tests for fuzz scenario generation, serialisation and shrinking."""
+
+import pytest
+
+from repro.fuzz.corpus import CorpusEntry, entry_filename, load_corpus, save_entry
+from repro.fuzz.scenario import (
+    FAULT_KINDS,
+    Scenario,
+    generate_scenario,
+    load_scenario,
+    save_scenario,
+)
+from repro.fuzz.shrink import scenario_size, shrink_scenario
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        assert generate_scenario(7) == generate_scenario(7)
+        assert generate_scenario(7) is not generate_scenario(7)
+
+    def test_distinct_across_seeds(self):
+        scenarios = [generate_scenario(seed) for seed in range(50)]
+        assert len(set(scenarios)) == len(scenarios)
+
+    def test_generated_scenarios_are_valid(self):
+        for seed in range(80):
+            scenario = generate_scenario(seed)
+            assert scenario.validate() is None, scenario.describe()
+
+    def test_fault_ranks_in_range(self):
+        for seed in range(80):
+            scenario = generate_scenario(seed)
+            for rank, at_time in scenario.faults:
+                assert 0 <= rank < scenario.nprocs
+                assert at_time >= 0.0
+
+    def test_all_fault_kinds_reachable(self):
+        seen = {generate_scenario(seed).fault_kind for seed in range(200)}
+        assert seen == {kind for kind, _ in FAULT_KINDS}
+
+    def test_blocking_scenarios_stay_eager(self):
+        """Blocking + rendezvous deadlocks even without fault tolerance
+        (the kernels send before they receive), so the generator must
+        keep blocking-mode messages below the eager threshold."""
+        from repro.workloads.presets import workload_factory
+
+        for seed in range(200):
+            scenario = generate_scenario(seed)
+            if scenario.comm_mode != "blocking":
+                continue
+            kwargs = dict(scenario.workload_kwargs)
+            factory = workload_factory(scenario.workload,
+                                       scale=scenario.preset, **kwargs)
+            app = factory(0, scenario.nprocs, None)
+            msg = kwargs.get("msg_bytes",
+                             getattr(app.params, "msg_bytes", 0)
+                             if hasattr(app, "params") else 0)
+            assert scenario.eager_threshold_bytes > msg, scenario.describe()
+
+
+# ----------------------------------------------------------------------
+# Serialisation
+# ----------------------------------------------------------------------
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        for seed in range(30):
+            scenario = generate_scenario(seed)
+            assert Scenario.from_json_dict(scenario.to_json_dict()) == scenario
+
+    def test_disk_round_trip(self, tmp_path):
+        scenario = generate_scenario(3)
+        path = tmp_path / "s.json"
+        save_scenario(scenario, path)
+        assert load_scenario(path) == scenario
+
+    def test_kwargs_normalised_sorted(self):
+        a = Scenario(name="x", workload="lu", nprocs=4, seed=1,
+                     workload_kwargs=(("b", 2), ("a", 1)))
+        b = Scenario(name="x", workload="lu", nprocs=4, seed=1,
+                     workload_kwargs=(("a", 1), ("b", 2)))
+        assert a == b and hash(a) == hash(b)
+
+    def test_validate_rejects_bad_fault_rank(self):
+        scenario = generate_scenario(0).with_(faults=((99, 0.001),))
+        assert scenario.validate() is not None
+
+    def test_validate_rejects_unknown_workload(self):
+        scenario = generate_scenario(0).with_(workload="nonesuch")
+        assert scenario.validate() is not None
+
+    def test_corpus_entry_round_trip(self, tmp_path):
+        entry = CorpusEntry(scenario=generate_scenario(5),
+                            reason="unit test", status="open",
+                            found_by={"seed": 5},
+                            original=generate_scenario(5),
+                            findings=["[tdi] answer-mismatch: detail"])
+        path = save_entry(entry, tmp_path)
+        assert path.name == entry_filename(entry)
+        (loaded,) = load_corpus(tmp_path)
+        assert loaded.scenario == entry.scenario
+        assert loaded.original == entry.original
+        assert loaded.status == "open"
+        assert loaded.findings == entry.findings
+        assert loaded.path == path
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+
+class TestShrinking:
+    def test_accepted_candidates_strictly_smaller(self):
+        scenario = generate_scenario(35)
+        sizes = []
+
+        def always_fails(candidate):
+            sizes.append(scenario_size(candidate))
+            return True
+
+        result = shrink_scenario(scenario, always_fails, max_attempts=80)
+        assert scenario_size(result.scenario) < scenario_size(scenario)
+        assert result.accepted > 0
+        assert result.scenario.name == f"{scenario.name}-shrunk"
+
+    def test_failure_not_reproduced_keeps_original(self):
+        scenario = generate_scenario(35)
+        result = shrink_scenario(scenario, lambda candidate: False,
+                                 max_attempts=40)
+        assert result.scenario.with_(name=scenario.name) == scenario
+        assert result.accepted == 0
+
+    def test_shrunk_scenarios_stay_valid(self):
+        scenario = generate_scenario(35)
+        result = shrink_scenario(scenario, lambda candidate: True,
+                                 max_attempts=80)
+        assert result.scenario.validate() is None
+
+    def test_respects_attempt_budget(self):
+        calls = []
+        shrink_scenario(generate_scenario(35),
+                        lambda candidate: calls.append(1) or True,
+                        max_attempts=7)
+        assert len(calls) <= 7
+
+    def test_checkpoint_coarsening_capped(self):
+        scenario = generate_scenario(35).with_(checkpoint_interval=0.9)
+        result = shrink_scenario(scenario, lambda candidate: True,
+                                 max_attempts=80)
+        assert result.scenario.checkpoint_interval <= 1.0
+
+    def test_fault_ranks_clamped_when_procs_drop(self):
+        scenario = generate_scenario(35)
+        assert scenario.faults
+        result = shrink_scenario(scenario, lambda candidate: True,
+                                 max_attempts=80)
+        for rank, _ in result.scenario.faults:
+            assert 0 <= rank < result.scenario.nprocs
+
+    def test_size_measure_orders_fault_count_first(self):
+        small = generate_scenario(35).with_(faults=((0, 0.001),))
+        big = generate_scenario(35).with_(faults=((0, 0.001), (1, 0.002)))
+        assert scenario_size(small) < scenario_size(big)
+
+
+# ----------------------------------------------------------------------
+# Stringified-record round-trips (corpus entries store findings as text)
+# ----------------------------------------------------------------------
+
+class TestParseRoundTrips:
+    def test_finding_round_trips(self):
+        from repro.fuzz.differential import Finding
+
+        for finding in (
+            Finding("tdi", "oracle:causal-gate", "delivered too early"),
+            Finding("tag", "crash:SimulationError", "deadlock: a: b"),
+            Finding("tel", "answer-mismatch", "rank 0 differs\nmultiline"),
+        ):
+            assert Finding.parse(str(finding)) == finding
+
+    def test_finding_parse_rejects_garbage(self):
+        from repro.fuzz.differential import Finding
+
+        assert Finding.parse("not a finding") is None
+
+    def test_violation_round_trips(self):
+        from repro.verify.violations import InvariantViolation, parse_violation
+
+        violation = InvariantViolation(
+            time=0.001234, invariant="gc-safety", rank=3,
+            detail="released beyond: the mark")
+        parsed = parse_violation(str(violation))
+        assert parsed is not None
+        assert (parsed.invariant, parsed.rank, parsed.detail) == \
+            ("gc-safety", 3, "released beyond: the mark")
+        assert parsed.time == pytest.approx(violation.time)
+
+    def test_violation_parse_rejects_garbage(self):
+        from repro.verify.violations import parse_violation
+
+        assert parse_violation("oops") is None
+
+
+@pytest.mark.parametrize("seed", (0, 17, 35))
+def test_describe_mentions_key_dimensions(seed):
+    scenario = generate_scenario(seed)
+    text = scenario.describe()
+    assert scenario.workload in text
+    assert f"nprocs={scenario.nprocs}" in text
+    assert scenario.fault_kind in text

@@ -44,9 +44,31 @@ class TestCacheKey:
         dict(verify=True),
         dict(workload_kwargs=(("iterations", 3),)),
         dict(cost_overrides=(("evlog_latency", 0.5),)),
+        dict(config_overrides=(("eager_threshold_bytes", 4096),)),
+        dict(config_overrides=(("max_events", 10_000),)),
+        dict(config_overrides=(("record", True),)),
+        dict(strict_verify=False),
     ])
     def test_key_covers_every_outcome_affecting_knob(self, changed):
         assert cache_key(request(**changed)) != cache_key(request())
+
+    def test_key_changes_on_version_bump(self, monkeypatch):
+        """A new release must never reuse numbers cached by an old one."""
+        old = cache_key(request())
+        monkeypatch.setattr("repro.harness.cache.__version__", "99.0.0")
+        assert cache_key(request()) != old
+
+    def test_fingerprint_covers_entire_config(self):
+        """Structural guarantee behind the parametrized cases above: every
+        SimulationConfig field is in the fingerprint, so adding a knob can
+        never silently alias runs that differ in it."""
+        import dataclasses
+
+        from repro.config import SimulationConfig
+
+        fp = request_fingerprint(request())
+        assert set(fp["config"]) == {f.name for f in
+                                     dataclasses.fields(SimulationConfig)}
 
     def test_fingerprint_is_json_round_trippable(self):
         fp = request_fingerprint(request())
