@@ -8,8 +8,8 @@ and a replayable JSON corpus under ``tests/corpus/``.
 from repro.fuzz.campaign import CampaignResult, FailureReport, run_campaign
 from repro.fuzz.corpus import (
     CorpusEntry,
-    DEFAULT_CORPUS_DIR,
     audit_entry,
+    default_corpus_dir,
     load_corpus,
     replay_entry,
     save_entry,
@@ -34,7 +34,6 @@ from repro.fuzz.shrink import ShrinkResult, scenario_size, shrink_scenario
 __all__ = [
     "CampaignResult",
     "CorpusEntry",
-    "DEFAULT_CORPUS_DIR",
     "DEFAULT_PROTOCOLS",
     "FUZZ_MAX_EVENTS",
     "FailureReport",
@@ -44,6 +43,7 @@ __all__ = [
     "ScenarioVerdict",
     "ShrinkResult",
     "audit_entry",
+    "default_corpus_dir",
     "generate_scenario",
     "load_corpus",
     "load_scenario",

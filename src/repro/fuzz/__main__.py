@@ -10,7 +10,10 @@ Examples::
 Failures are shrunk to minimal repros and written as replayable corpus
 entries (``--corpus-dir``, default ``tests/corpus``); exit status is the
 number of failing scenarios (capped at 99), so CI smoke jobs fail loudly
-the moment the protocols disagree.
+the moment the protocols disagree.  ``--replay`` exits with the number
+of entries whose verdict contradicts their recorded status: a ``fixed``
+entry failing again, or an ``open`` entry replaying clean (or failing
+with a different signature than recorded) — masked repros fail CI too.
 """
 
 from __future__ import annotations
@@ -23,7 +26,7 @@ from repro.harness.cache import ResultCache
 from repro.harness.cli import default_cache_dir
 from repro.fuzz.campaign import run_campaign
 from repro.fuzz.corpus import CorpusEntry, load_corpus, replay_entry
-from repro.fuzz.differential import DEFAULT_PROTOCOLS, GROUND_TRUTH
+from repro.fuzz.differential import DEFAULT_PROTOCOLS, GROUND_TRUTH, Finding
 from repro.protocols.registry import validate_protocols
 
 
@@ -103,8 +106,26 @@ def _replay(args: argparse.Namespace, protocols: tuple[str, ...],
               f"{verdict.runs} runs)")
         for finding in verdict.findings:
             print(f"  {finding}")
-        if not verdict.ok and entry.status == "fixed":
-            failing += 1
+        if entry.status == "fixed":
+            # a regression: the fixed bug is back
+            if not verdict.ok:
+                failing += 1
+        else:
+            # an open entry must still fail, with the recorded failure
+            # signature — a clean replay or a different breakage means
+            # the repro was silently masked (or fixed: flip the status)
+            if verdict.ok:
+                print("  open entry replays clean — repro masked or bug "
+                      "fixed; re-triage and flip its status to \"fixed\"")
+                failing += 1
+            else:
+                recorded = {(f.protocol, f.kind) for f in
+                            (Finding.parse(text) for text in entry.findings)
+                            if f is not None}
+                if recorded and not (recorded & verdict.signature()):
+                    print(f"  open entry fails differently than recorded "
+                          f"(recorded {sorted(recorded)})")
+                    failing += 1
     return min(failing, 99)
 
 

@@ -26,8 +26,25 @@ from repro.fuzz.differential import (
 )
 from repro.fuzz.scenario import Scenario
 
-#: repo-relative default location (the tier-1 replay test reads this)
-DEFAULT_CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "corpus"
+def default_corpus_dir() -> Path:
+    """The repo's ``tests/corpus`` directory, located at runtime.
+
+    Searches upward for a repo-root marker (``pyproject.toml`` or
+    ``.git``) from this file first (src-layout checkout) and from the
+    current working directory second (installed package run from inside
+    a checkout).  Raises :class:`FileNotFoundError` when neither search
+    finds a repo — an installed package has no implicit corpus, so
+    callers must pass ``corpus_dir`` explicitly rather than silently
+    reading an empty one.
+    """
+    for base in (Path(__file__).resolve().parent, Path.cwd()):
+        for candidate in (base, *base.parents):
+            if ((candidate / "pyproject.toml").is_file()
+                    or (candidate / ".git").exists()):
+                return candidate / "tests" / "corpus"
+    raise FileNotFoundError(
+        "no repo root (pyproject.toml or .git) above this package or the "
+        "working directory — pass corpus_dir explicitly")
 
 
 @dataclass
@@ -90,9 +107,11 @@ def save_entry(entry: CorpusEntry, corpus_dir: str | Path) -> Path:
     return path
 
 
-def load_corpus(corpus_dir: str | Path = DEFAULT_CORPUS_DIR) -> list[CorpusEntry]:
-    """All entries under ``corpus_dir``, sorted by file name."""
-    corpus_dir = Path(corpus_dir)
+def load_corpus(corpus_dir: str | Path | None = None) -> list[CorpusEntry]:
+    """All entries under ``corpus_dir`` (default: the repo's
+    ``tests/corpus``, see :func:`default_corpus_dir`), sorted by file
+    name."""
+    corpus_dir = Path(corpus_dir) if corpus_dir is not None else default_corpus_dir()
     entries = []
     for path in sorted(corpus_dir.glob("*.json")):
         data = json.loads(path.read_text(encoding="utf-8"))

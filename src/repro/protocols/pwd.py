@@ -269,8 +269,17 @@ class PwdCausalProtocol(Protocol):
         }
         size = (1 + DET_IDENTIFIERS * len(dets)) * self.costs.identifier_bytes
         self.services.send_control(src, RESPONSE, response, size)
+        # A suppression index learned from the peer's *previous*
+        # incarnation (its RESPONSE to our own earlier rollback) is stale
+        # now: the peer has lost every delivery past its checkpoint, so
+        # re-executed sends beyond that point must transmit again.  The
+        # duplicate filter makes over-sending harmless; the stale
+        # suppression would silently starve the peer's recovery instead.
+        covered = payload["ldi"][self.rank]
+        if self.rollback_last_send_index[src] > covered:
+            self.rollback_last_send_index[src] = covered
         resent = 0
-        for item in self.log.items_for(src, after_index=payload["ldi"][self.rank]):
+        for item in self.log.items_for(src, after_index=covered):
             self.services.resend_logged(item)
             resent += 1
         self.metrics.resends += resent

@@ -69,6 +69,10 @@ class _Shadow:
 class _MonotoneSample:
     epoch: int
     vectors: dict[str, list[int]] = field(default_factory=dict)
+    #: every rank's incarnation epoch at sample time — entry ``k`` of
+    #: ``rollback_last_send_index`` may legitimately reset when peer
+    #: ``k`` begins a new incarnation (the stale-suppression clamp)
+    peer_epochs: list[int] = field(default_factory=list)
 
 
 class CausalOracle:
@@ -234,6 +238,7 @@ class CausalOracle:
             vec = getattr(protocol, name, None)
             if vec is not None:
                 current[name] = list(vec)
+        peer_epochs = [cluster.nodes[k].epoch for k in range(self.nprocs)]
         previous = self._samples.get(rank)
         if previous is not None and previous.epoch == epoch:
             self._count(MONOTONICITY)
@@ -242,13 +247,20 @@ class CausalOracle:
                 if before is None:
                     continue
                 sunk = [k for k, (a, b) in enumerate(zip(vec, before)) if a < b]
+                if name == "rollback_last_send_index":
+                    # a suppression index learned from peer k's previous
+                    # incarnation is clamped down to the peer's checkpoint
+                    # coverage when its ROLLBACK arrives — a legitimate
+                    # reset, not a monotonicity break
+                    sunk = [k for k in sunk
+                            if previous.peer_epochs[k] == peer_epochs[k]]
                 if sunk:
                     self._report(
                         time, MONOTONICITY, rank,
                         f"{name} decreased at entries {sunk} within epoch "
                         f"{epoch}: {before} -> {vec}",
                         vector=name, before=list(before), after=list(vec))
-        self._samples[rank] = _MonotoneSample(epoch, current)
+        self._samples[rank] = _MonotoneSample(epoch, current, peer_epochs)
 
     # ------------------------------------------------------------------
     # Helpers

@@ -13,10 +13,10 @@ causal-consistency oracle armed:
 
 import pytest
 
-from repro.fuzz.corpus import DEFAULT_CORPUS_DIR, load_corpus, replay_entry
+from repro.fuzz.corpus import default_corpus_dir, load_corpus, replay_entry
 from repro.fuzz.differential import Finding
 
-ENTRIES = load_corpus(DEFAULT_CORPUS_DIR)
+ENTRIES = load_corpus()
 
 
 def _entry_id(entry):
@@ -24,7 +24,7 @@ def _entry_id(entry):
 
 
 def test_corpus_is_not_empty():
-    assert ENTRIES, f"no corpus entries under {DEFAULT_CORPUS_DIR}"
+    assert ENTRIES, f"no corpus entries under {default_corpus_dir()}"
 
 
 @pytest.mark.parametrize("entry", ENTRIES, ids=_entry_id)

@@ -126,6 +126,40 @@ def test_detected_failure_shrinks_and_persists():
 
 
 # ----------------------------------------------------------------------
+# --replay exit status: a corpus entry contradicting its recorded
+# status must fail the CLI, whichever direction it flips
+# ----------------------------------------------------------------------
+
+def test_replay_flags_masked_open_entry():
+    """An ``open`` entry that replays clean exits non-zero: the repro
+    was silently masked (or fixed without flipping the status)."""
+    from repro.fuzz.__main__ import main
+    from repro.fuzz.corpus import CorpusEntry, save_entry
+    from repro.fuzz.scenario import generate_scenario
+
+    with tempfile.TemporaryDirectory() as tmp:
+        save_entry(CorpusEntry(
+            scenario=generate_scenario(0),  # known-clean seed
+            reason="unit test", status="open",
+            findings=["[tdi] crash:SimulationError: long gone"]), tmp)
+        assert main(["--replay", tmp, "--no-cache"]) == 1
+
+
+def test_replay_flags_open_entry_failing_differently():
+    """An ``open`` entry whose replay signature no longer intersects the
+    recorded one exits non-zero — a new breakage is hiding the repro."""
+    from repro.fuzz.__main__ import main
+    from repro.fuzz.corpus import load_corpus, save_entry
+
+    (entry,) = [e for e in load_corpus()
+                if e.status == "open" and e.findings]
+    with tempfile.TemporaryDirectory() as tmp:
+        entry.findings = ["[tag] answer-mismatch: never happened"]
+        save_entry(entry, tmp)
+        assert main(["--replay", tmp, "--no-cache"]) == 1
+
+
+# ----------------------------------------------------------------------
 # Baseline: the unmutated protocols agree on the smoke range
 # ----------------------------------------------------------------------
 

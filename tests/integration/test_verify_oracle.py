@@ -27,6 +27,7 @@ from repro.verify.violations import (
     CAUSAL_GATE,
     EXACTLY_ONCE,
     GC_SAFETY,
+    MONOTONICITY,
     PIGGYBACK_COMPLETENESS,
 )
 from repro.workloads.base import Application
@@ -85,6 +86,20 @@ def test_clean_blocking_mode_run_has_no_violations():
 
 def test_verify_off_reports_nothing():
     r = api.run_workload("lu", nprocs=4, protocol="tdi", seed=21)
+    assert r.violations == []
+
+
+@pytest.mark.parametrize("protocol", ("tdi", "tag", "tel"))
+def test_clean_staggered_repeat_rollback_has_no_violations(protocol):
+    """A survivor of its own earlier failure clamps the suppression
+    index it learned from a peer's previous incarnation when that peer
+    fails later.  The reset is legal — entry k of
+    rollback_last_send_index may decrease when peer k begins a new
+    incarnation — so the monotonicity invariant must stay silent."""
+    r = api.run_workload("lu", nprocs=4, protocol=protocol, seed=0,
+                         verify=True, checkpoint_interval=0.002,
+                         faults=[api.FaultSpec(rank=1, at_time=0.002),
+                                 api.FaultSpec(rank=3, at_time=0.006)])
     assert r.violations == []
 
 
@@ -263,6 +278,26 @@ class TestDuplicateMutation:
         assert EXACTLY_ONCE in kinds(r)
         v = next(v for v in r.violations if v.invariant == EXACTLY_ONCE)
         assert "duplicate" in v.detail
+
+
+class TestMonotonicityMutation:
+    def test_spurious_suppression_decrease_trips_monotonicity(self):
+        """The incarnation carve-out must not blind the oracle: lowering
+        rollback_last_send_index while no peer incarnated is still a
+        monotonicity break."""
+        orig = TdiRecoveryMixin._handle_checkpoint_advance
+
+        def corrupting(self, src, upto_send_index):
+            self.rollback_last_send_index[src] = -1
+            return orig(self, src, upto_send_index)
+
+        with mock.patch.object(TdiRecoveryMixin, "_handle_checkpoint_advance",
+                               corrupting):
+            r = api.run_workload("lu", nprocs=4, protocol="tdi", seed=0,
+                                 verify=True, checkpoint_interval=0.001)
+        assert MONOTONICITY in kinds(r)
+        v = next(v for v in r.violations if v.invariant == MONOTONICITY)
+        assert v.fields["vector"] == "rollback_last_send_index"
 
 
 class TestGcMutation:

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.fuzz.corpus import CorpusEntry, entry_filename, load_corpus, save_entry
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    default_corpus_dir,
+    entry_filename,
+    load_corpus,
+    save_entry,
+)
 from repro.fuzz.scenario import (
     FAULT_KINDS,
     Scenario,
@@ -107,6 +113,27 @@ class TestRoundTrip:
         assert loaded.status == "open"
         assert loaded.findings == entry.findings
         assert loaded.path == path
+
+
+class TestDefaultCorpusDir:
+    def test_locates_the_repo_corpus(self):
+        d = default_corpus_dir()
+        assert (d.name, d.parent.name) == ("corpus", "tests")
+        assert list(d.glob("*.json"))
+
+    def test_installed_package_raises_instead_of_empty(self, tmp_path,
+                                                       monkeypatch):
+        # no repo marker above the module or the cwd (site-packages
+        # layout): loading must fail loudly, not return an empty corpus
+        import repro.fuzz.corpus as corpus
+
+        fake = tmp_path / "site-packages" / "repro" / "fuzz" / "corpus.py"
+        fake.parent.mkdir(parents=True)
+        fake.touch()
+        monkeypatch.setattr(corpus, "__file__", str(fake))
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(FileNotFoundError):
+            corpus.default_corpus_dir()
 
 
 # ----------------------------------------------------------------------

@@ -103,6 +103,19 @@ class TestTagRecovery:
         # beyond the recorded horizon: free order again
         assert p.classify(app_meta(1, tag_pb()), src=1) is DeliveryVerdict.DELIVER
 
+    def test_rollback_clamps_stale_suppression(self):
+        # same starvation guard as TDI's: a suppression index learned
+        # from the peer's previous incarnation drops to its new
+        # checkpoint coverage when the next ROLLBACK arrives
+        p, svc = make_protocol("tag", rank=0)
+        for payload in "abcd":
+            p.prepare_send(2, 0, payload, 64)
+        p.rollback_last_send_index[2] = 4
+        p.handle_control(ROLLBACK, src=2,
+                         payload={"ldi": [1, 0, 0, 0], "ckpt_deliver_total": 0})
+        assert p.rollback_last_send_index[2] == 1
+        assert [m.send_index for m in svc.resends] == [2, 3, 4]
+
     def test_rollback_returns_determinants_of_failed(self):
         p, svc = make_protocol("tag", rank=0)
         d_old = Determinant(receiver=2, deliver_index=1, sender=1, send_index=1)

@@ -143,6 +143,18 @@ class TestRecovery:
         assert responses == [(2, RESPONSE, 7, p.costs.identifier_bytes)]
         assert [m.send_index for m in svc.resends] == [3, 4]
 
+    def test_rollback_clamps_stale_suppression(self):
+        # suppression learned from the peer's previous incarnation must
+        # drop to its new checkpoint coverage, or re-executed sends the
+        # twice-rolled-back peer actually lost would be starved
+        p, svc = make_protocol("tdi", rank=0, nprocs=4)
+        for payload in "abcd":
+            p.prepare_send(2, 0, payload, 64)
+        p.rollback_last_send_index[2] = 4
+        p.handle_control(ROLLBACK, src=2, payload=[1, 0, 0, 0])
+        assert p.rollback_last_send_index[2] == 1
+        assert [m.send_index for m in svc.resends] == [2, 3, 4]
+
     def test_response_sets_suppression_and_clears_pending(self):
         p, svc = make_protocol("tdi", rank=0)
         p.begin_recovery()
