@@ -38,8 +38,22 @@ class SimulationConfig:
     #: interval 180 s -> 0.05 s by default), and this is scaled with it.
     restart_delay: float = 2e-3
     #: incarnations re-broadcast ROLLBACK to unresponsive peers at this
-    #: period (covers simultaneous-failure races, §III.D)
+    #: period (covers simultaneous-failure races, §III.D); the recovery
+    #: watchdog's base tick
     rollback_retry_interval: float = 5e-3
+    #: watchdog backoff: the tick interval multiplies by this while the
+    #: recovery signature shows no progress, capped below
+    rollback_retry_backoff: float = 2.0
+    rollback_retry_max_interval: float = 4e-2
+    #: a recovery stalled this long (no signature change) triggers one
+    #: escalation: ROLLBACK re-broadcast to *all* peers with full epoch
+    #: state, not just the unresponsive ones
+    recovery_escalate_after: float = 6e-2
+    #: a recovery still stalled this long aborts the run with a
+    #: :class:`~repro.core.watchdog.RecoveryStallError` naming the wedged
+    #: ranks and the blocking interval entries (None: never abort —
+    #: the run then ends via engine drain or max_sim_time)
+    recovery_abort_after: float | None = 0.3
     network: NetworkConfig = field(default_factory=NetworkConfig)
     costs: CostModel = field(default_factory=CostModel)
     seed: int = 0
@@ -64,6 +78,17 @@ class SimulationConfig:
             raise ValueError("checkpoint_interval must be > 0")
         if self.restart_delay < 0:
             raise ValueError("restart_delay must be >= 0")
+        if self.rollback_retry_backoff < 1.0:
+            raise ValueError("rollback_retry_backoff must be >= 1")
+        if self.rollback_retry_max_interval < self.rollback_retry_interval:
+            raise ValueError(
+                "rollback_retry_max_interval must be >= rollback_retry_interval"
+            )
+        if (self.recovery_abort_after is not None
+                and self.recovery_abort_after <= self.recovery_escalate_after):
+            raise ValueError(
+                "recovery_abort_after must exceed recovery_escalate_after"
+            )
 
     def with_(self, **changes) -> "SimulationConfig":
         """Functional update (frozen dataclass convenience)."""

@@ -16,6 +16,15 @@ forward because re-executed sends are re-logged even when their
 transmission is suppressed — that is how the multi-simultaneous-failure
 case of §III.D rebuilds lost logs.
 
+Regenerated piggybacks are *not* byte-identical to the originals: a
+send re-logged by an incarnation carries that incarnation's epoch tags
+(see :mod:`repro.core.vectors`), and its interval entries may reference
+deliveries another concurrent victim has since lost.  Receivers
+recognise exactly this through the per-entry epochs — the fix for the
+``tdi-overlapping-recovery-deadlock`` corpus entry — so the log can
+keep its first-copy-wins idempotence below without re-examining
+payload contents.
+
 Idempotence contract: appends are keyed by ``(dest, send_index)`` and a
 per-destination **high-water mark** (the highest index ever appended for
 that destination) survives garbage collection.  A re-logged

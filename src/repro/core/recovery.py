@@ -4,20 +4,32 @@ Split out of :mod:`repro.core.tdi` so the normal-execution path and the
 failure path read independently.  The mixin assumes the host class
 provides the TDI state (``vectors``, ``depend_interval``, ``log``,
 ``rollback_last_send_index``) and the :class:`Protocol` plumbing
-(``services``, ``metrics``, ``costs``, ``trace``).
+(``services``, ``metrics``, ``costs``, ``trace``, ``epoch``).
 
 Control-frame vocabulary:
 
 ``ROLLBACK``
-    Broadcast by an incarnation; payload is its checkpointed
-    ``last_deliver_index`` vector.  Tells every peer which messages the
-    failed process has lost (line 46).
+    Broadcast by an incarnation; the payload carries its checkpointed
+    ``last_deliver_index`` vector (``"ldi"``) — which messages the
+    failed process has lost (line 46) — plus, beyond the paper, the
+    incarnation's epoch (``"epoch"``) and its restored state-interval
+    index (``"interval"``).  Survivors use the epoch to drop stale
+    retries from dead incarnations and to re-tag their depend-interval
+    entry for the failed rank; overlapping recoveries would otherwise
+    deadlock on counts referencing erased state.
 ``RESPONSE``
-    A peer's answer; payload is the peer's ``last_deliver_index[failed]``
-    — how many of the failed process's messages it has delivered so far.
-    Used to suppress repetitive sends during rolling forward (lines 48,
-    52–53).  The peer also re-sends its logged messages for the failed
-    process, in send-index order (lines 49–51).
+    A peer's answer; ``"delivered"`` is the peer's
+    ``last_deliver_index[failed]`` — how many of the failed process's
+    messages it has delivered so far — used to suppress repetitive sends
+    during rolling forward (lines 48, 52–53).  ``"epoch"`` is the
+    responder's own incarnation and ``"for_epoch"`` echoes the rollback
+    it answers, so a recovering rank ignores answers addressed to a
+    previous incarnation of itself.  The peer also re-sends its logged
+    messages for the failed process, in send-index order (lines 49–51).
+
+Both handlers also accept the pre-epoch payload shapes (a bare
+``last_deliver_index`` list, a bare ``delivered`` int) so recorded
+scenarios and protocol doubles from before the extension keep replaying.
 """
 
 from __future__ import annotations
@@ -37,6 +49,10 @@ class TdiRecoveryMixin:
         #: peers whose RESPONSE we are still waiting for (empty when not
         #: recovering); drives the rollback retry timer
         self._awaiting_response: set[int] = set()
+        #: set by watchdog escalation: stale-epoch delivery requirements
+        #: clamp to checkpointed coverage until this recovery settles
+        #: (the delivery gate's graceful-degradation mode)
+        self._stale_epoch_degraded = False
 
     # ------------------------------------------------------------------
     # Incarnation side
@@ -62,9 +78,42 @@ class TdiRecoveryMixin:
         if self._awaiting_response:
             self._broadcast_rollback(self._awaiting_response)
 
+    def escalate_recovery(self) -> None:
+        """Watchdog escalation: re-broadcast ROLLBACK — with the full
+        epoch state — to *every* peer, not just the unresponsive ones.
+        A peer that already answered may have computed its answer
+        against a dead incarnation of ours (overlapping recoveries);
+        re-answering against the current epoch regenerates any resends
+        and suppression indexes that race swallowed.
+
+        Escalation also degrades the delivery gate: stale-epoch
+        requirements clamp to the checkpointed coverage from here until
+        the recovery settles.  A stall this long with frames gated on a
+        dead incarnation's counts is the inflated-regenerated-piggyback
+        race — a re-executed send that manufactured a requirement on its
+        own delivery — and no amount of waiting satisfies it."""
+        self.trace.emit("proto.recovery_escalate", self.rank,
+                        awaiting=sorted(self._awaiting_response))
+        self._stale_epoch_degraded = True
+        self._broadcast_rollback(
+            {r for r in range(self.nprocs) if r != self.rank})
+        # queued frames may be deliverable under the degraded gate
+        self.services.wake_delivery()
+
+    def recovery_settled(self) -> None:
+        """Watchdog disarm: the incarnation is healthy again — restore
+        the strict (orphan-safe) gate for any late stale-epoch frames."""
+        if self._stale_epoch_degraded:
+            self._stale_epoch_degraded = False
+            self.trace.emit("proto.recovery_settled", self.rank)
+
     def _broadcast_rollback(self, targets: set[int]) -> None:
-        payload = list(self.vectors.last_deliver_index)
-        size = self.nprocs * self.costs.identifier_bytes
+        payload = {
+            "ldi": list(self.vectors.last_deliver_index),
+            "epoch": self.epoch,
+            "interval": self._ckpt_own_interval,
+        }
+        size = (self.nprocs + 2) * self.costs.identifier_bytes
         for dst in sorted(targets):
             self.services.send_control(dst, ROLLBACK, payload, size)
         self.trace.emit("proto.rollback_bcast", self.rank, targets=sorted(targets))
@@ -72,12 +121,37 @@ class TdiRecoveryMixin:
     # ------------------------------------------------------------------
     # Survivor side
     # ------------------------------------------------------------------
-    def _handle_rollback(self, src: int, lost_deliver_index: list[Any]) -> None:
+    def _handle_rollback(self, src: int, payload: Any) -> None:
         """Lines 47–51: answer with RESPONSE, then re-send every logged
         message the failed process has not covered by its checkpoint."""
+        if isinstance(payload, dict):
+            lost_deliver_index = payload["ldi"]
+            epoch = payload.get("epoch")
+            interval = payload.get("interval", sum(lost_deliver_index))
+        else:  # pre-epoch payload: the bare last_deliver_index list
+            lost_deliver_index = payload
+            epoch = None
+            interval = sum(lost_deliver_index)
+        if epoch is not None:
+            if not self.vectors.observe_peer_epoch(src, epoch):
+                # a retry from an incarnation that has since died again;
+                # answering would clamp suppression below what the
+                # *current* incarnation already told us it has covered
+                self.trace.emit("proto.stale_rollback", self.rank,
+                                src=src, epoch=epoch,
+                                known=self.vectors.peer_epoch[src])
+                return
+            # our dependency on the peer's erased state collapses to
+            # its restored interval, re-tagged under the new epoch
+            self.depend_interval.observe_rollback(src, interval, epoch)
         delivered_from_src = self.vectors.last_deliver_index[src]
+        response = {
+            "delivered": delivered_from_src,
+            "epoch": self.epoch,
+            "for_epoch": epoch,
+        }
         self.services.send_control(
-            src, RESPONSE, delivered_from_src, self.costs.identifier_bytes
+            src, RESPONSE, response, 3 * self.costs.identifier_bytes
         )
         # A suppression index learned from the peer's *previous*
         # incarnation (its RESPONSE to our own earlier rollback) is stale
@@ -95,9 +169,25 @@ class TdiRecoveryMixin:
         self.metrics.resends += resent
         self.trace.emit("proto.resend", self.rank, to=src, count=resent)
 
-    def _handle_response(self, src: int, last_receive_index: int) -> None:
+    def _handle_response(self, src: int, payload: Any) -> None:
         """Lines 52–53: remember how much of our output the peer already
         delivered, so re-executed sends to it can be suppressed."""
+        if isinstance(payload, dict):
+            last_receive_index = payload["delivered"]
+            for_epoch = payload.get("for_epoch")
+            if for_epoch is not None and for_epoch != self.epoch:
+                # an answer to a dead incarnation's rollback — its
+                # delivered count may cover messages we are about to
+                # regenerate differently; wait for the answer to the
+                # rollback *this* incarnation broadcast
+                self.trace.emit("proto.stale_response", self.rank,
+                                src=src, for_epoch=for_epoch)
+                return
+            epoch = payload.get("epoch")
+            if epoch is not None:
+                self.vectors.observe_peer_epoch(src, epoch)
+        else:  # pre-epoch payload: the bare delivered count
+            last_receive_index = payload
         if last_receive_index > self.rollback_last_send_index[src]:
             self.rollback_last_send_index[src] = last_receive_index
         self._awaiting_response.discard(src)

@@ -49,9 +49,14 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
         # Algorithm 1 lines 2-7
         self.log = SenderLog(n, trace=self.trace, owner=self.rank)
         self.depend_interval = DependIntervalVector(n, owner=self.rank)
+        self.depend_interval.set_own_epoch(self.epoch)
         self.vectors = VectorState(n)
         self.last_ckpt_deliver_index = [0] * n
         self.rollback_last_send_index = [0] * n
+        #: own interval covered by the checkpoint this incarnation rose
+        #: from — the clamp target for stale-epoch dependencies (startup
+        #: state is checkpoint zero)
+        self._ckpt_own_interval = 0
         self._init_recovery_state()
 
     # ------------------------------------------------------------------
@@ -60,11 +65,14 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
     def prepare_send(self, dest: int, tag: int, payload: Any, size_bytes: int) -> PreparedSend:
         self.vectors.last_send_index[dest] += 1
         send_index = self.vectors.last_send_index[dest]
-        piggyback = self.depend_interval.as_tuple()
+        piggyback = self.depend_interval.as_piggyback()
 
         transmit = send_index > self.rollback_last_send_index[dest]
-        # piggyback = n-entry vector + the send index itself
-        identifiers = self.nprocs + 1
+        # piggyback = n-entry vector + the send index itself; once any
+        # entry refers to a post-rollback incarnation the epoch vector
+        # rides along too (2n + 1) — see core.wire for the two forms
+        identifiers = (2 * self.nprocs + 1) if piggyback.tagged \
+            else self.nprocs + 1
         cost = (
             self.costs.per_send_base
             + self.costs.identifiers_cost(identifiers)
@@ -119,10 +127,69 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
             # in flight, or guaranteed to be resent from the peer's log.
             return DeliveryVerdict.DEFER
         piggyback = frame_meta["pb"]
-        # line 17: enough local deliveries must have happened
-        if self.depend_interval.own_interval >= piggyback[self.rank]:
+        # line 17: enough local deliveries must have happened — but an
+        # interval count is only comparable within one incarnation.
+        required = piggyback[self.rank]
+        epochs = getattr(piggyback, "epochs", None)
+        if epochs is not None:
+            entry_epoch = epochs[self.rank]
+            if entry_epoch > self.epoch:
+                # a dependency on an incarnation of ours that does not
+                # exist yet — only possible for a frame that outlived
+                # two of our failures in flight; park it
+                return DeliveryVerdict.DEFER
+            if entry_epoch < self.epoch and self._stale_epoch_degraded:
+                # The dependency references deliveries a dead incarnation
+                # of ours made.  Rolling forward replays that delivery
+                # sequence position-for-position, so the count normally
+                # still gates (delivering below it would re-create the
+                # orphan the gate exists to prevent).  The exception is a
+                # recovery the watchdog had to escalate: a stall with
+                # stale-epoch requirements is the inflated-regenerated-
+                # piggyback race (the overlapping-recovery corpus entry),
+                # where a re-executed send manufactured a requirement on
+                # its own delivery.  Degrade by clamping to our
+                # checkpointed coverage, which the restore satisfied by
+                # construction (any-order redelivery, §III.A relaxation).
+                required = min(required, self._ckpt_own_interval)
+        if self.depend_interval.own_interval >= required:
             return DeliveryVerdict.DELIVER
         return DeliveryVerdict.DEFER
+
+    def explain_defer(self, frame_meta: dict[str, Any], src: int) -> str | None:
+        """Name what blocks a queued frame (watchdog abort diagnosis)."""
+        send_index = frame_meta["send_index"]
+        last = self.vectors.last_deliver_index[src]
+        if send_index <= last:
+            return None  # a duplicate is discarded, never blocking
+        if send_index > last + 1:
+            return (f"frame {src}->{self.rank} #{send_index} waits for "
+                    f"predecessor #{last + 1} on that channel")
+        piggyback = frame_meta["pb"]
+        required = piggyback[self.rank]
+        epochs = getattr(piggyback, "epochs", None)
+        # an untagged piggyback gates at face value, like classify()
+        entry_epoch = epochs[self.rank] if epochs is not None else self.epoch
+        own = self.depend_interval.own_interval
+        if entry_epoch > self.epoch:
+            return (f"frame {src}->{self.rank} #{send_index} references "
+                    f"future epoch {entry_epoch} of rank {self.rank} "
+                    f"(currently at epoch {self.epoch})")
+        if entry_epoch < self.epoch:
+            if self._stale_epoch_degraded:
+                required = min(required, self._ckpt_own_interval)
+            if required > own:
+                return (f"frame {src}->{self.rank} #{send_index} requires "
+                        f"interval {required} of rank {self.rank} in dead "
+                        f"epoch {entry_epoch} (clamps to coverage "
+                        f"{self._ckpt_own_interval} on escalation); "
+                        f"receiver has made {own} deliveries")
+            return None
+        if required > own:
+            return (f"frame {src}->{self.rank} #{send_index} requires "
+                    f"interval {required} of rank {self.rank} in epoch "
+                    f"{entry_epoch}; receiver has made {own} deliveries")
+        return None
 
     def on_deliver(self, frame_meta: dict[str, Any], src: int) -> float:
         send_index = frame_meta["send_index"]
@@ -137,8 +204,11 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
         # lines 20-24
         self.depend_interval.advance_own()
         self.vectors.last_deliver_index[src] = send_index
-        merged = self.depend_interval.merge(frame_meta["pb"])
-        cost = self.costs.per_deliver_base + self.costs.identifiers_cost(self.nprocs)
+        piggyback = frame_meta["pb"]
+        merged = self.depend_interval.merge(piggyback)
+        scanned = (2 * self.nprocs if getattr(piggyback, "tagged", False)
+                   else self.nprocs)
+        cost = self.costs.per_deliver_base + self.costs.identifiers_cost(scanned)
         self.charge(cost)
         self.trace.emit(
             "proto.deliver", self.rank, src=src, send_index=send_index, merged=merged
@@ -181,6 +251,11 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
         self.depend_interval = DependIntervalVector.from_snapshot(
             self.nprocs, self.rank, state["depend_interval"]
         )
+        # the restored counts belong to *this* incarnation now: the own
+        # entry re-tags under the current epoch, and its restored value
+        # is what stale-epoch dependencies clamp to
+        self.depend_interval.set_own_epoch(self.epoch)
+        self._ckpt_own_interval = self.depend_interval.own_interval
         self.last_ckpt_deliver_index = list(state["last_ckpt_deliver_index"])
         self.rollback_last_send_index = list(state["rollback_last_send_index"])
         self.log = SenderLog.from_snapshot(

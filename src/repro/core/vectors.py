@@ -1,4 +1,4 @@
-"""The ``depend_interval`` vector (paper §III.B).
+"""The ``depend_interval`` vector (paper §III.B), with incarnation epochs.
 
 Entry ``i`` of process ``P_i``'s vector counts the messages ``P_i`` has
 delivered — its current process-state-interval index.  Entry ``k != i``
@@ -7,12 +7,31 @@ state causally depends on.  The vector is the *entire* dependency
 metadata a message carries under TDI: ``n`` integers instead of a graph
 of 4-identifier event records.
 
+Beyond the paper, every entry additionally carries the **incarnation
+epoch** it refers to: interval counts are only comparable within one
+incarnation of the counted process.  The fuzzer proved the pure
+count-based design deadlocks under overlapping recoveries (corpus entry
+``tdi-overlapping-recovery-deadlock``): a recovering sender regenerates
+piggybacks referencing deliveries another victim *lost*, and that victim
+then gates forever on an interval its new incarnation can never reach.
+Epochs make such stale references recognisable: merges ignore them, a
+peer's ROLLBACK re-tags its entry, and — should an inflated value still
+reach a receiver's gate — the watchdog's escalation degrades stale-epoch
+requirements to the checkpointed coverage instead of blocking forever.
+
+Merge rule per foreign entry (epoch-lexicographic):
+
+* a piggyback entry from a **newer** epoch replaces value and epoch;
+* an **equal**-epoch entry takes the pointwise max (the paper's rule);
+* an **older**-epoch entry is ignored — it refers to a dead incarnation.
+
 Invariants (checked by the property tests):
 
-* entries never decrease;
+* ``(epoch, value)`` pairs never decrease lexicographically;
 * after delivering a message carrying piggyback ``pb``, the local vector
-  dominates ``pb`` pointwise on the foreign entries, and the local entry
-  exceeds ``pb[i]`` (the delivery itself advanced the interval).
+  dominates ``pb`` entry-wise under that order on the foreign entries,
+  and the local entry exceeds ``pb[i]`` when the epochs match (the
+  delivery itself advanced the interval).
 """
 
 from __future__ import annotations
@@ -21,12 +40,48 @@ from operator import ne
 from typing import Iterable, Iterator, Sequence
 
 
+class TaggedPiggyback(tuple):
+    """An immutable depend-interval piggyback with per-entry epochs.
+
+    Behaves exactly like the plain ``tuple`` of interval values the
+    protocol always shipped (indexing, equality, length), so every
+    consumer that only needs the counts — the delivery gate, the oracle,
+    the worked-example tests — keeps working; the parallel ``epochs``
+    tuple rides along for the consumers that are epoch-aware.
+    """
+
+    def __new__(cls, values: Sequence[int],
+                epochs: Sequence[int] | None = None) -> "TaggedPiggyback":
+        self = tuple.__new__(cls, values)
+        eps = tuple(epochs) if epochs is not None else (0,) * len(self)
+        if len(eps) != len(self):
+            raise ValueError(
+                f"epoch vector length {len(eps)} != value length {len(self)}"
+            )
+        self.epochs = eps
+        return self
+
+    #: True once any entry refers to a post-rollback incarnation; only
+    #: then does the wire form (and the accounting) grow beyond n+1
+    @property
+    def tagged(self) -> bool:
+        return any(self.epochs)
+
+    def __getnewargs__(self):  # pickling / deepcopy
+        return (tuple(self), self.epochs)
+
+    def __repr__(self) -> str:
+        return f"TaggedPiggyback({tuple(self)!r}, epochs={self.epochs!r})"
+
+
 class DependIntervalVector:
-    """A mutable dependency vector with the paper's merge rule."""
+    """A mutable dependency vector with the epoch-aware merge rule."""
 
-    __slots__ = ("owner", "_v")
+    __slots__ = ("owner", "_v", "_e")
 
-    def __init__(self, nprocs: int, owner: int, values: Sequence[int] | None = None):
+    def __init__(self, nprocs: int, owner: int,
+                 values: Sequence[int] | None = None,
+                 epochs: Sequence[int] | None = None):
         if not (0 <= owner < nprocs):
             raise ValueError(f"owner {owner} out of range for nprocs={nprocs}")
         self.owner = owner
@@ -38,6 +93,14 @@ class DependIntervalVector:
                     f"vector length {len(values)} != nprocs {nprocs}"
                 )
             self._v = [int(x) for x in values]
+        if epochs is None:
+            self._e = [0] * nprocs
+        else:
+            if len(epochs) != nprocs:
+                raise ValueError(
+                    f"epoch vector length {len(epochs)} != nprocs {nprocs}"
+                )
+            self._e = [int(x) for x in epochs]
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -51,13 +114,14 @@ class DependIntervalVector:
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, DependIntervalVector):
-            return self._v == other._v
+            return self._v == other._v and self._e == other._e
         if isinstance(other, (list, tuple)):
             return self._v == list(other)
         return NotImplemented
 
     def __repr__(self) -> str:
-        return f"DependIntervalVector(owner={self.owner}, {self._v})"
+        return (f"DependIntervalVector(owner={self.owner}, {self._v}, "
+                f"epochs={self._e})")
 
     # ------------------------------------------------------------------
     @property
@@ -65,24 +129,48 @@ class DependIntervalVector:
         """This process's current state-interval index (deliveries made)."""
         return self._v[self.owner]
 
+    @property
+    def epochs(self) -> tuple[int, ...]:
+        """Per-entry incarnation epochs (read-only view)."""
+        return tuple(self._e)
+
+    @property
+    def own_epoch(self) -> int:
+        """The incarnation epoch this vector's owner entry refers to."""
+        return self._e[self.owner]
+
+    def set_own_epoch(self, epoch: int) -> None:
+        """Adopt the owner's current incarnation epoch (on protocol
+        construction and after a checkpoint restore)."""
+        self._e[self.owner] = int(epoch)
+
     def advance_own(self) -> int:
         """Record one delivery: ``depend_interval[i] += 1`` (line 20)."""
         self._v[self.owner] += 1
         return self._v[self.owner]
 
     def merge(self, piggyback: Sequence[int]) -> int:
-        """Merge a received piggyback (lines 22–24).
+        """Merge a received piggyback (lines 22–24, epoch-aware).
 
-        Foreign entries take the pointwise max; the owner entry is *not*
-        merged (it counts local deliveries only).  Returns the number of
-        entries that changed, for cost accounting.
+        Foreign entries merge under the epoch-lexicographic rule (newer
+        epoch wins outright, equal epochs take the max, older epochs are
+        ignored); the owner entry is *not* merged (it counts local
+        deliveries only).  Plain untagged piggybacks are treated as
+        matching each entry's current epoch — the paper's original rule.
+        Returns the number of entries that changed, for cost accounting.
         """
         v = self._v
         if len(piggyback) != len(v):
             raise ValueError("piggyback length mismatch")
-        # Pointwise max in C (map/max), then count the raised entries in
-        # C too (map/ne) — merge runs once per delivery on every rank, so
-        # a per-element Python loop here is measurable across a matrix.
+        pb_epochs = getattr(piggyback, "epochs", None)
+        if pb_epochs is not None and any(
+                a != b for a, b in zip(pb_epochs, self._e)):
+            return self._merge_tagged(piggyback, pb_epochs)
+        # Fast path (every epoch agrees, i.e. almost every merge of a
+        # failure-free or single-failure run): pointwise max in C
+        # (map/max), then count the raised entries in C too (map/ne) —
+        # merge runs once per delivery on every rank, so a per-element
+        # Python loop here is measurable across a matrix.
         merged = list(map(max, v, piggyback))
         merged[self.owner] = v[self.owner]
         changed = sum(map(ne, v, merged))
@@ -90,18 +178,57 @@ class DependIntervalVector:
             self._v = merged
         return changed
 
+    def _merge_tagged(self, piggyback: Sequence[int],
+                      pb_epochs: Sequence[int]) -> int:
+        """Slow path: at least one entry's epoch differs from ours."""
+        changed = 0
+        for k in range(len(self._v)):
+            if k == self.owner:
+                continue
+            pe, le = pb_epochs[k], self._e[k]
+            if pe > le:
+                self._v[k] = piggyback[k]
+                self._e[k] = pe
+                changed += 1
+            elif pe == le and piggyback[k] > self._v[k]:
+                self._v[k] = piggyback[k]
+                changed += 1
+        return changed
+
+    def observe_rollback(self, rank: int, interval: int, epoch: int) -> bool:
+        """A peer announced a new incarnation: adopt its post-restore
+        state interval under the new epoch.
+
+        Only a strictly newer epoch is adopted (a retried ROLLBACK from
+        the same incarnation must not move the entry), and the owner
+        entry is never touched.  Returns True when the entry changed.
+        """
+        if rank == self.owner or epoch <= self._e[rank]:
+            return False
+        self._v[rank] = int(interval)
+        self._e[rank] = int(epoch)
+        return True
+
     def dominates(self, other: Iterable[int]) -> bool:
         """Pointwise >= — the delivery-gate relation used in tests."""
         return all(a >= b for a, b in zip(self._v, other, strict=True))
 
     def as_tuple(self) -> tuple[int, ...]:
-        """Immutable copy, used as the piggyback payload of a send."""
+        """Immutable copy of the interval values only."""
         return tuple(self._v)
 
-    def snapshot(self) -> list[int]:
-        """Mutable copy for checkpointing."""
-        return list(self._v)
+    def as_piggyback(self) -> TaggedPiggyback:
+        """The epoch-tagged piggyback payload of a send."""
+        return TaggedPiggyback(self._v, self._e)
+
+    def snapshot(self) -> dict[str, list[int]]:
+        """Mutable copy for checkpointing (values + epochs)."""
+        return {"v": list(self._v), "e": list(self._e)}
 
     @classmethod
-    def from_snapshot(cls, nprocs: int, owner: int, data: Sequence[int]) -> "DependIntervalVector":
+    def from_snapshot(cls, nprocs: int, owner: int, data) -> "DependIntervalVector":
+        """Inverse of :meth:`snapshot`; also accepts the pre-epoch plain
+        list form (all epochs zero) for old checkpoints and tests."""
+        if isinstance(data, dict):
+            return cls(nprocs, owner, data["v"], data.get("e"))
         return cls(nprocs, owner, data)

@@ -6,7 +6,11 @@ codecs a native implementation would use, so that accounting is grounded
 rather than asserted:
 
 * TDI: the dependent-interval vector + send index — ``(n + 1)`` unsigned
-  32-bit integers;
+  32-bit integers while every entry refers to incarnation 0 (any
+  failure-free run), growing to ``(2n + 1)`` once a rollback has bumped
+  an epoch and the per-entry epoch vector must ride along.  The two
+  forms are distinguished by length, so the lightweight claim the paper
+  makes (and Fig. 6 measures) is preserved exactly when nothing fails;
 * TAG/TEL: a determinant list — 4 identifiers per determinant (receiver,
   deliver_index, sender, send_index), preceded by a count;
 * TEL additionally carries its n-entry stability vector.
@@ -36,25 +40,54 @@ def _check_u32(values: Sequence[int]) -> None:
 # TDI: vector + send index
 # ----------------------------------------------------------------------
 
-def encode_tdi(vector: Sequence[int], send_index: int) -> bytes:
-    """Serialise a TDI piggyback: n vector entries + the send index."""
-    values = list(vector) + [send_index]
+def encode_tdi(vector: Sequence[int], send_index: int,
+               epochs: Sequence[int] | None = None) -> bytes:
+    """Serialise a TDI piggyback.
+
+    ``epochs`` defaults to the vector's own ``epochs`` attribute when it
+    is a :class:`~repro.core.vectors.TaggedPiggyback`.  All-zero epochs
+    (no incarnation past the first anywhere in the entries) use the
+    paper's compact ``n + 1`` form; otherwise the epoch vector is
+    appended before the send index — ``2n + 1`` identifiers.
+    """
+    if epochs is None:
+        epochs = getattr(vector, "epochs", None)
+    values = list(vector)
+    if epochs is not None and any(epochs):
+        if len(epochs) != len(values):
+            raise ValueError(
+                f"epoch vector length {len(epochs)} != vector length "
+                f"{len(values)}")
+        values += list(epochs)
+    values.append(send_index)
     _check_u32(values)
     return struct.pack(f"<{len(values)}I", *values)
 
 
-def decode_tdi(data: bytes, nprocs: int) -> tuple[tuple[int, ...], int]:
-    """Inverse of :func:`encode_tdi`; returns (vector, send_index)."""
-    expected = (nprocs + 1) * IDENTIFIER_BYTES
-    if len(data) != expected:
-        raise ValueError(f"TDI piggyback is {len(data)} bytes, expected {expected}")
-    values = struct.unpack(f"<{nprocs + 1}I", data)
-    return values[:nprocs], values[nprocs]
+def decode_tdi(data: bytes, nprocs: int) -> tuple[tuple[int, ...], tuple[int, ...], int]:
+    """Inverse of :func:`encode_tdi`; returns (vector, epochs, send_index).
+
+    The two wire forms are distinguished by length: ``n + 1`` words is
+    the compact epoch-0 form, ``2n + 1`` words carries explicit epochs.
+    """
+    compact = (nprocs + 1) * IDENTIFIER_BYTES
+    tagged = (2 * nprocs + 1) * IDENTIFIER_BYTES
+    if len(data) == compact:
+        values = struct.unpack(f"<{nprocs + 1}I", data)
+        return values[:nprocs], (0,) * nprocs, values[nprocs]
+    if len(data) == tagged:
+        values = struct.unpack(f"<{2 * nprocs + 1}I", data)
+        return values[:nprocs], values[nprocs:2 * nprocs], values[2 * nprocs]
+    raise ValueError(
+        f"TDI piggyback is {len(data)} bytes, expected {compact} (compact) "
+        f"or {tagged} (epoch-tagged)")
 
 
-def tdi_wire_bytes(nprocs: int) -> int:
-    """Encoded size of a TDI piggyback — (n + 1) identifiers."""
-    return (nprocs + 1) * IDENTIFIER_BYTES
+def tdi_wire_bytes(nprocs: int, tagged: bool = False) -> int:
+    """Encoded size of a TDI piggyback — ``n + 1`` identifiers in the
+    compact form, ``2n + 1`` once epoch tagging is active."""
+    n_identifiers = 2 * nprocs + 1 if tagged else nprocs + 1
+    return n_identifiers * IDENTIFIER_BYTES
 
 
 # ----------------------------------------------------------------------

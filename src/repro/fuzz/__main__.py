@@ -27,6 +27,7 @@ from repro.harness.cli import default_cache_dir
 from repro.fuzz.campaign import run_campaign
 from repro.fuzz.corpus import CorpusEntry, load_corpus, replay_entry
 from repro.fuzz.differential import DEFAULT_PROTOCOLS, GROUND_TRUTH, Finding
+from repro.fuzz.scenario import FAULT_BIASES
 from repro.protocols.registry import validate_protocols
 
 
@@ -78,6 +79,11 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
                         help="neither read nor write the result cache")
     parser.add_argument("--stop-after", type=int, default=None, metavar="N",
                         help="end the campaign after N failing scenarios")
+    parser.add_argument("--fault-bias", choices=FAULT_BIASES, default="none",
+                        help="reshape the fault-schedule distribution; "
+                        "'overlap' concentrates on closely-staggered "
+                        "multi-victim kills that force overlapping "
+                        "recoveries (default: none)")
     parser.add_argument("--replay", metavar="ENTRY.json",
                         help="replay one corpus entry (or every entry in a "
                         "directory) instead of fuzzing")
@@ -153,6 +159,7 @@ def main(argv: list[str] | None = None) -> int:
         shrink_attempts=args.shrink_attempts,
         corpus_dir=None if args.no_corpus else args.corpus_dir,
         stop_after=args.stop_after,
+        fault_bias=None if args.fault_bias == "none" else args.fault_bias,
         log=None if args.quiet else print,
     )
     elapsed = time.perf_counter() - t0

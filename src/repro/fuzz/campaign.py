@@ -76,14 +76,19 @@ def run_campaign(
     shrink_attempts: int = 120,
     corpus_dir: str | Path | None = None,
     stop_after: int | None = None,
+    fault_bias: str | None = None,
     log: Callable[[str], None] | None = None,
 ) -> CampaignResult:
     """Fuzz every seed in ``seeds`` (up to ``budget`` scenarios).
 
     ``stop_after`` ends the campaign early once that many failing
     scenarios have been found — the mutation self-tests use it to prove
-    detection without paying for the rest of the range.  Failures are
-    shrunk with a predicate that preserves the original ``(protocol,
+    detection without paying for the rest of the range.  ``fault_bias``
+    reshapes the fault-schedule distribution (``"overlap"`` concentrates
+    on closely-staggered multi-victim kills that exercise overlapping
+    recoveries); biased bands draw from a salted seed stream so they
+    never retread the unbiased band's scenarios.  Failures are shrunk
+    with a predicate that preserves the original ``(protocol,
     failure-kind)`` signature, then persisted to ``corpus_dir`` (when
     given) with full provenance.
     """
@@ -95,7 +100,7 @@ def run_campaign(
         if budget is not None and result.scenarios_run >= budget:
             emit(f"budget of {budget} scenarios exhausted")
             break
-        scenario = generate_scenario(seed)
+        scenario = generate_scenario(seed, fault_bias=fault_bias)
         verdict = run_scenario(scenario, protocols, jobs=jobs, cache=cache)
         result.scenarios_run += 1
         result.runs_executed += verdict.runs

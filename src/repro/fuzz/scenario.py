@@ -59,6 +59,22 @@ FAULT_KINDS = (
     ("nasty", 0.15),
 )
 
+#: ``--fault-bias overlap``: concentrate on overlapping recoveries — the
+#: regime that produced the incarnation-epoch deadlock.  Staggered kills
+#: with gaps straddling ``restart_delay`` (so the second victim dies
+#: while the first is mid-recovery) dominate, distinct victims always
+#: (two kills of one rank serialise; two victims overlap)
+OVERLAP_FAULT_KINDS = (
+    ("none", 0.0),
+    ("single", 0.10),
+    ("staggered", 0.45),
+    ("simultaneous", 0.35),
+    ("nasty", 0.10),
+)
+
+#: recognised values for the generator's ``fault_bias`` parameter
+FAULT_BIASES = ("none", "overlap")
+
 #: engine backstop for fuzz runs: far above any legal fast-preset run
 #: (~10^4–10^5 events), far below the engine default, so a mutant that
 #: livelocks recovery fails fast instead of spinning for minutes
@@ -203,9 +219,24 @@ def _fault_times_nasty(rng: random.Random, checkpoint_interval: float) -> list[f
     return [rng.choice(windows) for _ in range(rng.randint(1, 2))]
 
 
-def generate_scenario(seed: int) -> Scenario:
-    """Deterministically map ``seed`` to a random scenario."""
-    rng = random.Random(f"repro.fuzz:{seed}")
+def generate_scenario(seed: int, fault_bias: str | None = None) -> Scenario:
+    """Deterministically map ``seed`` to a random scenario.
+
+    ``fault_bias="overlap"`` reshapes the fault-schedule distribution
+    toward overlapping recoveries (see :data:`OVERLAP_FAULT_KINDS`): the
+    staggered gaps are drawn around ``restart_delay`` so later victims
+    die while earlier ones are mid-recovery, and victims are always
+    distinct.  The bias is part of the RNG salt, so ``(seed, bias)``
+    pairs are reproducible and the two bands never collide.
+    """
+    if fault_bias in (None, "none"):
+        fault_bias = None
+    elif fault_bias not in FAULT_BIASES:
+        raise ValueError(f"unknown fault_bias {fault_bias!r}; "
+                         f"expected one of {FAULT_BIASES}")
+    salt = f"repro.fuzz:{seed}" if fault_bias is None \
+        else f"repro.fuzz:{fault_bias}:{seed}"
+    rng = random.Random(salt)
 
     workload = _weighted(rng, WORKLOAD_WEIGHTS)
     nprocs = rng.randint(2, 8)
@@ -234,16 +265,24 @@ def generate_scenario(seed: int) -> Scenario:
         eager = max(eager, largest + 1)
     sim_seed = rng.randrange(1 << 20)
 
-    kind = _weighted(rng, FAULT_KINDS)
+    kind_table = OVERLAP_FAULT_KINDS if fault_bias == "overlap" else FAULT_KINDS
+    kind = _weighted(rng, kind_table)
     faults: list[tuple[int, float]] = []
     if kind == "single":
         faults = [(rng.randrange(nprocs), rng.uniform(1e-4, 8e-3))]
     elif kind == "staggered":
         start = rng.uniform(1e-4, 4e-3)
-        gap = rng.uniform(5e-4, 3e-3)
-        victims = [rng.randrange(nprocs) for _ in range(rng.randint(2, 3))]
-        if rng.random() < 0.3:  # recovery-of-a-recovery: hit one rank twice
-            victims[-1] = victims[0]
+        if fault_bias == "overlap":
+            # gaps straddling restart_delay (default 2 ms): the next
+            # victim dies while the previous incarnation is reading its
+            # checkpoint or rolling forward — the deadlock's regime
+            gap = rng.uniform(2e-4, 2.5e-3)
+            victims = rng.sample(range(nprocs), min(rng.randint(2, 3), nprocs))
+        else:
+            gap = rng.uniform(5e-4, 3e-3)
+            victims = [rng.randrange(nprocs) for _ in range(rng.randint(2, 3))]
+            if rng.random() < 0.3:  # recovery-of-a-recovery: hit a rank twice
+                victims[-1] = victims[0]
         faults = [(v, start + i * gap) for i, v in enumerate(victims)]
     elif kind == "simultaneous":
         at = rng.uniform(1e-4, 6e-3)
@@ -254,8 +293,9 @@ def generate_scenario(seed: int) -> Scenario:
         faults = [(rng.randrange(nprocs), t)
                   for t in _fault_times_nasty(rng, checkpoint_interval)]
 
+    suffix = "" if fault_bias is None else f"-{fault_bias}"
     return Scenario(
-        name=f"seed-{seed:06d}",
+        name=f"seed-{seed:06d}{suffix}",
         workload=workload,
         nprocs=nprocs,
         seed=sim_seed,

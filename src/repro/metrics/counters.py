@@ -46,6 +46,10 @@ class RankMetrics:
     recovery_count: int = 0
     rollforward_time: float = 0.0    # failure -> rolling forward complete
     compute_time: float = 0.0
+    # --- recovery watchdog
+    rollback_retries: int = 0        # ROLLBACK re-broadcasts to silent peers
+    recovery_stalls: int = 0         # no-progress episodes the watchdog saw
+    recovery_escalations: int = 0    # stalls that hit the escalation deadline
 
     def merge(self, other: "RankMetrics") -> None:
         """Accumulate ``other`` into ``self`` (numeric fields only)."""

@@ -62,6 +62,14 @@ def summarize(result: "RunResult") -> str:
             f"  failures:              {failures} "
             f"(rolling forward {_fmt_time(stats.total('rollforward_time'))} total)"
         )
+        retries = int(stats.total("rollback_retries"))
+        stalls = int(stats.total("recovery_stalls"))
+        escalations = int(stats.total("recovery_escalations"))
+        if retries or stalls or escalations:
+            lines.append(
+                f"  recovery watchdog:     {retries} rollback retries, "
+                f"{stalls} stalls detected, {escalations} escalations"
+            )
     if stats.total("blocked_time") > 0:
         lines.append(
             f"  send blocking:         {_fmt_time(stats.total('blocked_time'))} total"

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, TYPE_CHECKING
 
 from repro.core.nonblocking import SendPump, SendRequest
+from repro.core.watchdog import RecoveryWatchdog
 from repro.mpi.context import ProcContext
 from repro.protocols.base import LoggedMessage, PreparedSend, Protocol
 from repro.protocols.checkpoint import Checkpoint
@@ -165,6 +166,10 @@ class Endpoint:
     def now(self) -> float:
         """Current simulated time (EndpointServices)."""
         return self.engine.now
+
+    def incarnation_epoch(self) -> int:
+        """The hosting node's incarnation epoch (EndpointServices)."""
+        return self.node.epoch
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> Any:
         """Schedule protocol work on the engine (EndpointServices)."""
@@ -574,19 +579,9 @@ class Endpoint:
         self.trace.emit("recovery.incarnate", self.rank, epoch=epoch,
                         from_seq=ckpt.seq)
         self.protocol.begin_recovery()
-        self._arm_recovery_retry(epoch)
+        RecoveryWatchdog(self, epoch).arm()
         self._spawn_task()
         self._check_rollforward_complete()
-
-    def _arm_recovery_retry(self, epoch: int) -> None:
-        def tick() -> None:
-            if self.node.epoch != epoch or not self.node.alive:
-                return
-            if self.protocol.recovery_pending():
-                self.protocol.retry_recovery()
-                self.engine.schedule(self.config.rollback_retry_interval, tick)
-
-        self.engine.schedule(self.config.rollback_retry_interval, tick)
 
     # ==================================================================
     @property

@@ -81,6 +81,10 @@ class EndpointServices(TypingProtocol):
     def now(self) -> float:
         """Current simulated time."""
 
+    def incarnation_epoch(self) -> int:
+        """The hosting node's incarnation epoch (0 before any failure;
+        bumped every time the node revives)."""
+
     def send_control(self, dst: int, ctl: str, payload: Any, size_bytes: int) -> None:
         """Transmit one protocol control frame to ``dst``."""
 
@@ -118,6 +122,12 @@ class Protocol(abc.ABC):
         self.costs = costs
         self.metrics = metrics
         self.trace = trace
+        # The incarnation epoch this protocol instance lives in.  The
+        # endpoint re-creates the protocol on every incarnation, so the
+        # constructor-time read is authoritative; duck-typed so protocol
+        # test doubles without the method default to epoch 0.
+        epoch_fn = getattr(services, "incarnation_epoch", None)
+        self.epoch: int = epoch_fn() if callable(epoch_fn) else 0
 
     # ------------------------------------------------------------------
     # Normal-execution path
@@ -171,6 +181,35 @@ class Protocol(abc.ABC):
     def retry_recovery(self) -> None:
         """Re-issue recovery requests to unresponsive peers."""
 
+    def escalate_recovery(self) -> None:
+        """Watchdog escalation: recovery has made no progress past the
+        configured deadline.  Protocols override this to re-announce
+        their full recovery state to *every* peer (not just the
+        unresponsive ones); the default falls back to a plain retry."""
+        self.retry_recovery()
+
+    def recovery_settled(self) -> None:
+        """Watchdog disarm: the incarnation is healthy again.  Protocols
+        that degraded themselves under escalation (e.g. TDI's stale-epoch
+        clamp) restore their strict behaviour here."""
+
+    def recovery_signature(self) -> Any:
+        """Hashable snapshot of recovery progress.  The watchdog calls
+        this each tick; any change counts as progress and resets its
+        stall clock and backoff."""
+        vectors = getattr(self, "vectors", None)
+        return (
+            tuple(vectors.last_deliver_index) if vectors is not None else (),
+            frozenset(getattr(self, "_awaiting_response", ())),
+            bool(getattr(self, "_history_pending", False)),
+        )
+
+    def explain_defer(self, frame_meta: dict[str, Any], src: int) -> str | None:
+        """Why is this queued frame not deliverable right now?  Used by
+        the watchdog's abort diagnosis to name the blocking interval
+        entries; ``None`` when the protocol has nothing specific to say."""
+        return None
+
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
@@ -191,21 +230,38 @@ class VectorState:
     nprocs: int
     last_send_index: list[int] = field(default_factory=list)
     last_deliver_index: list[int] = field(default_factory=list)
+    #: highest incarnation epoch observed per peer (from ROLLBACK /
+    #: RESPONSE control frames); stale control frames from a peer's dead
+    #: incarnation are recognised and discarded against this
+    peer_epoch: list[int] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not self.last_send_index:
             self.last_send_index = [0] * self.nprocs
         if not self.last_deliver_index:
             self.last_deliver_index = [0] * self.nprocs
+        if not self.peer_epoch:
+            self.peer_epoch = [0] * self.nprocs
 
     def snapshot(self) -> dict[str, list[int]]:
-        """Checkpointable copy of both index vectors."""
+        """Checkpointable copy of the index vectors."""
         return {
             "last_send_index": list(self.last_send_index),
             "last_deliver_index": list(self.last_deliver_index),
+            "peer_epoch": list(self.peer_epoch),
         }
 
     def restore(self, data: dict[str, list[int]]) -> None:
-        """Adopt checkpointed index vectors."""
+        """Adopt checkpointed index vectors (pre-epoch snapshots carry
+        no ``peer_epoch``; everyone was in incarnation 0 then)."""
         self.last_send_index = list(data["last_send_index"])
         self.last_deliver_index = list(data["last_deliver_index"])
+        self.peer_epoch = list(data.get("peer_epoch", [0] * self.nprocs))
+
+    def observe_peer_epoch(self, rank: int, epoch: int) -> bool:
+        """Record a peer's announced incarnation epoch; returns False
+        when the announcement is *stale* (older than already known)."""
+        if epoch < self.peer_epoch[rank]:
+            return False
+        self.peer_epoch[rank] = epoch
+        return True

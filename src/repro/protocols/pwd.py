@@ -17,6 +17,14 @@ event logger); everything else is shared here:
   anything — replaying blind would risk orphan states.  This barrier,
   and the waits for one specific next message during replay, are the
   rolling-forward overhead the paper's protocol removes.
+
+Incarnation epochs: ROLLBACK/RESPONSE control frames carry them (like
+TDI's) so stale frames from dead incarnations are recognised and
+dropped under overlapping recoveries.  *Determinants themselves are
+deliberately not epoch-tagged*: the all-peer recovery barrier means the
+required_order map is always rebuilt from post-rollback survivor
+answers, so a determinant can never reference erased state the way a
+TDI interval count can — the asymmetry is structural, not an omission.
 """
 
 from __future__ import annotations
@@ -165,6 +173,29 @@ class PwdCausalProtocol(Protocol):
     def _recovery_barrier_active(self) -> bool:
         return bool(self._awaiting_response) or self._history_pending
 
+    def explain_defer(self, frame_meta: dict[str, Any], src: int) -> str | None:
+        """Name what blocks a queued frame (watchdog abort diagnosis)."""
+        send_index = frame_meta["send_index"]
+        last = self.vectors.last_deliver_index[src]
+        if send_index <= last:
+            return None  # a duplicate is discarded, never blocking
+        if send_index > last + 1:
+            return (f"frame {src}->{self.rank} #{send_index} waits for "
+                    f"predecessor #{last + 1} on that channel")
+        if self._recovery_barrier_active():
+            legs = []
+            if self._awaiting_response:
+                legs.append(f"RESPONSE from {sorted(self._awaiting_response)}")
+            if self._history_pending:
+                legs.append("event-logger history")
+            return (f"rank {self.rank} recovery barrier awaits "
+                    + " and ".join(legs))
+        required = self.required_order.get(self.deliver_total + 1)
+        if required is not None and required != (src, send_index):
+            return (f"replay position {self.deliver_total + 1} requires "
+                    f"message {required}; frame is ({src}, {send_index})")
+        return None
+
     def on_deliver(self, frame_meta: dict[str, Any], src: int) -> float:
         send_index = frame_meta["send_index"]
         expected = self.vectors.last_deliver_index[src] + 1
@@ -239,12 +270,26 @@ class PwdCausalProtocol(Protocol):
         if self._awaiting_response:
             self._broadcast_rollback(self._awaiting_response)
 
+    def escalate_recovery(self) -> None:
+        """Watchdog escalation: re-broadcast ROLLBACK to *every* peer —
+        a peer that already answered may have answered a dead
+        incarnation of ours — and re-query the event logger if that leg
+        of the barrier is what stalled."""
+        self.trace.emit("proto.recovery_escalate", self.rank,
+                        awaiting=sorted(self._awaiting_response),
+                        history_pending=self._history_pending)
+        if self._history_pending:
+            self._request_history()
+        self._broadcast_rollback(
+            {r for r in range(self.nprocs) if r != self.rank})
+
     def _broadcast_rollback(self, targets: set[int]) -> None:
         payload = {
             "ldi": list(self.vectors.last_deliver_index),
             "ckpt_deliver_total": self.deliver_total,
+            "epoch": self.epoch,
         }
-        size = (self.nprocs + 1) * self.costs.identifier_bytes
+        size = (self.nprocs + 2) * self.costs.identifier_bytes
         for dst in sorted(targets):
             self.services.send_control(dst, ROLLBACK, payload, size)
         self.trace.emit("proto.rollback_bcast", self.rank, targets=sorted(targets))
@@ -262,12 +307,22 @@ class PwdCausalProtocol(Protocol):
             raise ValueError(f"{self.name} got unknown control frame {ctl!r}")
 
     def _handle_rollback(self, src: int, payload: dict[str, Any]) -> None:
+        epoch = payload.get("epoch")
+        if epoch is not None and not self.vectors.observe_peer_epoch(src, epoch):
+            # a retry from an incarnation that has since died again;
+            # answering would clamp suppression below what the current
+            # incarnation already told us it has covered
+            self.trace.emit("proto.stale_rollback", self.rank, src=src,
+                            epoch=epoch, known=self.vectors.peer_epoch[src])
+            return
         dets = self._determinants_for(src, payload["ckpt_deliver_total"])
         response = {
             "delivered": self.vectors.last_deliver_index[src],
             "dets": dets,
+            "epoch": self.epoch,
+            "for_epoch": epoch,
         }
-        size = (1 + DET_IDENTIFIERS * len(dets)) * self.costs.identifier_bytes
+        size = (3 + DET_IDENTIFIERS * len(dets)) * self.costs.identifier_bytes
         self.services.send_control(src, RESPONSE, response, size)
         # A suppression index learned from the peer's *previous*
         # incarnation (its RESPONSE to our own earlier rollback) is stale
@@ -286,6 +341,18 @@ class PwdCausalProtocol(Protocol):
         self.trace.emit("proto.resend", self.rank, to=src, count=resent, dets=len(dets))
 
     def _handle_response(self, src: int, payload: dict[str, Any]) -> None:
+        for_epoch = payload.get("for_epoch")
+        if for_epoch is not None and for_epoch != self.epoch:
+            # an answer to a dead incarnation's rollback — its delivered
+            # count and determinants may describe a history this
+            # incarnation is about to diverge from; wait for the answer
+            # to the rollback *this* incarnation broadcast
+            self.trace.emit("proto.stale_response", self.rank, src=src,
+                            for_epoch=for_epoch)
+            return
+        epoch = payload.get("epoch")
+        if epoch is not None:
+            self.vectors.observe_peer_epoch(src, epoch)
         if payload["delivered"] > self.rollback_last_send_index[src]:
             self.rollback_last_send_index[src] = payload["delivered"]
         for det in payload["dets"]:

@@ -22,6 +22,12 @@ Graphs are pruned when a process checkpoints: its pre-checkpoint
 delivery events can never roll back, so their determinants are dead
 weight everywhere (CHECKPOINT_ADVANCE broadcast).
 
+Determinants carry no incarnation epochs (unlike TDI's interval
+entries): the PWD recovery barrier rebuilds ``required_order`` from
+post-rollback survivor answers, so a stale determinant can never wedge
+the replay gate — only the ROLLBACK/RESPONSE control frames need epoch
+stamps, and those live in :class:`~repro.protocols.pwd.PwdCausalProtocol`.
+
 Implementation note: the increment is computed with set differences over
 determinant keys (C-speed) while the modelled CPU cost still charges the
 full graph scan — the simulated cost model is independent of the Python

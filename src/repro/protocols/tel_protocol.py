@@ -15,6 +15,11 @@ Recovery: the incarnation queries the logger for its stable delivery
 history and collects survivors' unstable determinants with the ROLLBACK
 responses; the union fixes the replay order (any event beyond it was
 observed by nobody and may replay freely).
+
+As with TAG, determinants are not epoch-tagged: the recovery barrier
+(survivor answers + logger history) is re-run per incarnation, so stale
+replay records cannot wedge the gate; epoch stamping is confined to the
+ROLLBACK/RESPONSE frames of the shared PWD base class.
 """
 
 from __future__ import annotations

@@ -25,6 +25,20 @@ Shadow semantics mirror the paper's Algorithm 1 exactly:
 Failures therefore need no special-casing: a replayed delivery is
 checked against the rolled-back shadow just as the original was checked
 against the live one.
+
+Incarnation epochs (the overlapping-recovery fix) are mirrored in the
+shadow: every happens-before entry carries the epoch it refers to.  The
+causal-gate count check holds across epochs — a dead incarnation's
+counts are re-reached by replay, so delivering below one is the same
+orphan risk as a same-epoch overcount — with two carve-outs: a
+*future*-epoch entry delivered anyway is always a violation, and a
+stale-epoch overcount is exempt only while the receiver's recovery sits
+between ``proto.recovery_escalate`` and ``proto.recovery_settled`` (the
+watchdog degraded its gate to the checkpointed-coverage clamp).
+Foreign entries merge under the lexicographic ``(epoch, value)`` order,
+and piggyback completeness compares pairs under that same order.  An
+epoch-blind protocol merge is therefore caught — the mutation test in
+``tests/verify`` proves it.
 """
 
 from __future__ import annotations
@@ -56,13 +70,17 @@ class _Shadow:
 
     delivered_upto: list[int]
     hb: list[int]
+    #: incarnation epoch each ``hb`` entry refers to (all zero until a
+    #: rollback somewhere bumps one)
+    hb_epochs: list[int]
 
     @classmethod
     def fresh(cls, nprocs: int) -> "_Shadow":
-        return cls([0] * nprocs, [0] * nprocs)
+        return cls([0] * nprocs, [0] * nprocs, [0] * nprocs)
 
     def copy(self) -> "_Shadow":
-        return _Shadow(list(self.delivered_upto), list(self.hb))
+        return _Shadow(list(self.delivered_upto), list(self.hb),
+                       list(self.hb_epochs))
 
 
 @dataclass
@@ -87,6 +105,11 @@ class CausalOracle:
         #: violations dropped after ``max_violations`` was reached
         self.suppressed = 0
         self._shadow = [_Shadow.fresh(nprocs) for _ in range(nprocs)]
+        #: per-rank current incarnation epoch (from recovery.incarnate)
+        self._rank_epoch = [0] * nprocs
+        #: ranks whose recovery the watchdog escalated and has not yet
+        #: settled — their stale-epoch gate is legitimately degraded
+        self._rank_degraded = [False] * nprocs
         #: shadow state frozen at each checkpoint: (rank, seq) -> _Shadow
         self._ckpt_shadow: dict[tuple[int, int], _Shadow] = {}
         #: per-rank delivery coverage of the latest durable checkpoint
@@ -114,6 +137,12 @@ class CausalOracle:
             self._on_incarnate(event)
         elif kind == "verify.release":
             self._on_release(event)
+        elif kind == "proto.recovery_escalate":
+            if 0 <= event.rank < self.nprocs:
+                self._rank_degraded[event.rank] = True
+        elif kind == "proto.recovery_settled":
+            if 0 <= event.rank < self.nprocs:
+                self._rank_degraded[event.rank] = False
 
     # ------------------------------------------------------------------
     # Invariant 1 + 2: delivery-time checks
@@ -137,7 +166,20 @@ class CausalOracle:
 
         if self._is_depend_vector(pb):
             self._count(CAUSAL_GATE)
-            if pb[rank] > shadow.hb[rank]:
+            epoch = self._rank_epoch[rank]
+            pb_epochs = getattr(pb, "epochs", None)
+            # an untagged piggyback gates at face value (classify() does
+            # the same), so its own-entry epoch is taken as current
+            entry_epoch = pb_epochs[rank] if pb_epochs is not None else epoch
+            if entry_epoch > epoch:
+                self._report(
+                    ev.time, CAUSAL_GATE, rank,
+                    f"message {src}->{rank} #{send_index} delivered while "
+                    f"referencing future epoch {entry_epoch} of rank {rank} "
+                    f"(currently in epoch {epoch})",
+                    src=src, send_index=send_index,
+                    entry_epoch=entry_epoch, epoch=epoch)
+            elif entry_epoch == epoch and pb[rank] > shadow.hb[rank]:
                 self._report(
                     ev.time, CAUSAL_GATE, rank,
                     f"message {src}->{rank} #{send_index} delivered with "
@@ -146,8 +188,32 @@ class CausalOracle:
                     f"deliveries",
                     src=src, send_index=send_index,
                     required=pb[rank], have=shadow.hb[rank])
+            elif (entry_epoch < epoch and pb[rank] > shadow.hb[rank]
+                  and not self._rank_degraded[rank]):
+                # A dead incarnation's counts still gate — replay
+                # re-reaches them position-for-position — unless the
+                # watchdog escalated this recovery, which degrades the
+                # gate to the checkpointed-coverage clamp until the
+                # episode settles.
+                self._report(
+                    ev.time, CAUSAL_GATE, rank,
+                    f"message {src}->{rank} #{send_index} delivered with "
+                    f"unsatisfied stale-epoch dependency: piggyback "
+                    f"requires interval {pb[rank]} of epoch {entry_epoch}, "
+                    f"receiver has made {shadow.hb[rank]} deliveries and "
+                    f"no escalation degraded its gate",
+                    src=src, send_index=send_index,
+                    required=pb[rank], have=shadow.hb[rank],
+                    entry_epoch=entry_epoch, epoch=epoch)
             for k, entry in enumerate(pb):
-                if k != rank and entry > shadow.hb[k]:
+                if k == rank:
+                    continue
+                pe = pb_epochs[k] if pb_epochs is not None else 0
+                le = shadow.hb_epochs[k]
+                if pe > le:
+                    shadow.hb[k] = entry
+                    shadow.hb_epochs[k] = pe
+                elif pe == le and entry > shadow.hb[k]:
                     shadow.hb[k] = entry
         shadow.hb[rank] += 1
         self._sample_monotone(ev.time, rank)
@@ -166,14 +232,20 @@ class CausalOracle:
         pb = ev["pb"]
         if self._is_depend_vector(pb):
             self._count(PIGGYBACK_COMPLETENESS)
-            hb = self._shadow[rank].hb
-            lagging = [k for k in range(self.nprocs) if pb[k] < hb[k]]
+            shadow = self._shadow[rank]
+            hb, hb_epochs = shadow.hb, shadow.hb_epochs
+            pb_epochs = getattr(pb, "epochs", None) or (0,) * self.nprocs
+            # lexicographic (epoch, value): an entry re-tagged to a newer
+            # epoch with a smaller count still carries the full knowledge
+            lagging = [k for k in range(self.nprocs)
+                       if (pb_epochs[k], pb[k]) < (hb_epochs[k], hb[k])]
             if lagging:
                 self._report(
                     ev.time, PIGGYBACK_COMPLETENESS, rank,
                     f"send {rank}->{ev['dest']} #{ev['send_index']} "
                     f"under-reports dependencies at entries {lagging}: "
-                    f"piggyback {tuple(pb)} < happens-before {tuple(hb)}",
+                    f"piggyback {tuple(pb)} (epochs {tuple(pb_epochs)}) < "
+                    f"happens-before {tuple(hb)} (epochs {tuple(hb_epochs)})",
                     dest=ev["dest"], send_index=ev["send_index"],
                     pb=tuple(pb), shadow_hb=tuple(hb))
         self._sample_monotone(ev.time, rank)
@@ -199,7 +271,15 @@ class CausalOracle:
                          f"incarnation from unknown checkpoint seq "
                          f"{ev['from_seq']}", from_seq=ev["from_seq"])
             return
-        self._shadow[rank] = frozen.copy()
+        restored = frozen.copy()
+        epoch = ev["epoch"]
+        self._rank_epoch[rank] = epoch
+        # the restored own entry re-tags under the new incarnation, just
+        # like the protocol's set_own_epoch after restore()
+        restored.hb_epochs[rank] = epoch
+        self._shadow[rank] = restored
+        # a fresh incarnation starts with the strict (orphan-safe) gate
+        self._rank_degraded[rank] = False
 
     # ------------------------------------------------------------------
     # Invariant 3: GC safety of the sender log
@@ -238,6 +318,13 @@ class CausalOracle:
             vec = getattr(protocol, name, None)
             if vec is not None:
                 current[name] = list(vec)
+                entry_epochs = getattr(vec, "epochs", None)
+                if entry_epochs is not None:
+                    # the epoch vector is itself monotone (merges only
+                    # ever adopt newer epochs) so the generic check below
+                    # covers it; it also exempts value decreases caused
+                    # by an entry moving to a newer epoch
+                    current[f"{name}_epochs"] = list(entry_epochs)
         peer_epochs = [cluster.nodes[k].epoch for k in range(self.nprocs)]
         previous = self._samples.get(rank)
         if previous is not None and previous.epoch == epoch:
@@ -247,6 +334,14 @@ class CausalOracle:
                 if before is None:
                     continue
                 sunk = [k for k, (a, b) in enumerate(zip(vec, before)) if a < b]
+                if name == "depend_interval":
+                    # entry k may legitimately drop when it re-tags to a
+                    # newer epoch (observe_rollback clamps it to the
+                    # peer's restored interval)
+                    now_e = current.get("depend_interval_epochs")
+                    before_e = previous.vectors.get("depend_interval_epochs")
+                    if now_e is not None and before_e is not None:
+                        sunk = [k for k in sunk if now_e[k] == before_e[k]]
                 if name == "rollback_last_send_index":
                     # a suppression index learned from peer k's previous
                     # incarnation is clamped down to the peer's checkpoint

@@ -47,9 +47,10 @@ class MockServices:
     """Stands in for the endpoint when unit-testing a protocol: records
     every control send and resend instead of touching a network."""
 
-    def __init__(self, rank: int = 0, nprocs: int = 4) -> None:
+    def __init__(self, rank: int = 0, nprocs: int = 4, epoch: int = 0) -> None:
         self.rank = rank
         self.nprocs = nprocs
+        self.epoch = epoch
         self.engine = Engine()
         self.controls: list[tuple[int, str, Any, int]] = []
         self.resends: list[Any] = []
@@ -57,6 +58,9 @@ class MockServices:
 
     def now(self) -> float:
         return self.engine.now
+
+    def incarnation_epoch(self) -> int:
+        return self.epoch
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> Any:
         return self.engine.schedule(delay, fn)

@@ -147,16 +147,24 @@ def test_replay_flags_masked_open_entry():
 
 def test_replay_flags_open_entry_failing_differently():
     """An ``open`` entry whose replay signature no longer intersects the
-    recorded one exits non-zero — a new breakage is hiding the repro."""
+    recorded one exits non-zero — a new breakage is hiding the repro.
+    The corpus holds no open entries any more (the overlapping-recovery
+    deadlock is fixed), so the failing repro is manufactured: a campaign
+    under the merge-dropped mutation finds a scenario, which is then
+    saved with a recorded signature the mutation never produces."""
     from repro.fuzz.__main__ import main
-    from repro.fuzz.corpus import load_corpus, save_entry
+    from repro.fuzz.corpus import CorpusEntry, save_entry
 
-    (entry,) = [e for e in load_corpus()
-                if e.status == "open" and e.findings]
-    with tempfile.TemporaryDirectory() as tmp:
-        entry.findings = ["[tag] answer-mismatch: never happened"]
-        save_entry(entry, tmp)
-        assert main(["--replay", tmp, "--no-cache"]) == 1
+    with mock.patch.object(DependIntervalVector, "merge",
+                           lambda self, piggyback: 0):
+        found = _campaign(range(0, 5))
+        assert found.failures
+        with tempfile.TemporaryDirectory() as tmp:
+            save_entry(CorpusEntry(
+                scenario=found.failures[0].verdict.scenario,
+                reason="unit test", status="open",
+                findings=["[tag] answer-mismatch: never happened"]), tmp)
+            assert main(["--replay", tmp, "--no-cache"]) == 1
 
 
 # ----------------------------------------------------------------------

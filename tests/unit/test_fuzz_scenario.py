@@ -48,6 +48,61 @@ class TestGeneration:
         seen = {generate_scenario(seed).fault_kind for seed in range(200)}
         assert seen == {kind for kind, _ in FAULT_KINDS}
 
+    def test_overlap_bias_is_deterministic_and_distinct(self):
+        assert generate_scenario(7, "overlap") == generate_scenario(7, "overlap")
+        assert generate_scenario(7, "overlap") != generate_scenario(7)
+        assert generate_scenario(7, "overlap").name.endswith("-overlap")
+
+    def test_none_bias_is_the_default_band(self):
+        assert generate_scenario(7, "none") == generate_scenario(7)
+        assert generate_scenario(7, None) == generate_scenario(7)
+
+    def test_unknown_bias_rejected(self):
+        with pytest.raises(ValueError, match="fault_bias"):
+            generate_scenario(0, "bogus")
+
+    def test_overlap_bias_concentrates_on_multi_victim_kills(self):
+        from repro.fuzz.scenario import OVERLAP_FAULT_KINDS
+
+        scenarios = [generate_scenario(seed, "overlap")
+                     for seed in range(120)]
+        kinds = [s.fault_kind for s in scenarios]
+        reachable = {kind for kind, weight in OVERLAP_FAULT_KINDS if weight}
+        assert set(kinds) == reachable
+        assert "none" not in kinds  # every biased scenario schedules faults
+        multi = [s for s in scenarios if len(s.faults) >= 2]
+        assert len(multi) > len(scenarios) * 0.7
+
+    def test_overlap_staggered_victims_are_distinct(self):
+        # two kills of one rank serialise; the bias needs overlapping
+        # recoveries, so staggered victims must be distinct ranks
+        for seed in range(120):
+            scenario = generate_scenario(seed, "overlap")
+            if scenario.fault_kind == "staggered":
+                victims = [r for r, _ in scenario.faults]
+                assert len(set(victims)) == len(victims)
+
+    def test_overlap_scenarios_are_valid(self):
+        for seed in range(60):
+            scenario = generate_scenario(seed, "overlap")
+            assert scenario.validate() is None, scenario.describe()
+
+    def test_cli_accepts_fault_bias(self):
+        from repro.fuzz.__main__ import _parse_args
+
+        args = _parse_args(["--fault-bias", "overlap"])
+        assert args.fault_bias == "overlap"
+        assert _parse_args([]).fault_bias == "none"
+
+    def test_campaign_threads_fault_bias(self):
+        from repro.fuzz.campaign import run_campaign
+
+        result = run_campaign([3], fault_bias="overlap", shrink=False)
+        # seed 3's overlap scenario either agrees everywhere or is
+        # structurally skipped; either way it ran the biased band
+        assert result.scenarios_run + len(result.skipped) >= 1
+        assert not result.failures
+
     def test_blocking_scenarios_stay_eager(self):
         """Blocking + rendezvous deadlocks even without fault tolerance
         (the kernels send before they receive), so the generator must

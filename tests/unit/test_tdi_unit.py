@@ -129,7 +129,10 @@ class TestRecovery:
         p.begin_recovery()
         rollbacks = [c for c in svc.controls if c[1] == ROLLBACK]
         assert [c[0] for c in rollbacks] == [1, 2, 3]
-        assert all(c[2] == [0, 1, 2, 3] for c in rollbacks)
+        assert all(
+            c[2] == {"ldi": [0, 1, 2, 3], "epoch": 0, "interval": 0}
+            for c in rollbacks
+        )
         assert p.recovery_pending()
 
     def test_rollback_answered_with_response_and_resends(self):
@@ -138,9 +141,14 @@ class TestRecovery:
             p.prepare_send(2, 0, payload, 64)
         p.vectors.last_deliver_index[2] = 7
         # rank 2 rolled back; its checkpoint covered 2 of our messages
+        # (legacy pre-epoch payload shape: the bare last_deliver_index)
         p.handle_control(ROLLBACK, src=2, payload=[2, 0, 0, 0])
         responses = [c for c in svc.controls if c[1] == RESPONSE]
-        assert responses == [(2, RESPONSE, 7, p.costs.identifier_bytes)]
+        assert responses == [(
+            2, RESPONSE,
+            {"delivered": 7, "epoch": 0, "for_epoch": None},
+            3 * p.costs.identifier_bytes,
+        )]
         assert [m.send_index for m in svc.resends] == [3, 4]
 
     def test_rollback_clamps_stale_suppression(self):

@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.core import wire
+from repro.core.vectors import TaggedPiggyback
 from repro.protocols.pwd import Determinant
 from tests.conftest import app_meta, make_protocol
 
@@ -21,11 +22,30 @@ class TestTdiCodec:
     @given(st.lists(u32, min_size=1, max_size=64), u32)
     def test_roundtrip(self, vector, send_index):
         data = wire.encode_tdi(vector, send_index)
-        got_vec, got_idx = wire.decode_tdi(data, len(vector))
+        got_vec, got_epochs, got_idx = wire.decode_tdi(data, len(vector))
         assert list(got_vec) == vector and got_idx == send_index
+        assert got_epochs == (0,) * len(vector)
+
+    @given(st.data(), st.integers(1, 64), u32)
+    def test_tagged_roundtrip(self, data, nprocs, send_index):
+        """Epoch-tagged piggybacks round-trip through the 2n+1 form."""
+        values = data.draw(st.lists(u32, min_size=nprocs, max_size=nprocs))
+        epochs = data.draw(st.lists(st.integers(0, 1 << 16),
+                                    min_size=nprocs, max_size=nprocs))
+        pb = TaggedPiggyback(values, epochs)
+        encoded = wire.encode_tdi(pb, send_index)
+        got_vec, got_epochs, got_idx = wire.decode_tdi(encoded, nprocs)
+        assert list(got_vec) == values and got_idx == send_index
+        assert list(got_epochs) == (epochs if any(epochs) else [0] * nprocs)
+        expected = wire.tdi_wire_bytes(nprocs, tagged=any(epochs))
+        assert len(encoded) == expected
 
     def test_length_formula(self):
         assert len(wire.encode_tdi([0] * 8, 1)) == wire.tdi_wire_bytes(8) == 36
+
+    def test_tagged_length_formula(self):
+        pb = TaggedPiggyback([0] * 8, [0] * 7 + [1])
+        assert len(wire.encode_tdi(pb, 1)) == wire.tdi_wire_bytes(8, tagged=True) == 68
 
     def test_overflow_rejected(self):
         with pytest.raises(ValueError, match="32 bits"):
@@ -70,6 +90,16 @@ class TestAccountingGrounded:
     def test_tdi_accounting_matches_codec(self):
         p, _ = make_protocol("tdi", nprocs=8)
         prepared = p.prepare_send(1, 0, "x", 64)
+        encoded = wire.encode_tdi(prepared.piggyback, prepared.send_index)
+        assert len(encoded) == prepared.piggyback_identifiers * wire.IDENTIFIER_BYTES
+
+    def test_tdi_tagged_accounting_matches_codec(self):
+        # once any entry refers to a later incarnation the accounting and
+        # the codec both grow to 2n + 1 identifiers, in lockstep
+        p, _ = make_protocol("tdi", nprocs=8)
+        p.depend_interval.observe_rollback(3, 5, epoch=1)
+        prepared = p.prepare_send(1, 0, "x", 64)
+        assert prepared.piggyback_identifiers == 2 * 8 + 1
         encoded = wire.encode_tdi(prepared.piggyback, prepared.send_index)
         assert len(encoded) == prepared.piggyback_identifiers * wire.IDENTIFIER_BYTES
 
