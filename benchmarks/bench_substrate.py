@@ -1,18 +1,36 @@
 """Throughput benches for the simulation substrate itself.
 
 Not a paper figure — these keep the simulator honest as a tool: event
-throughput of the engine, frame throughput of the network, and the
+throughput of the engine, frame throughput of the network, the
 end-to-end simulation rate (simulated messages per wall second) that the
-figure sweeps depend on.
+figure sweeps depend on, and the cost of the reliable transport layer
+(sequencing + acks + retransmission) at 0% and 1% frame loss.
+
+Run as a module (``python benchmarks/bench_substrate.py``) to append one
+transport-overhead record to ``BENCH_substrate.json``.
 """
 
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro._version import __version__
 from repro.config import SimulationConfig
 from repro.mpi.cluster import run_simulation
 from repro.simnet.engine import Engine
 from repro.simnet.network import Frame, Network, NetworkConfig
 from repro.simnet.node import NodeSet
 from repro.simnet.rng import RngStreams
+from repro.simnet.transport import TransportConfig
 from repro.workloads.presets import workload_factory
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_substrate.json"
 
 
 def test_engine_event_throughput(benchmark):
@@ -56,3 +74,108 @@ def test_end_to_end_simulation_rate(benchmark):
         return result.stats.messages_total
 
     assert benchmark(run) > 1000
+
+
+# ----------------------------------------------------------------------
+# Reliable-transport overhead
+# ----------------------------------------------------------------------
+
+def _transport_run(*, transport: bool, drop_prob: float = 0.0):
+    """One LU/8-rank/TDI run with the given substrate configuration."""
+    config = SimulationConfig(
+        nprocs=8, protocol="tdi", seed=1, checkpoint_interval=0.02,
+        network=NetworkConfig(drop_prob=drop_prob),
+        transport=TransportConfig(enabled=transport),
+    )
+    return run_simulation(config, workload_factory("lu", scale="paper"))
+
+
+def test_transport_overhead_zero_loss(benchmark):
+    """Transport enabled on a pristine wire: sequencing + ack cost only
+    (retransmission timers never arm), behaviour identical to baseline."""
+    result = benchmark(lambda: _transport_run(transport=True))
+    assert result.stats.total("rt_retransmits") == 0
+    assert _transport_run(transport=False).accomplishment_time \
+        == result.accomplishment_time
+
+
+def test_transport_overhead_one_pct_loss(benchmark):
+    """Transport recovering a 1%-lossy wire: retransmissions included."""
+    result = benchmark(lambda: _transport_run(transport=True, drop_prob=0.01))
+    assert result.network.frames_dropped_impaired > 0
+    assert result.stats.total("rt_retransmits") > 0
+
+
+# ----------------------------------------------------------------------
+# Trajectory artifact
+# ----------------------------------------------------------------------
+
+def _timed(fn, repeats: int = 3):
+    """Best-of-``repeats`` wall time and the (deterministic) result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def collect_record() -> dict:
+    """Measure the transport-overhead matrix once and package it."""
+    base_s, base = _timed(lambda: _transport_run(transport=False))
+    rt0_s, rt0 = _timed(lambda: _transport_run(transport=True))
+    rt1_s, rt1 = _timed(lambda: _transport_run(transport=True, drop_prob=0.01))
+    return {
+        "date": time.strftime("%Y-%m-%d"),
+        "version": __version__,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "workload": {"kernel": "lu", "preset": "paper", "nprocs": 8,
+                     "protocol": "tdi", "seed": 1},
+        "baseline_s": round(base_s, 4),
+        "transport_0pct_s": round(rt0_s, 4),
+        "transport_1pct_s": round(rt1_s, 4),
+        "overhead_0pct": round(rt0_s / base_s - 1.0, 4),
+        "overhead_1pct": round(rt1_s / base_s - 1.0, 4),
+        "events_baseline": base.events_fired,
+        "events_0pct": rt0.events_fired,
+        "events_1pct": rt1.events_fired,
+        "sim_time_baseline_s": round(base.accomplishment_time, 6),
+        "sim_time_1pct_s": round(rt1.accomplishment_time, 6),
+        "retransmits_1pct": int(rt1.stats.total("rt_retransmits")),
+        "frames_lost_1pct": rt1.network.frames_dropped_impaired,
+        "standalone_acks_0pct": int(rt0.stats.total("rt_acks_sent")),
+    }
+
+
+def append_record(record: dict, path: Path = ARTIFACT) -> None:
+    """Append ``record`` to the trajectory file (created on first use)."""
+    if path.exists():
+        data = json.loads(path.read_text(encoding="utf-8"))
+    else:
+        data = {"benchmark": "bench_substrate",
+                "description": "reliable-transport overhead over the raw "
+                               "network at 0% and 1% frame loss (LU, 8 "
+                               "ranks, TDI, paper preset), one record "
+                               "appended per measurement run",
+                "records": []}
+    data["records"].append(record)
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Measure, print, and append to the trajectory artifact."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=ARTIFACT,
+                        help=f"trajectory file (default: {ARTIFACT})")
+    args = parser.parse_args(argv)
+    record = collect_record()
+    append_record(record, args.out)
+    print(json.dumps(record, indent=2))
+    print(f"appended to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

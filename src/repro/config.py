@@ -11,6 +11,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.metrics.costs import CostModel
 from repro.simnet.network import NetworkConfig
+from repro.simnet.transport import TransportConfig
 
 
 @dataclass(frozen=True)
@@ -55,6 +56,9 @@ class SimulationConfig:
     #: the run then ends via engine drain or max_sim_time)
     recovery_abort_after: float | None = 0.3
     network: NetworkConfig = field(default_factory=NetworkConfig)
+    #: reliable-transport layer under the protocols; must be enabled
+    #: whenever the network is impaired (nobody else retransmits)
+    transport: TransportConfig = field(default_factory=TransportConfig)
     costs: CostModel = field(default_factory=CostModel)
     seed: int = 0
     trace_enabled: bool = False
@@ -88,6 +92,13 @@ class SimulationConfig:
                 and self.recovery_abort_after <= self.recovery_escalate_after):
             raise ValueError(
                 "recovery_abort_after must exceed recovery_escalate_after"
+            )
+        if self.network.impaired and not self.transport.enabled:
+            raise ValueError(
+                "network impairments (drop/dup/corrupt/partitions) require "
+                "transport.enabled — the raw network does not retransmit, so "
+                "an impaired run without the reliable transport would lose "
+                "frames the protocols assume delivered"
             )
 
     def with_(self, **changes) -> "SimulationConfig":

@@ -147,4 +147,11 @@ class RecoveryWatchdog:
                 why = other.protocol.explain_defer(frame.meta, frame.src)
                 if why:
                     lines.append(f"  {why}")
+        # a wedged recovery often *is* a wedged channel: fold in the
+        # reliable transport's in-flight backlog when one is present
+        fabric = getattr(ep.cluster, "fabric", None)
+        describe = getattr(fabric, "describe_pending", None)
+        if describe is not None:
+            for line in describe():
+                lines.append(f"  {line}")
         return "\n".join(lines)

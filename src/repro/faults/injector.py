@@ -46,6 +46,7 @@ class FaultInjector:
         self.cluster = cluster
         self.injected: list[FaultSpec] = []
         self.skipped: list[FaultSpec] = []
+        self._scheduled: set[tuple[int, float]] = set()
 
     def schedule(self, faults: Sequence[FaultSpec]) -> None:
         """Arm the fault schedule against the cluster's engine."""
@@ -58,6 +59,15 @@ class FaultInjector:
         for spec in faults:
             if not (0 <= spec.rank < config.nprocs):
                 raise ValueError(f"fault rank {spec.rank} out of range")
+            key = (spec.rank, spec.at_time)
+            if key in self._scheduled:
+                raise ValueError(
+                    f"duplicate fault: rank {spec.rank} is already scheduled "
+                    f"to die at t={spec.at_time:g} — a schedule that kills "
+                    f"the same rank twice at the same instant is a bug in "
+                    f"the caller, not a simultaneous-failure scenario"
+                )
+            self._scheduled.add(key)
             self.cluster.engine.schedule_at(spec.at_time, lambda s=spec: self._kill(s))
 
     def _kill(self, spec: FaultSpec) -> None:

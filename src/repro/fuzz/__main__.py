@@ -5,6 +5,7 @@ Examples::
     python -m repro.fuzz --seed-range 0:50            # fuzz 50 scenarios
     python -m repro.fuzz --seed-range 0:500 --budget 100 --jobs 2
     python -m repro.fuzz --seed-range 0:20 --no-shrink --no-cache
+    python -m repro.fuzz --seed-range 0:200 --net-bias lossy   # impaired wire
     python -m repro.fuzz --replay tests/corpus/high-water-regeneration.json
 
 Failures are shrunk to minimal repros and written as replayable corpus
@@ -27,7 +28,7 @@ from repro.harness.cli import default_cache_dir
 from repro.fuzz.campaign import run_campaign
 from repro.fuzz.corpus import CorpusEntry, load_corpus, replay_entry
 from repro.fuzz.differential import DEFAULT_PROTOCOLS, GROUND_TRUTH, Finding
-from repro.fuzz.scenario import FAULT_BIASES
+from repro.fuzz.scenario import FAULT_BIASES, NET_BIASES
 from repro.protocols.registry import validate_protocols
 
 
@@ -84,6 +85,12 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
                         "'overlap' concentrates on closely-staggered "
                         "multi-victim kills that force overlapping "
                         "recoveries (default: none)")
+    parser.add_argument("--net-bias", choices=NET_BIASES, default="clean",
+                        help="reshape the network substrate; 'lossy' runs "
+                        "every scenario over an impaired wire (per-frame "
+                        "drop/dup/corruption up to 5%%, occasional partition "
+                        "windows) with the reliable transport enabled under "
+                        "the protocol runs (default: clean)")
     parser.add_argument("--replay", metavar="ENTRY.json",
                         help="replay one corpus entry (or every entry in a "
                         "directory) instead of fuzzing")
@@ -160,6 +167,7 @@ def main(argv: list[str] | None = None) -> int:
         corpus_dir=None if args.no_corpus else args.corpus_dir,
         stop_after=args.stop_after,
         fault_bias=None if args.fault_bias == "none" else args.fault_bias,
+        net_bias=None if args.net_bias == "clean" else args.net_bias,
         log=None if args.quiet else print,
     )
     elapsed = time.perf_counter() - t0

@@ -77,6 +77,7 @@ def run_campaign(
     corpus_dir: str | Path | None = None,
     stop_after: int | None = None,
     fault_bias: str | None = None,
+    net_bias: str | None = None,
     log: Callable[[str], None] | None = None,
 ) -> CampaignResult:
     """Fuzz every seed in ``seeds`` (up to ``budget`` scenarios).
@@ -86,7 +87,10 @@ def run_campaign(
     detection without paying for the rest of the range.  ``fault_bias``
     reshapes the fault-schedule distribution (``"overlap"`` concentrates
     on closely-staggered multi-victim kills that exercise overlapping
-    recoveries); biased bands draw from a salted seed stream so they
+    recoveries); ``net_bias`` does the same for the network substrate
+    (``"lossy"`` runs every scenario over a drop/dup/corrupt-impaired
+    wire with the reliable transport under the protocol runs); biased
+    bands draw from a salted seed stream so they
     never retread the unbiased band's scenarios.  Failures are shrunk
     with a predicate that preserves the original ``(protocol,
     failure-kind)`` signature, then persisted to ``corpus_dir`` (when
@@ -100,7 +104,8 @@ def run_campaign(
         if budget is not None and result.scenarios_run >= budget:
             emit(f"budget of {budget} scenarios exhausted")
             break
-        scenario = generate_scenario(seed, fault_bias=fault_bias)
+        scenario = generate_scenario(seed, fault_bias=fault_bias,
+                                     net_bias=net_bias)
         verdict = run_scenario(scenario, protocols, jobs=jobs, cache=cache)
         result.scenarios_run += 1
         result.runs_executed += verdict.runs

@@ -35,6 +35,7 @@ from repro.harness.cache import ResultCache
 from repro.harness.executor import run_batch
 from repro.harness.runner import Cell, RunRequest, RunSummary
 from repro.fuzz.scenario import FUZZ_MAX_EVENTS, Scenario
+from repro.simnet.transport import TransportConfig
 from repro.verify.violations import parse_violation
 
 #: protocols a scenario is checked under when the caller does not choose
@@ -108,6 +109,14 @@ def _request(scenario: Scenario, protocol: str, *, faulted: bool,
     ]
     if record:
         overrides.append(("record", True))
+    if scenario.impaired and protocol != GROUND_TRUTH:
+        # impairments apply to the protocol runs only (with the reliable
+        # transport underneath); the ground truth stays on the pristine
+        # network, so a lossy wire that leaks through the transport into
+        # application-visible behaviour shows up as a differential
+        # finding rather than contaminating the reference
+        overrides.append(("network", scenario.network_config()))
+        overrides.append(("transport", TransportConfig(enabled=True)))
     return RunRequest(
         key=(scenario.name, protocol, "faulted" if faulted else "ff"),
         cell=Cell(scenario.workload, scenario.nprocs, protocol,

@@ -29,6 +29,8 @@ from typing import Any
 
 from repro.config import SimulationConfig
 from repro.faults.injector import FaultSpec
+from repro.simnet.network import NetworkConfig, PartitionWindow
+from repro.simnet.transport import TransportConfig
 from repro.workloads.presets import workload_factory
 
 #: workloads the generator draws from, weighted toward the wildcard-heavy
@@ -75,6 +77,16 @@ OVERLAP_FAULT_KINDS = (
 #: recognised values for the generator's ``fault_bias`` parameter
 FAULT_BIASES = ("none", "overlap")
 
+#: recognised values for the generator's ``net_bias`` parameter:
+#: ``"lossy"`` runs every scenario over an impaired network (loss, dup,
+#: corruption up to 5%, occasional partition windows) with the reliable
+#: transport enabled under the protocols
+NET_BIASES = ("clean", "lossy")
+
+#: per-frame impairment probabilities the lossy band draws from (at
+#: least one of drop/dup/corrupt always lands nonzero)
+LOSSY_PROBS = (0.0, 0.005, 0.01, 0.03, 0.05)
+
 #: engine backstop for fuzz runs: far above any legal fast-preset run
 #: (~10^4–10^5 events), far below the engine default, so a mutant that
 #: livelocks recovery fails fast instead of spinning for minutes
@@ -104,12 +116,26 @@ class Scenario:
     preset: str = "fast"
     #: how the fault schedule was generated (documentation only)
     fault_kind: str = "none"
+    #: per-frame network impairment probabilities (nonzero values imply
+    #: the reliable transport under every protocol run)
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    corrupt_prob: float = 0.0
+    #: partition windows as ``(start, end, side_a, side_b)`` tuples with
+    #: rank tuples for the sides
+    partitions: tuple = ()
+    #: how the impairment profile was generated (documentation only)
+    net_kind: str = "clean"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "faults", tuple(
             (int(r), float(t)) for r, t in self.faults))
         object.__setattr__(self, "workload_kwargs",
                            tuple(sorted(tuple(kv) for kv in self.workload_kwargs)))
+        object.__setattr__(self, "partitions", tuple(
+            (float(start), float(end), tuple(int(r) for r in side_a),
+             tuple(int(r) for r in side_b))
+            for start, end, side_a, side_b in self.partitions))
 
     # ------------------------------------------------------------------
     def fault_specs(self) -> tuple[FaultSpec, ...]:
@@ -119,6 +145,24 @@ class Scenario:
     def with_(self, **changes: Any) -> "Scenario":
         """Functional update (shrinker convenience)."""
         return replace(self, **changes)
+
+    @property
+    def impaired(self) -> bool:
+        """Whether any network impairment is active in this scenario."""
+        return bool(self.drop_prob or self.dup_prob or self.corrupt_prob
+                    or self.partitions)
+
+    def network_config(self) -> NetworkConfig:
+        """The scenario's impairment profile as a :class:`NetworkConfig`."""
+        return NetworkConfig(
+            drop_prob=self.drop_prob,
+            dup_prob=self.dup_prob,
+            corrupt_prob=self.corrupt_prob,
+            partitions=tuple(
+                PartitionWindow(start=start, end=end, side_a=side_a,
+                                side_b=side_b)
+                for start, end, side_a, side_b in self.partitions),
+        )
 
     def horizon_kwarg(self) -> tuple[str, int] | None:
         """The ``(name, value)`` kernel parameter bounding this run."""
@@ -144,14 +188,26 @@ class Scenario:
                 checkpoint_interval=self.checkpoint_interval,
                 eager_threshold_bytes=self.eager_threshold_bytes,
                 seed=self.seed,
+                network=self.network_config(),
+                transport=TransportConfig(enabled=self.impaired),
             )
             factory = workload_factory(self.workload, scale=self.preset,
                                        **dict(self.workload_kwargs))
             factory(0, self.nprocs, None)
+            seen = set()
             for rank, at_time in self.faults:
                 FaultSpec(rank=rank, at_time=at_time)
                 if not (0 <= rank < self.nprocs):
                     return f"fault rank {rank} out of range for nprocs={self.nprocs}"
+                if (rank, at_time) in seen:
+                    return f"duplicate fault (rank {rank}, t={at_time:g})"
+                seen.add((rank, at_time))
+            for _, _, side_a, side_b in self.partitions:
+                for rank in (*side_a, *side_b):
+                    if not (0 <= rank < self.nprocs + 1):
+                        # +1: the TEL logger service rank may partition too
+                        return (f"partition rank {rank} out of range for "
+                                f"nprocs={self.nprocs}")
         except (ValueError, TypeError) as exc:
             return str(exc)
         return None
@@ -171,6 +227,12 @@ class Scenario:
             "workload_kwargs": {k: v for k, v in self.workload_kwargs},
             "preset": self.preset,
             "fault_kind": self.fault_kind,
+            "drop_prob": self.drop_prob,
+            "dup_prob": self.dup_prob,
+            "corrupt_prob": self.corrupt_prob,
+            "partitions": [[start, end, list(side_a), list(side_b)]
+                           for start, end, side_a, side_b in self.partitions],
+            "net_kind": self.net_kind,
         }
 
     @classmethod
@@ -188,16 +250,28 @@ class Scenario:
             workload_kwargs=tuple(sorted(data.get("workload_kwargs", {}).items())),
             preset=data.get("preset", "fast"),
             fault_kind=data.get("fault_kind", "none"),
+            drop_prob=float(data.get("drop_prob", 0.0)),
+            dup_prob=float(data.get("dup_prob", 0.0)),
+            corrupt_prob=float(data.get("corrupt_prob", 0.0)),
+            partitions=tuple(
+                (float(start), float(end), tuple(side_a), tuple(side_b))
+                for start, end, side_a, side_b in data.get("partitions", [])),
+            net_kind=data.get("net_kind", "clean"),
         )
 
     def describe(self) -> str:
         """One-line human summary for fuzz logs."""
         kwargs = ", ".join(f"{k}={v}" for k, v in self.workload_kwargs)
         faults = "; ".join(f"rank {r}@{t:g}s" for r, t in self.faults) or "none"
+        net = ""
+        if self.impaired:
+            parts = f" parts={len(self.partitions)}" if self.partitions else ""
+            net = (f" net[{self.net_kind}]=drop {self.drop_prob:g}/dup "
+                   f"{self.dup_prob:g}/corrupt {self.corrupt_prob:g}{parts}")
         return (f"{self.name}: {self.workload}({kwargs}) nprocs={self.nprocs} "
                 f"{self.comm_mode} ckpt={self.checkpoint_interval:g}s "
                 f"eager={self.eager_threshold_bytes} seed={self.seed} "
-                f"faults[{self.fault_kind}]={faults}")
+                f"faults[{self.fault_kind}]={faults}{net}")
 
 
 # ----------------------------------------------------------------------
@@ -219,23 +293,63 @@ def _fault_times_nasty(rng: random.Random, checkpoint_interval: float) -> list[f
     return [rng.choice(windows) for _ in range(rng.randint(1, 2))]
 
 
-def generate_scenario(seed: int, fault_bias: str | None = None) -> Scenario:
+def _lossy_network(rng: random.Random, nprocs: int) -> dict[str, Any]:
+    """Draw one impairment profile for the ``lossy`` band.
+
+    At least one of drop/dup/corrupt is always nonzero, and ~30% of
+    scenarios additionally get one partition window short enough that
+    retransmission (capped backoff, 12 attempts ≈ 0.4 s of patience)
+    rides it out.
+    """
+    probs = {
+        "drop_prob": rng.choice(LOSSY_PROBS),
+        "dup_prob": rng.choice(LOSSY_PROBS),
+        "corrupt_prob": rng.choice(LOSSY_PROBS),
+    }
+    if not any(probs.values()):
+        probs[rng.choice(tuple(probs))] = rng.choice(LOSSY_PROBS[1:])
+    partitions: tuple = ()
+    net_kind = "lossy"
+    if rng.random() < 0.3 and nprocs >= 2:
+        ranks = list(range(nprocs))
+        rng.shuffle(ranks)
+        cut = rng.randint(1, nprocs - 1)
+        start = rng.uniform(5e-4, 6e-3)
+        duration = rng.uniform(2e-3, 1.2e-2)
+        partitions = ((start, start + duration,
+                       tuple(sorted(ranks[:cut])), tuple(sorted(ranks[cut:]))),)
+        net_kind = "lossy+partition"
+    return {**probs, "partitions": partitions, "net_kind": net_kind}
+
+
+def generate_scenario(seed: int, fault_bias: str | None = None,
+                      net_bias: str | None = None) -> Scenario:
     """Deterministically map ``seed`` to a random scenario.
 
     ``fault_bias="overlap"`` reshapes the fault-schedule distribution
     toward overlapping recoveries (see :data:`OVERLAP_FAULT_KINDS`): the
     staggered gaps are drawn around ``restart_delay`` so later victims
     die while earlier ones are mid-recovery, and victims are always
-    distinct.  The bias is part of the RNG salt, so ``(seed, bias)``
-    pairs are reproducible and the two bands never collide.
+    distinct.  ``net_bias="lossy"`` gives every scenario an impaired
+    network (loss/dup/corruption up to 5% per frame, occasional
+    partition windows) with the reliable transport restoring delivery
+    under the protocol runs.  Both biases are part of the RNG salt, so
+    ``(seed, fault_bias, net_bias)`` triples are reproducible and no two
+    bands ever retread each other's scenarios.
     """
     if fault_bias in (None, "none"):
         fault_bias = None
     elif fault_bias not in FAULT_BIASES:
         raise ValueError(f"unknown fault_bias {fault_bias!r}; "
                          f"expected one of {FAULT_BIASES}")
-    salt = f"repro.fuzz:{seed}" if fault_bias is None \
-        else f"repro.fuzz:{fault_bias}:{seed}"
+    if net_bias in (None, "clean"):
+        net_bias = None
+    elif net_bias not in NET_BIASES:
+        raise ValueError(f"unknown net_bias {net_bias!r}; "
+                         f"expected one of {NET_BIASES}")
+    tags = [tag for tag in (fault_bias,
+                            f"net-{net_bias}" if net_bias else None) if tag]
+    salt = ":".join(["repro.fuzz", *tags, str(seed)])
     rng = random.Random(salt)
 
     workload = _weighted(rng, WORKLOAD_WEIGHTS)
@@ -292,8 +406,15 @@ def generate_scenario(seed: int, fault_bias: str | None = None) -> Scenario:
     elif kind == "nasty":
         faults = [(rng.randrange(nprocs), t)
                   for t in _fault_times_nasty(rng, checkpoint_interval)]
+    # the injector rejects exact (rank, at_time) duplicates; the nasty
+    # kind's window sampling can collide, so dedupe preserving order
+    faults = list(dict.fromkeys(faults))
 
-    suffix = "" if fault_bias is None else f"-{fault_bias}"
+    network: dict[str, Any] = {}
+    if net_bias == "lossy":
+        network = _lossy_network(rng, nprocs)
+
+    suffix = "".join(f"-{tag}" for tag in tags)
     return Scenario(
         name=f"seed-{seed:06d}{suffix}",
         workload=workload,
@@ -305,6 +426,7 @@ def generate_scenario(seed: int, fault_bias: str | None = None) -> Scenario:
         faults=tuple(faults),
         workload_kwargs=tuple(sorted(kwargs.items())),
         fault_kind=kind,
+        **network,
     )
 
 

@@ -39,6 +39,9 @@ def scenario_size(scenario: Scenario) -> tuple:
         horizon[1] if horizon else 0,
         0 if scenario.comm_mode == "nonblocking" else 1,
         0 if scenario.eager_threshold_bytes == 8192 else 1,
+        # a calmer network = fewer interleavings to reason about
+        len(scenario.partitions),
+        scenario.drop_prob + scenario.dup_prob + scenario.corrupt_prob,
         # fewer checkpoints = simpler trace
         -scenario.checkpoint_interval,
     )
@@ -124,6 +127,20 @@ def _plainer_comm(s: Scenario) -> Iterator[Scenario]:
         yield s.with_(eager_threshold_bytes=8192)
 
 
+def _calmer_network(s: Scenario) -> Iterator[Scenario]:
+    """Strip impairments: a repro that survives on a clean wire is a
+    protocol bug, not a transport interaction."""
+    if not s.impaired:
+        return
+    yield s.with_(drop_prob=0.0, dup_prob=0.0, corrupt_prob=0.0,
+                  partitions=())
+    if s.partitions:
+        yield s.with_(partitions=())
+    for knob in ("drop_prob", "dup_prob", "corrupt_prob"):
+        if getattr(s, knob):
+            yield s.with_(**{knob: 0.0})
+
+
 #: pass order: cheapest wins first (dropping faults and ranks shrinks the
 #: scenario the most per evaluation)
 _PASSES: tuple[tuple[str, Callable[[Scenario], Iterable[Scenario]]], ...] = (
@@ -133,6 +150,7 @@ _PASSES: tuple[tuple[str, Callable[[Scenario], Iterable[Scenario]]], ...] = (
     ("shorter-horizon", _shorter_horizon),
     ("coarser-checkpoints", _coarser_checkpoints),
     ("plainer-comm", _plainer_comm),
+    ("calmer-network", _calmer_network),
 )
 
 

@@ -32,6 +32,16 @@ from repro._version import __version__
 from repro.harness.runner import RunRequest, RunSummary
 
 
+def _jsonify(value):
+    """Collapse tuples to lists so the fingerprint equals its own JSON
+    round trip (``asdict`` preserves tuple fields like partition sides)."""
+    if isinstance(value, dict):
+        return {k: _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
+
+
 def request_fingerprint(request: RunRequest) -> dict:
     """The canonical, JSON-able identity of one run.
 
@@ -43,7 +53,7 @@ def request_fingerprint(request: RunRequest) -> dict:
         "cell": asdict(request.cell),
         "preset": request.preset,
         "workload_kwargs": sorted([list(kv) for kv in request.workload_kwargs]),
-        "config": asdict(request.config()),
+        "config": _jsonify(asdict(request.config())),
         "faults": [asdict(f) for f in request.faults],
         # not an input to the simulation, but it decides whether a
         # violating run raises or returns — a tolerant (fuzzer) entry

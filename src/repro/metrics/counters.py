@@ -50,6 +50,12 @@ class RankMetrics:
     rollback_retries: int = 0        # ROLLBACK re-broadcasts to silent peers
     recovery_stalls: int = 0         # no-progress episodes the watchdog saw
     recovery_escalations: int = 0    # stalls that hit the escalation deadline
+    # --- reliable transport (repro.simnet.transport), zero when disabled
+    rt_retransmits: int = 0          # frames re-sent on timeout or nack
+    rt_dup_discards: int = 0         # replayed sequence numbers discarded
+    rt_corrupt_rejects: int = 0      # checksum-mismatch frames rejected
+    rt_acks_sent: int = 0            # standalone rt-ack frames emitted
+    rt_channel_resets: int = 0       # send channels reset on peer re-attach
 
     def merge(self, other: "RankMetrics") -> None:
         """Accumulate ``other`` into ``self`` (numeric fields only)."""

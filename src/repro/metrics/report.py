@@ -32,6 +32,26 @@ def _fmt_time(seconds: float) -> str:
     return f"{seconds * 1e6:.1f} µs"
 
 
+def _describe_drops(net) -> str:
+    """Cause-split drop summary: ``N dropped (a dead, b lost, ...)``.
+
+    Kept honest by the cause counters — before impairments existed every
+    drop really did happen at a dead node, and the old report said so
+    unconditionally; now each cause is named only when present.
+    """
+    total = net.frames_dropped
+    if total == 0:
+        return "0 dropped"
+    causes = [
+        (net.frames_dropped_dead, "at dead nodes"),
+        (net.frames_dropped_impaired, "lost"),
+        (net.frames_dropped_partition, "partitioned"),
+        (net.frames_dropped_corrupt, "corrupt-rejected"),
+    ]
+    parts = [f"{n} {label}" for n, label in causes if n]
+    return f"{total} dropped: " + ", ".join(parts)
+
+
 def summarize(result: "RunResult") -> str:
     """One-screen overview of a finished run."""
     stats = result.stats
@@ -54,8 +74,25 @@ def summarize(result: "RunResult") -> str:
         f"{_fmt_bytes(stats.total('checkpoint_bytes'))}",
         f"  network:               {result.network.frames_sent} frames, "
         f"{_fmt_bytes(result.network.bytes_sent)} "
-        f"({result.network.frames_dropped} dropped at dead nodes)",
+        f"({_describe_drops(result.network)})",
     ]
+    net = result.network
+    if net.frames_dropped_impaired or net.frames_duplicated or net.frames_corrupted:
+        lines.append(
+            f"  impairments:           {net.frames_dropped_impaired} lost, "
+            f"{net.frames_duplicated} duplicated, {net.frames_corrupted} "
+            f"corrupted, {net.frames_dropped_partition} partitioned"
+        )
+    rt_retransmits = int(stats.total("rt_retransmits"))
+    rt_dups = int(stats.total("rt_dup_discards"))
+    rt_rejects = int(stats.total("rt_corrupt_rejects"))
+    if cfg.transport.enabled:
+        lines.append(
+            f"  transport:             {rt_retransmits} retransmits, "
+            f"{rt_dups} dup discards, {rt_rejects} corrupt rejects, "
+            f"{int(stats.total('rt_acks_sent'))} standalone acks, "
+            f"{int(stats.total('rt_channel_resets'))} channel resets"
+        )
     failures = result.detector.failure_count()
     if failures:
         lines.append(

@@ -79,6 +79,21 @@ class Cluster:
         self.checkpoints = CheckpointStore(config.costs)
         self.detector = FailureDetector()
         self.metrics = [RankMetrics(rank=r) for r in range(config.nprocs)]
+        #: what endpoints and services actually talk to: the reliable
+        #: transport when enabled, else the raw network (same surface)
+        self.fabric: Any = self.network
+        if config.transport.enabled:
+            from repro.simnet.transport import ReliableTransport
+
+            self.fabric = ReliableTransport(
+                network=self.network,
+                config=config.transport,
+                nodes=self.nodes,
+                rng=self.rng,
+                engine=self.engine,
+                trace=self.trace,
+                metrics=self.metrics,
+            )
         self.recording = None
         if config.record:
             from repro.debug.recorder import RunRecording
@@ -92,7 +107,7 @@ class Cluster:
             logger = EventLoggerService(
                 rank=config.nprocs,
                 engine=self.engine,
-                network=self.network,
+                network=self.fabric,
                 costs=config.costs,
                 trace=self.trace,
             )

@@ -76,7 +76,9 @@ class Endpoint:
         self.app = app
         self.config = cluster.config
         self.engine = cluster.engine
-        self.network = cluster.network
+        #: the cluster fabric: the reliable transport when enabled, else
+        #: the raw network — same attach/transmit/detach surface
+        self.fabric = cluster.fabric
         self.node = cluster.nodes[rank]
         self.trace = cluster.trace
         self.metrics = cluster.metrics[rank]
@@ -107,7 +109,7 @@ class Endpoint:
         self._kill_time = 0.0
         self._rollforward_target = 0
 
-        self.network.attach(rank, self._on_frame)
+        self.fabric.attach(rank, self._on_frame)
 
     # ==================================================================
     # Lifecycle
@@ -178,7 +180,7 @@ class Endpoint:
     def send_control(self, dst: int, ctl: str, payload: Any, size_bytes: int) -> None:
         """Transmit a protocol control frame (EndpointServices)."""
         frame = Frame("ctl", self.rank, dst, payload, size_bytes, {"ctl": ctl})
-        self.network.transmit(frame)
+        self.fabric.transmit(frame)
 
     def broadcast_control(self, ctl: str, payload: Any, size_bytes: int) -> None:
         """Control frame to every other application rank."""
@@ -342,7 +344,7 @@ class Endpoint:
         self.trace.emit("verify.send", self.rank, dest=dest, tag=tag,
                         send_index=send_index, pb=piggyback, resend=resend)
         frame = Frame("app", self.rank, dest, payload, app_size + pb_bytes, meta)
-        self.network.transmit(frame)
+        self.fabric.transmit(frame)
 
     # ------------------------------------------------------------------
     # Receiving / delivery
@@ -385,7 +387,7 @@ class Endpoint:
             _ACK_FRAME_BYTES,
             {"send_index": frame.meta["send_index"]},
         )
-        self.network.transmit(ack)
+        self.fabric.transmit(ack)
 
     def _on_ack(self, frame: Frame) -> None:
         idx = frame.meta["send_index"]
@@ -541,7 +543,7 @@ class Endpoint:
         self._window.clear()
         self._parked_send = None
         self._pending_recv = None
-        self.network.detach(self.rank)
+        self.fabric.detach(self.rank)
         self.trace.emit("fault.kill", self.rank)
 
     def incarnate(self) -> None:
@@ -574,7 +576,7 @@ class Endpoint:
         if self.cluster.recording is not None:
             # the incarnation's history replaces the dead one's
             self.cluster.recording.reset_rank(self.rank)
-        self.network.attach(self.rank, self._on_frame)
+        self.fabric.attach(self.rank, self._on_frame)
         self.cluster.detector.observe_recovery(self.rank, self.engine.now, epoch)
         self.trace.emit("recovery.incarnate", self.rank, epoch=epoch,
                         from_seq=ckpt.seq)

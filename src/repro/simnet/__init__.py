@@ -6,7 +6,11 @@ checkpoints or MPI.  It provides
 * :class:`~repro.simnet.engine.Engine` — the event loop,
 * :class:`~repro.simnet.proc.Task` — generator-coroutine tasks,
 * :class:`~repro.simnet.network.Network` — latency/bandwidth/jitter model
-  with per-channel FIFO guarantees,
+  with per-channel FIFO guarantees and seeded impairment injection
+  (loss, duplication, corruption, partition windows),
+* :class:`~repro.simnet.transport.ReliableTransport` — ack/retransmit/
+  dedup layer that restores the reliable-channel contract over an
+  impaired network,
 * :class:`~repro.simnet.node.Node` — liveness and incarnation epochs,
 * :class:`~repro.simnet.rng.RngStreams` — named, seeded random substreams,
 * :class:`~repro.simnet.trace.Trace` — structured event tracing.
@@ -16,11 +20,16 @@ built from these pieces.
 """
 
 from repro.simnet.engine import Engine, EventHandle, SimulationError
-from repro.simnet.network import Network, NetworkConfig, Frame
+from repro.simnet.network import Network, NetworkConfig, Frame, PartitionWindow
 from repro.simnet.node import Node, NodeState
 from repro.simnet.proc import Task, TaskState
 from repro.simnet.rng import RngStreams
 from repro.simnet.trace import Trace, TraceEvent
+from repro.simnet.transport import (
+    ReliableTransport,
+    TransportConfig,
+    TransportStallError,
+)
 
 __all__ = [
     "Engine",
@@ -29,6 +38,10 @@ __all__ = [
     "Network",
     "NetworkConfig",
     "Frame",
+    "PartitionWindow",
+    "ReliableTransport",
+    "TransportConfig",
+    "TransportStallError",
     "Node",
     "NodeState",
     "Task",

@@ -12,8 +12,27 @@ commodity PCs) at the level the experiments are sensitive to:
 * frames addressed to a dead node are dropped (the failed process's
   volatile state, including its receive queues, is lost).
 
-The network does not retransmit: reliability above failures is the
-logging protocol's job (that is the whole point of the paper).
+The base network does not retransmit: reliability above failures is the
+logging protocol's job (that is the whole point of the paper).  What the
+paper assumes *below* failures — per-channel reliable FIFO delivery — is
+provided either ideally (the default: nothing is ever lost in transit)
+or, when the :class:`NetworkConfig` impairment knobs are non-zero, by
+the reliable transport in :mod:`repro.simnet.transport` sitting on top
+of a deliberately misbehaving wire.
+
+Impairment model (all off by default, all driven by the dedicated
+``net.impair`` RNG substream so enabling them never perturbs the jitter
+draws of an unimpaired run):
+
+* ``drop_prob`` — each frame is lost in transit with this probability;
+* ``dup_prob`` — each delivered frame is additionally replayed once,
+  after a fresh (non-FIFO) delay: duplicates may overtake later traffic;
+* ``corrupt_prob`` — each frame arrives bit-flipped: the frame is marked
+  corrupted and any transport checksum it carries is inverted, so a
+  checksumming receiver detects the damage and a non-checksumming one
+  would consume garbage;
+* ``partitions`` — scheduled :class:`PartitionWindow` s during which all
+  traffic between two rank sets is silently discarded.
 """
 
 from __future__ import annotations
@@ -33,11 +52,47 @@ _FIFO_EPSILON = 1e-9
 
 
 @dataclass(frozen=True)
+class PartitionWindow:
+    """A transient network partition between two rank sets.
+
+    While ``start <= now < end`` every frame crossing from ``side_a`` to
+    ``side_b`` (either direction) is discarded at transmission time.
+    Ranks in neither set are unaffected — a window models a failed
+    switch uplink or a routing flap isolating part of the machine, not a
+    full outage.
+    """
+
+    start: float
+    end: float
+    side_a: tuple[int, ...]
+    side_b: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "side_a", tuple(int(r) for r in self.side_a))
+        object.__setattr__(self, "side_b", tuple(int(r) for r in self.side_b))
+        if self.start < 0 or self.end < self.start:
+            raise ValueError("partition window needs 0 <= start <= end")
+        if not self.side_a or not self.side_b:
+            raise ValueError("partition window needs two non-empty sides")
+        if set(self.side_a) & set(self.side_b):
+            raise ValueError("partition window sides must be disjoint")
+
+    def severs(self, src: int, dst: int, now: float) -> bool:
+        """Whether a ``src -> dst`` frame at time ``now`` is cut off."""
+        if not (self.start <= now < self.end):
+            return False
+        return (src in self.side_a and dst in self.side_b) or (
+            src in self.side_b and dst in self.side_a
+        )
+
+
+@dataclass(frozen=True)
 class NetworkConfig:
     """Interconnect parameters.
 
     Defaults approximate the paper's 100 Mb switched Ethernet: ~100 µs
-    one-way latency, 12.5 MB/s payload bandwidth.
+    one-way latency, 12.5 MB/s payload bandwidth, and a *reliable* wire
+    (all impairment probabilities zero, no partition windows).
     """
 
     base_latency: float = 100e-6
@@ -50,6 +105,14 @@ class NetworkConfig:
     #: per-channel bandwidth.  Off by default — the paper's testbed is
     #: switched Ethernet — but available for contention ablations.
     shared_medium: bool = False
+    #: per-frame probability of loss in transit
+    drop_prob: float = 0.0
+    #: per-frame probability of a one-shot replay (delivered twice)
+    dup_prob: float = 0.0
+    #: per-frame probability of payload corruption in transit
+    corrupt_prob: float = 0.0
+    #: scheduled partition windows between rank sets
+    partitions: tuple[PartitionWindow, ...] = ()
 
     def __post_init__(self) -> None:
         if self.base_latency < 0:
@@ -58,6 +121,20 @@ class NetworkConfig:
             raise ValueError("bandwidth must be > 0")
         if self.jitter_fraction < 0:
             raise ValueError("jitter_fraction must be >= 0")
+        if self.header_bytes < 0:
+            raise ValueError("header_bytes must be >= 0")
+        for name in ("drop_prob", "dup_prob", "corrupt_prob"):
+            p = getattr(self, name)
+            if not (0.0 <= p < 1.0):
+                raise ValueError(f"{name} must be in [0, 1), got {p}")
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+
+    @property
+    def impaired(self) -> bool:
+        """Whether any impairment (loss, dup, corruption, partition) is on."""
+        return bool(
+            self.drop_prob or self.dup_prob or self.corrupt_prob or self.partitions
+        )
 
 
 @dataclass
@@ -65,7 +142,8 @@ class Frame:
     """One unit on the wire.
 
     ``kind`` distinguishes application messages (``"app"``) from protocol
-    control traffic (``"ack"``, ``"ctl"``); control subtypes live in
+    control traffic (``"ack"``, ``"ctl"``) and the reliable transport's
+    standalone cumulative acks (``"rt-ack"``); control subtypes live in
     ``meta["ctl"]`` (e.g. ``"ROLLBACK"``, ``"RESPONSE"``,
     ``"CHECKPOINT_ADVANCE"``, ``"EVLOG"``).  ``size_bytes`` is the full
     modelled wire size including piggyback and headers.
@@ -92,13 +170,42 @@ class Frame:
 
 @dataclass
 class NetworkStats:
+    """Wire-level counters, with drops split by cause.
+
+    ``frames_dropped`` is derived: dead-node drops + impairment losses +
+    partition discards + transport checksum rejects (the last is counted
+    here by the :class:`~repro.simnet.transport.ReliableTransport`, which
+    is the layer that detects corruption).
+    """
+
     frames_sent: int = 0
-    frames_dropped: int = 0
     bytes_sent: int = 0
     app_frames: int = 0
     app_bytes: int = 0
     ctl_frames: int = 0
     ctl_bytes: int = 0
+    #: frames discarded at a dead (or detached) destination
+    frames_dropped_dead: int = 0
+    #: frames lost in transit by the loss impairment
+    frames_dropped_impaired: int = 0
+    #: frames discarded inside a partition window
+    frames_dropped_partition: int = 0
+    #: frames rejected by the transport's checksum check
+    frames_dropped_corrupt: int = 0
+    #: extra deliveries injected by the duplication impairment
+    frames_duplicated: int = 0
+    #: frames damaged in transit by the corruption impairment
+    frames_corrupted: int = 0
+
+    @property
+    def frames_dropped(self) -> int:
+        """Total frames that never reached their receiver intact."""
+        return (
+            self.frames_dropped_dead
+            + self.frames_dropped_impaired
+            + self.frames_dropped_partition
+            + self.frames_dropped_corrupt
+        )
 
 
 ReceiveCallback = Callable[[Frame], None]
@@ -119,12 +226,21 @@ class Network:
         self.nodes = nodes
         self.config = config
         self._jitter = rng.stream("net.jitter")
+        #: standalone transport acks draw jitter from their own stream so
+        #: enabling the reliable transport never perturbs the draws (and
+        #: hence the arrival order) of the frames the protocols exchange
+        self._rt_jitter = rng.stream("net.jitter.rt")
+        #: impairment draws live on a dedicated stream for the same reason
+        self._impair = rng.stream("net.impair") if config.impaired else None
         self.trace = trace or Trace(enabled=False)
         self.stats = NetworkStats()
         self._receivers: dict[int, ReceiveCallback] = {}
         self._frame_ids = itertools.count(1)
-        #: last scheduled arrival per (src, dst), for the FIFO guarantee
-        self._last_arrival: dict[tuple[int, int], float] = {}
+        #: last scheduled arrival per channel, for the FIFO guarantee.
+        #: Standalone transport acks use a separate ("rt"-suffixed) lane:
+        #: they carry only idempotent cumulative-ack state, so ordering
+        #: them against data frames would cost determinism for nothing.
+        self._last_arrival: dict[tuple, float] = {}
         #: shared-medium mode: when the collision domain frees up
         self._medium_free_at: float = 0.0
 
@@ -144,18 +260,59 @@ class Network:
         cfg = self.config
         return cfg.base_latency + (size_bytes + cfg.header_bytes) / cfg.bandwidth_bytes_per_s
 
+    def partitioned(self, src: int, dst: int) -> bool:
+        """Whether a ``src -> dst`` frame is inside a partition window now."""
+        now = self.engine.now
+        return any(w.severs(src, dst, now) for w in self.config.partitions)
+
     def transmit(self, frame: Frame) -> None:
         """Inject a frame; it arrives after the modelled delay (FIFO per
-        channel) unless the destination is dead at arrival time."""
+        channel) unless an impairment claims it or the destination is
+        dead at arrival time."""
         if not (0 <= frame.dst < len(self.nodes)):
             raise ValueError(f"invalid destination rank {frame.dst}")
         if frame.frame_id == 0:
             frame.frame_id = next(self._frame_ids)
         cfg = self.config
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += frame.size_bytes
+        if frame.kind == "app":
+            self.stats.app_frames += 1
+            self.stats.app_bytes += frame.size_bytes
+        else:
+            self.stats.ctl_frames += 1
+            self.stats.ctl_bytes += frame.size_bytes
+        self.trace.emit("net.transmit", frame.src, dst=frame.dst, frame_kind=frame.kind,
+                        size=frame.size_bytes, frame_id=frame.frame_id)
+
+        if self.config.partitions and self.partitioned(frame.src, frame.dst):
+            self.stats.frames_dropped_partition += 1
+            self.trace.emit("net.impair.partition", frame.src, dst=frame.dst,
+                            frame_kind=frame.kind, frame_id=frame.frame_id)
+            return
+        duplicate = False
+        if self._impair is not None:
+            # always three draws per frame, so one knob's setting never
+            # shifts the draws another knob sees
+            u_drop = float(self._impair.uniform(0.0, 1.0))
+            u_dup = float(self._impair.uniform(0.0, 1.0))
+            u_corrupt = float(self._impair.uniform(0.0, 1.0))
+            if u_drop < cfg.drop_prob:
+                self.stats.frames_dropped_impaired += 1
+                self.trace.emit("net.impair.drop", frame.src, dst=frame.dst,
+                                frame_kind=frame.kind, frame_id=frame.frame_id)
+                return
+            duplicate = u_dup < cfg.dup_prob
+            if u_corrupt < cfg.corrupt_prob:
+                self._corrupt(frame)
+
+        rt_lane = frame.kind == "rt-ack"
+        jitter_stream = self._rt_jitter if rt_lane else self._jitter
         delay = self.delay_for(frame.size_bytes)
         if cfg.jitter_fraction > 0:
-            delay += float(self._jitter.uniform(0.0, cfg.jitter_fraction * cfg.base_latency))
-        channel = (frame.src, frame.dst)
+            delay += float(jitter_stream.uniform(0.0, cfg.jitter_fraction * cfg.base_latency))
+        channel: tuple = (frame.src, frame.dst, "rt") if rt_lane \
+            else (frame.src, frame.dst)
         if cfg.shared_medium:
             # one collision domain: the frame's wire time starts when the
             # medium frees up, so concurrent senders queue behind each
@@ -170,25 +327,40 @@ class Network:
         if arrival <= prev:
             arrival = prev + _FIFO_EPSILON
         self._last_arrival[channel] = arrival
-
-        self.stats.frames_sent += 1
-        self.stats.bytes_sent += frame.size_bytes
-        if frame.kind == "app":
-            self.stats.app_frames += 1
-            self.stats.app_bytes += frame.size_bytes
-        else:
-            self.stats.ctl_frames += 1
-            self.stats.ctl_bytes += frame.size_bytes
-        self.trace.emit("net.transmit", frame.src, dst=frame.dst, frame_kind=frame.kind,
-                        size=frame.size_bytes, frame_id=frame.frame_id)
         self.engine.schedule_at(arrival, lambda: self._arrive(frame))
 
+        if duplicate:
+            # the replayed copy takes an independent path: fresh delay,
+            # no FIFO bookkeeping — a duplicate may overtake later frames
+            self.stats.frames_duplicated += 1
+            self.trace.emit("net.impair.dup", frame.src, dst=frame.dst,
+                            frame_kind=frame.kind, frame_id=frame.frame_id)
+            extra = float(self._impair.uniform(0.0, 2.0 * cfg.base_latency))
+            self.engine.schedule_at(arrival + _FIFO_EPSILON + extra,
+                                    lambda: self._arrive(frame))
+
     # ------------------------------------------------------------------
+    def _corrupt(self, frame: Frame) -> None:
+        """Damage a frame in transit.
+
+        The frame is flagged, and if it carries a transport checksum
+        (``meta["rt"]["ck"]``) the stored digest is inverted — the same
+        observable effect as flipping payload bits: the receiver's
+        recomputed checksum no longer matches.
+        """
+        self.stats.frames_corrupted += 1
+        self.trace.emit("net.impair.corrupt", frame.src, dst=frame.dst,
+                        frame_kind=frame.kind, frame_id=frame.frame_id)
+        frame.meta["corrupted"] = True
+        rt = frame.meta.get("rt")
+        if rt is not None and "ck" in rt:
+            rt["ck"] ^= 0xFFFFFFFF
+
     def _arrive(self, frame: Frame) -> None:
         node = self.nodes[frame.dst]
         callback = self._receivers.get(frame.dst)
         if not node.alive or callback is None:
-            self.stats.frames_dropped += 1
+            self.stats.frames_dropped_dead += 1
             self.trace.emit("net.drop", frame.dst, src=frame.src,
                             frame_kind=frame.kind, frame_id=frame.frame_id)
             return

@@ -87,10 +87,6 @@ class _Shadow:
 class _MonotoneSample:
     epoch: int
     vectors: dict[str, list[int]] = field(default_factory=dict)
-    #: every rank's incarnation epoch at sample time — entry ``k`` of
-    #: ``rollback_last_send_index`` may legitimately reset when peer
-    #: ``k`` begins a new incarnation (the stale-suppression clamp)
-    peer_epochs: list[int] = field(default_factory=list)
 
 
 class CausalOracle:
@@ -115,6 +111,9 @@ class CausalOracle:
         #: per-rank delivery coverage of the latest durable checkpoint
         self._ckpt_cover = [[0] * nprocs for _ in range(nprocs)]
         self._samples: dict[int, _MonotoneSample] = {}
+        #: rank -> peers whose ROLLBACK the rank has processed since its
+        #: last monotone sample (their suppression entries may clamp)
+        self._rollback_clamped: dict[int, set[int]] = {}
         self._cluster: "Cluster | None" = None
 
     # ------------------------------------------------------------------
@@ -143,6 +142,13 @@ class CausalOracle:
         elif kind == "proto.recovery_settled":
             if 0 <= event.rank < self.nprocs:
                 self._rank_degraded[event.rank] = False
+        elif kind == "proto.resend":
+            # rank just processed a ROLLBACK from event["to"]: entry
+            # ``to`` of its rollback_last_send_index may legitimately
+            # clamp down (consumed by the next monotone sample)
+            if 0 <= event.rank < self.nprocs:
+                self._rollback_clamped.setdefault(
+                    event.rank, set()).add(event["to"])
 
     # ------------------------------------------------------------------
     # Invariant 1 + 2: delivery-time checks
@@ -325,7 +331,9 @@ class CausalOracle:
                     # covers it; it also exempts value decreases caused
                     # by an entry moving to a newer epoch
                     current[f"{name}_epochs"] = list(entry_epochs)
-        peer_epochs = [cluster.nodes[k].epoch for k in range(self.nprocs)]
+        # every sample establishes a new baseline, so the comparison
+        # spanning a ROLLBACK clamp is exactly the first sample after it
+        clamped = self._rollback_clamped.pop(rank, None) or set()
         previous = self._samples.get(rank)
         if previous is not None and previous.epoch == epoch:
             self._count(MONOTONICITY)
@@ -343,19 +351,22 @@ class CausalOracle:
                     if now_e is not None and before_e is not None:
                         sunk = [k for k in sunk if now_e[k] == before_e[k]]
                 if name == "rollback_last_send_index":
-                    # a suppression index learned from peer k's previous
-                    # incarnation is clamped down to the peer's checkpoint
-                    # coverage when its ROLLBACK arrives — a legitimate
-                    # reset, not a monotonicity break
-                    sunk = [k for k in sunk
-                            if previous.peer_epochs[k] == peer_epochs[k]]
+                    # processing peer k's ROLLBACK clamps entry k down to
+                    # the peer's restored coverage — a legitimate reset,
+                    # not a monotonicity break.  Recognised by the
+                    # proto.resend event the rollback handler emits; a
+                    # peer-epoch comparison between samples is racy here
+                    # (the clamp lands one network delay after the
+                    # peer's incarnation, so a sample in between sees
+                    # the new epoch already paired with the old value)
+                    sunk = [k for k in sunk if k not in clamped]
                 if sunk:
                     self._report(
                         time, MONOTONICITY, rank,
                         f"{name} decreased at entries {sunk} within epoch "
                         f"{epoch}: {before} -> {vec}",
                         vector=name, before=list(before), after=list(vec))
-        self._samples[rank] = _MonotoneSample(epoch, current, peer_epochs)
+        self._samples[rank] = _MonotoneSample(epoch, current)
 
     # ------------------------------------------------------------------
     # Helpers

@@ -1,0 +1,99 @@
+"""Golden-trace equivalence and end-to-end reliability of the transport.
+
+Two contracts from the PR that introduced the unreliable-network
+substrate:
+
+* **Equivalence** — enabling the reliable transport with every network
+  impairment at zero is behaviour-preserving: for a pinned seed matrix,
+  runs with and without the transport produce identical accomplishment
+  times, message counts and per-rank delivery totals, with a clean
+  causal oracle.  The transport's sequencing, acks and buffers must be
+  pure bookkeeping until something actually goes wrong.
+* **Reliability** — with loss, duplication, corruption, partition
+  windows and process crashes all on, the protocols still converge with
+  a clean oracle, and the transport's counters show it actually worked
+  for a living.
+"""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.faults.injector import FaultSpec
+from repro.mpi.cluster import run_simulation
+from repro.simnet.network import NetworkConfig, PartitionWindow
+from repro.simnet.transport import TransportConfig
+from repro.workloads.presets import workload_factory
+
+PROTOCOLS = ("tdi", "tag", "tel")
+
+
+def _run(protocol, comm_mode, seed, *, transport=False, network=None,
+         faults=None, verify=True):
+    config = SimulationConfig(
+        nprocs=6, protocol=protocol, seed=seed, comm_mode=comm_mode,
+        checkpoint_interval=0.01, verify=verify,
+        network=network or NetworkConfig(),
+        transport=TransportConfig(enabled=transport),
+    )
+    return run_simulation(config, workload_factory("lu", scale="fast"),
+                          faults=faults)
+
+
+class TestGoldenEquivalence:
+    """Transport on + zero impairments == transport off, bit for bit."""
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("comm_mode", ["blocking", "nonblocking"])
+    def test_transport_is_behaviour_preserving(self, protocol, comm_mode):
+        base = _run(protocol, comm_mode, seed=3)
+        with_rt = _run(protocol, comm_mode, seed=3, transport=True)
+        assert with_rt.accomplishment_time == base.accomplishment_time
+        assert with_rt.stats.messages_total == base.stats.messages_total
+        assert ([(m.app_sends, m.app_delivers) for m in with_rt.metrics.per_rank]
+                == [(m.app_sends, m.app_delivers) for m in base.metrics.per_rank])
+        assert with_rt.violations == [] and base.violations == []
+
+    def test_equivalence_holds_under_faults(self):
+        faults = [FaultSpec(rank=2, at_time=0.004)]
+        base = _run("tdi", "nonblocking", seed=11, faults=faults)
+        with_rt = _run("tdi", "nonblocking", seed=11, faults=faults,
+                       transport=True)
+        assert with_rt.accomplishment_time == base.accomplishment_time
+        assert with_rt.violations == [] and base.violations == []
+
+    def test_no_retransmissions_on_clean_wire(self):
+        result = _run("tdi", "nonblocking", seed=3, transport=True)
+        assert result.stats.total("rt_retransmits") == 0
+        assert result.stats.total("rt_dup_discards") == 0
+        assert result.stats.total("rt_corrupt_rejects") == 0
+
+
+class TestLossyEndToEnd:
+    """The full gauntlet: impairments + a crash, still exactly-once."""
+
+    def test_impaired_wire_with_crash_converges_clean(self):
+        network = NetworkConfig(
+            drop_prob=0.03, dup_prob=0.01, corrupt_prob=0.02,
+            partitions=(PartitionWindow(0.002, 0.006, (0, 1, 2), (3, 4, 5)),),
+        )
+        faults = [FaultSpec(rank=4, at_time=0.003)]
+        for protocol in PROTOCOLS:
+            result = _run(protocol, "nonblocking", seed=5, transport=True,
+                          network=network, faults=faults)
+            assert result.violations == [], protocol
+            assert result.network.frames_dropped_impaired > 0, protocol
+            assert result.stats.total("rt_retransmits") > 0, protocol
+
+    def test_transport_counters_reach_the_report(self):
+        from repro.metrics.report import summarize
+        network = NetworkConfig(drop_prob=0.05, dup_prob=0.05,
+                                corrupt_prob=0.05)
+        result = _run("tdi", "nonblocking", seed=5, transport=True,
+                      network=network)
+        assert result.violations == []
+        report = summarize(result)
+        assert "retransmit" in report and "corrupt" in report
+
+    def test_impaired_config_requires_transport(self):
+        with pytest.raises(ValueError, match="transport"):
+            SimulationConfig(network=NetworkConfig(drop_prob=0.01))

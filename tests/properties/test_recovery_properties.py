@@ -30,10 +30,13 @@ def reference(workload: str, nprocs: int, seed: int, any_source: bool = False):
     )
 
 
+# (rank, at_time) pairs are unique: the injector rejects a schedule that
+# kills the same rank twice at the same instant
 fault_lists = st.lists(
     st.tuples(st.integers(0, 3), st.floats(1e-4, 6e-3, allow_nan=False)),
     min_size=1,
     max_size=3,
+    unique=True,
 )
 
 

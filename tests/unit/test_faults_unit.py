@@ -3,7 +3,25 @@
 import pytest
 
 from repro.faults.detector import FailureDetector
-from repro.faults.injector import FaultSpec, simultaneous, staggered
+from repro.faults.injector import FaultInjector, FaultSpec, simultaneous, staggered
+
+
+class _StubEngine:
+    def __init__(self):
+        self.scheduled = []
+
+    def schedule_at(self, at_time, action):
+        self.scheduled.append((at_time, action))
+
+
+class _StubCluster:
+    def __init__(self, protocol="tdi"):
+        class _Cfg:
+            pass
+        self.config = _Cfg()
+        self.config.protocol = protocol
+        self.config.nprocs = 4
+        self.engine = _StubEngine()
 
 
 class TestFaultSpec:
@@ -18,6 +36,32 @@ class TestFaultSpec:
     def test_staggered(self):
         specs = staggered([0, 1, 2], start=1.0, gap=0.5)
         assert [s.at_time for s in specs] == [1.0, 1.5, 2.0]
+
+
+class TestInjectorSchedule:
+    def test_duplicate_fault_rejected(self):
+        inj = FaultInjector(_StubCluster())
+        with pytest.raises(ValueError, match="duplicate fault"):
+            inj.schedule([FaultSpec(rank=1, at_time=0.5),
+                          FaultSpec(rank=1, at_time=0.5)])
+
+    def test_duplicate_across_calls_rejected(self):
+        inj = FaultInjector(_StubCluster())
+        inj.schedule([FaultSpec(rank=1, at_time=0.5)])
+        with pytest.raises(ValueError, match="duplicate fault"):
+            inj.schedule([FaultSpec(rank=1, at_time=0.5)])
+
+    def test_same_rank_different_times_allowed(self):
+        inj = FaultInjector(_StubCluster())
+        inj.schedule([FaultSpec(rank=1, at_time=0.5),
+                      FaultSpec(rank=1, at_time=0.9),
+                      FaultSpec(rank=2, at_time=0.5)])
+        assert len(inj.cluster.engine.scheduled) == 3
+
+    def test_faults_without_recovery_protocol_rejected(self):
+        inj = FaultInjector(_StubCluster(protocol="none"))
+        with pytest.raises(ValueError, match="protocol"):
+            inj.schedule([FaultSpec(rank=0, at_time=0.5)])
 
 
 class TestFailureDetector:

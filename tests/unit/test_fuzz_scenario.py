@@ -103,6 +103,41 @@ class TestGeneration:
         assert result.scenarios_run + len(result.skipped) >= 1
         assert not result.failures
 
+    def test_lossy_bias_is_deterministic_and_distinct(self):
+        assert (generate_scenario(7, net_bias="lossy")
+                == generate_scenario(7, net_bias="lossy"))
+        assert generate_scenario(7, net_bias="lossy") != generate_scenario(7)
+        assert generate_scenario(7, net_bias="lossy").name.endswith("-net-lossy")
+
+    def test_clean_net_bias_is_the_default_band(self):
+        assert generate_scenario(7, net_bias="clean") == generate_scenario(7)
+        assert generate_scenario(7, net_bias=None) == generate_scenario(7)
+        assert not generate_scenario(7).impaired
+
+    def test_unknown_net_bias_rejected(self):
+        with pytest.raises(ValueError):
+            generate_scenario(0, net_bias="bogus")
+
+    def test_lossy_scenarios_always_impaired_and_valid(self):
+        for seed in range(60):
+            scenario = generate_scenario(seed, net_bias="lossy")
+            assert scenario.impaired, scenario.describe()
+            assert scenario.validate() is None, scenario.describe()
+            # the impairment profile must assemble into a real NetworkConfig
+            assert scenario.network_config().impaired
+
+    def test_lossy_band_reaches_partition_windows(self):
+        kinds = {generate_scenario(seed, net_bias="lossy").net_kind
+                 for seed in range(100)}
+        assert kinds == {"lossy", "lossy+partition"}
+
+    def test_cli_accepts_net_bias(self):
+        from repro.fuzz.__main__ import _parse_args
+
+        args = _parse_args(["--net-bias", "lossy"])
+        assert args.net_bias == "lossy"
+        assert _parse_args([]).net_bias == "clean"
+
     def test_blocking_scenarios_stay_eager(self):
         """Blocking + rendezvous deadlocks even without fault tolerance
         (the kernels send before they receive), so the generator must
@@ -132,6 +167,15 @@ class TestRoundTrip:
         for seed in range(30):
             scenario = generate_scenario(seed)
             assert Scenario.from_json_dict(scenario.to_json_dict()) == scenario
+
+    def test_lossy_json_round_trip_keeps_impairments(self):
+        import json
+
+        for seed in range(30):
+            scenario = generate_scenario(seed, net_bias="lossy")
+            # through actual JSON text, so tuples become lists and back
+            data = json.loads(json.dumps(scenario.to_json_dict()))
+            assert Scenario.from_json_dict(data) == scenario
 
     def test_disk_round_trip(self, tmp_path):
         scenario = generate_scenario(3)
@@ -247,6 +291,25 @@ class TestShrinking:
         small = generate_scenario(35).with_(faults=((0, 0.001),))
         big = generate_scenario(35).with_(faults=((0, 0.001), (1, 0.002)))
         assert scenario_size(small) < scenario_size(big)
+
+    def test_calmer_network_strips_impairments_when_possible(self):
+        scenario = generate_scenario(35, net_bias="lossy")
+        assert scenario.impaired
+        result = shrink_scenario(scenario, lambda candidate: True,
+                                 max_attempts=120)
+        # a repro that persists on a clean wire sheds its impairments
+        assert not result.scenario.impaired
+
+    def test_calmer_network_kept_when_failure_needs_the_loss(self):
+        scenario = generate_scenario(35, net_bias="lossy")
+        assert scenario.impaired
+
+        def fails_only_when_impaired(candidate):
+            return candidate.impaired
+
+        result = shrink_scenario(scenario, fails_only_when_impaired,
+                                 max_attempts=120)
+        assert result.scenario.impaired
 
 
 # ----------------------------------------------------------------------

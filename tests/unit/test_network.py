@@ -3,7 +3,7 @@
 import pytest
 
 from repro.simnet.engine import Engine
-from repro.simnet.network import Frame, Network, NetworkConfig
+from repro.simnet.network import Frame, Network, NetworkConfig, PartitionWindow
 from repro.simnet.node import NodeSet
 from repro.simnet.rng import RngStreams
 
@@ -130,3 +130,120 @@ class TestConfigValidation:
     def test_bad_jitter(self):
         with pytest.raises(ValueError):
             NetworkConfig(jitter_fraction=-0.1)
+
+    def test_negative_header_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(header_bytes=-1)
+
+    @pytest.mark.parametrize("knob", ["drop_prob", "dup_prob", "corrupt_prob"])
+    def test_impairment_probability_range(self, knob):
+        with pytest.raises(ValueError):
+            NetworkConfig(**{knob: -0.01})
+        with pytest.raises(ValueError):
+            NetworkConfig(**{knob: 1.0})
+
+    def test_impaired_property(self):
+        assert not NetworkConfig().impaired
+        assert NetworkConfig(drop_prob=0.01).impaired
+        assert NetworkConfig(partitions=(
+            PartitionWindow(0.0, 1.0, (0,), (1,)),)).impaired
+
+
+class TestPartitionWindow:
+    def test_severs_both_directions_inside_window(self):
+        w = PartitionWindow(1.0, 2.0, (0, 1), (2,))
+        assert w.severs(0, 2, 1.5) and w.severs(2, 1, 1.5)
+
+    def test_does_not_sever_outside_window_or_sides(self):
+        w = PartitionWindow(1.0, 2.0, (0,), (2,))
+        assert not w.severs(0, 2, 2.0)   # end is exclusive
+        assert not w.severs(0, 1, 1.5)   # rank 1 is in neither side
+
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionWindow(2.0, 1.0, (0,), (1,))
+        with pytest.raises(ValueError):
+            PartitionWindow(0.0, 1.0, (), (1,))
+        with pytest.raises(ValueError):
+            PartitionWindow(0.0, 1.0, (0, 1), (1, 2))
+
+
+class TestImpairments:
+    def test_drop_impairment_loses_frames(self):
+        engine, _, net = make_net(drop_prob=0.5)
+        got = []
+        net.attach(1, got.append)
+        for i in range(200):
+            net.transmit(Frame("app", 0, 1, i, 64))
+        engine.run()
+        assert net.stats.frames_dropped_impaired > 0
+        assert len(got) == 200 - net.stats.frames_dropped_impaired
+
+    def test_dup_impairment_replays_frames(self):
+        engine, _, net = make_net(dup_prob=0.5)
+        got = []
+        net.attach(1, got.append)
+        for i in range(100):
+            net.transmit(Frame("app", 0, 1, i, 64))
+        engine.run()
+        assert net.stats.frames_duplicated > 0
+        assert len(got) == 100 + net.stats.frames_duplicated
+
+    def test_corrupt_impairment_flags_frame_and_inverts_checksum(self):
+        engine, _, net = make_net(corrupt_prob=0.999)
+        got = []
+        net.attach(1, got.append)
+        net.transmit(Frame("app", 0, 1, "x", 64, {"rt": {"ck": 7}}))
+        engine.run()
+        assert net.stats.frames_corrupted == 1
+        assert got[0].meta.get("corrupted")
+        assert got[0].meta["rt"]["ck"] == 7 ^ 0xFFFFFFFF
+
+    def test_partition_discards_crossing_frames(self):
+        engine, _, net = make_net(
+            partitions=(PartitionWindow(0.0, 1.0, (0,), (1,)),))
+        got = []
+        net.attach(1, got.append)
+        net.attach(2, got.append)
+        net.transmit(Frame("app", 0, 1, None, 64))  # severed
+        net.transmit(Frame("app", 0, 2, None, 64))  # unaffected
+        engine.run()
+        assert net.stats.frames_dropped_partition == 1
+        assert [f.dst for f in got] == [2]
+
+    def test_partitioned_predicate_follows_clock(self):
+        engine, _, net = make_net(
+            partitions=(PartitionWindow(1.0, 2.0, (0,), (1,)),))
+        assert not net.partitioned(0, 1)
+        engine.schedule(1.5, lambda: None)
+        engine.run()
+        assert net.partitioned(0, 1)
+
+    def test_drop_split_by_cause_sums(self):
+        engine, nodes, net = make_net(drop_prob=0.3)
+        net.attach(1, lambda f: None)
+        nodes[2].kill(now=0.0)
+        for i in range(50):
+            net.transmit(Frame("app", 0, 1, i, 64))
+        for i in range(10):  # some may be claimed by the loss impairment
+            net.transmit(Frame("app", 0, 2, i, 64))
+        engine.run()
+        s = net.stats
+        assert s.frames_dropped_dead > 0 and s.frames_dropped_impaired > 0
+        assert s.frames_dropped == (
+            s.frames_dropped_dead + s.frames_dropped_impaired
+            + s.frames_dropped_partition + s.frames_dropped_corrupt)
+
+    def test_impairments_do_not_perturb_clean_jitter_stream(self):
+        # the impairment draws live on their own substream: a run whose
+        # knobs are on but never fire must match the pristine run
+        def arrivals(**cfg):
+            engine, _, net = make_net(jitter=0.5, **cfg)
+            times = []
+            net.attach(1, lambda f: times.append(engine.now))
+            for i in range(20):
+                net.transmit(Frame("app", 0, 1, i, 64))
+            engine.run()
+            return times
+
+        assert arrivals() == arrivals(drop_prob=1e-12)

@@ -18,6 +18,20 @@ def faulted_run():
                             faults=[api.FaultSpec(rank=1, at_time=0.01)])
 
 
+@pytest.fixture(scope="module")
+def lossy_run():
+    from repro.config import SimulationConfig
+    from repro.simnet.network import NetworkConfig
+    from repro.simnet.transport import TransportConfig
+
+    config = SimulationConfig(
+        nprocs=4, protocol="tdi", seed=111, checkpoint_interval=5.0,
+        network=NetworkConfig(drop_prob=0.05, dup_prob=0.05, corrupt_prob=0.05),
+        transport=TransportConfig(enabled=True),
+    )
+    return api.run_workload("lu", config=config)
+
+
 class TestSummarize:
     def test_mentions_core_facts(self, clean_run):
         out = summarize(clean_run)
@@ -44,6 +58,24 @@ class TestSummarize:
         assert _fmt_bytes(512) == "512.0 B"
         assert _fmt_bytes(2048).endswith("KiB")
         assert _fmt_bytes(3 * 1024 * 1024).endswith("MiB")
+
+    def test_drops_split_by_cause(self, faulted_run):
+        out = summarize(faulted_run)
+        # the drop line attributes losses, not just totals them
+        assert "at dead nodes" in out
+
+    def test_transport_lines_only_when_impaired(self, clean_run, lossy_run):
+        clean = summarize(clean_run)
+        assert "impairments:" not in clean and "transport:" not in clean
+        out = summarize(lossy_run)
+        assert "impairments:" in out and "lost" in out
+        assert "transport:" in out and "retransmits" in out
+
+    def test_drop_cause_counters_consistent(self, lossy_run):
+        net = lossy_run.network
+        assert net.frames_dropped == (
+            net.frames_dropped_dead + net.frames_dropped_impaired
+            + net.frames_dropped_partition + net.frames_dropped_corrupt)
 
 
 class TestTables:
