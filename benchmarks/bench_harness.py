@@ -60,19 +60,45 @@ def engine_events_per_second(events: int = 200_000) -> float:
 
 
 def vector_merge_ops_per_second(nprocs: int = 32, ops: int = 100_000) -> float:
-    """Pointwise-max merges of an ``nprocs``-entry dependency vector."""
+    """Pointwise-max merges of an ``nprocs``-entry dependency vector.
+
+    The piggybacks come from donor vectors via ``as_piggyback()`` — the
+    only way the protocols ever build one — so the bench measures the
+    real receive path, cached value arrays included, not a synthetic
+    merge of bare tuples.
+    """
     local = DependIntervalVector(nprocs, owner=0)
-    piggybacks = [tuple(i + (j % 3) for j in range(nprocs)) for i in range(8)]
+    piggybacks = []
+    for i in range(8):
+        donor = DependIntervalVector(
+            nprocs, owner=(i + 1) % nprocs,
+            values=[i + (j % 3) for j in range(nprocs)])
+        piggybacks.append(donor.as_piggyback())
     t0 = time.perf_counter()
     for i in range(ops):
         local.merge(piggybacks[i & 7])
     return ops / (time.perf_counter() - t0)
 
 
+def best_of(fn, repeats: int = 5) -> float:
+    """Best-of-``repeats`` for a rate-returning measurement.
+
+    Matches bench_substrate's convention: the best sample is the one
+    least disturbed by scheduler noise, and on this class of shared box
+    the noise floor between samples is easily 2x.
+    """
+    return max(fn() for _ in range(repeats))
+
+
 def time_matrix(jobs: int, options: ExperimentOptions = MATRIX) -> tuple[float, int]:
-    """Wall-clock seconds for one fig6 matrix at ``jobs`` workers."""
+    """Wall-clock seconds for one fig6 matrix at ``jobs`` workers.
+
+    The harness result cache is explicitly bypassed (``cache=None``): a
+    warm cache would serve cells without simulating and the serial /
+    parallel comparison would measure dict lookups, not work.
+    """
     t0 = time.perf_counter()
-    result = fig6(options, jobs=jobs)
+    result = fig6(options, jobs=jobs, cache=None)
     return time.perf_counter() - t0, len(result.rows)
 
 
@@ -126,9 +152,21 @@ def collect_record(jobs: int) -> dict:
         "serial_s": round(serial_s, 3),
         "parallel_s": round(parallel_s, 3),
         "speedup": round(serial_s / parallel_s, 3),
-        "engine_events_per_s": round(engine_events_per_second()),
-        "vector_merge_ops_per_s": round(vector_merge_ops_per_second()),
+        "engine_events_per_s": round(best_of(engine_events_per_second)),
+        "vector_merge_ops_per_s": round(best_of(vector_merge_ops_per_second)),
     }
+
+
+#: kept current by append_record so a methodology change reaches old files
+DESCRIPTION = (
+    "serial vs parallel fast-preset fig6 matrix wall-clock and engine "
+    "hot-path throughput, one record appended per measurement run. "
+    "Methodology since 2026-08-07: the harness result cache is bypassed "
+    "(speedup compares real simulation work, not cache hits), micro-bench "
+    "rates are best-of-5, and the merge bench feeds as_piggyback() "
+    "products rather than bare tuples; earlier records measured a "
+    "cache-free path too (the cache was opt-in) but single-sample rates."
+)
 
 
 def append_record(record: dict, path: Path = ARTIFACT) -> None:
@@ -136,11 +174,8 @@ def append_record(record: dict, path: Path = ARTIFACT) -> None:
     if path.exists():
         data = json.loads(path.read_text(encoding="utf-8"))
     else:
-        data = {"benchmark": "bench_harness",
-                "description": "serial vs parallel fast-preset fig6 matrix "
-                               "wall-clock and engine hot-path throughput, "
-                               "one record appended per measurement run",
-                "records": []}
+        data = {"benchmark": "bench_harness", "records": []}
+    data["description"] = DESCRIPTION
     data["records"].append(record)
     path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
 

@@ -1,0 +1,76 @@
+"""CI perf-smoke gate for the simulation substrate.
+
+Measures clean-wire reliable-transport overhead with a small budget and
+fails (exit 1) if it regresses above a ceiling derived from the latest
+``BENCH_substrate.json`` trajectory record plus a noise margin — the
+ack-storm regression this guards against was a 0.55 overhead against a
+recorded ~0.03, so the default margin (0.10 absolute) trips on a real
+regression and shrugs at shared-runner timing noise.  Also runs the
+harness micro-benches at a small budget so their code paths stay
+exercised; their rates are printed for the log but not gated (absolute
+throughput is machine-dependent; the trajectory files are where those
+numbers are tracked).
+
+Run from the repo root: ``PYTHONPATH=src python benchmarks/perf_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from benchmarks.bench_harness import (  # noqa: E402
+    engine_events_per_second,
+    vector_merge_ops_per_second,
+)
+from benchmarks.bench_substrate import ARTIFACT, _timed, _transport_run  # noqa: E402
+
+
+def pinned_ceiling(path: Path, margin: float) -> float:
+    """Latest recorded clean-wire overhead plus the noise margin."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    records = data["records"]
+    if not records:
+        raise SystemExit(f"no records in {path}; run bench_substrate.py first")
+    return records[-1]["overhead_0pct"] + margin
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--margin", type=float, default=0.10,
+                        help="absolute overhead margin above the latest "
+                        "record (default: 0.10)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of repeats per timing (default: 3)")
+    parser.add_argument("--artifact", type=Path, default=ARTIFACT,
+                        help=f"trajectory file (default: {ARTIFACT})")
+    args = parser.parse_args(argv)
+
+    ceiling = pinned_ceiling(args.artifact, args.margin)
+    base_s, _ = _timed(lambda: _transport_run(transport=False), args.repeats)
+    rt0_s, rt0 = _timed(lambda: _transport_run(transport=True), args.repeats)
+    overhead = rt0_s / base_s - 1.0
+    acks = int(rt0.stats.total("rt_acks_sent"))
+    print(f"clean-wire transport overhead: {overhead:+.4f} "
+          f"(ceiling {ceiling:.4f}, baseline {base_s:.3f}s, "
+          f"transport {rt0_s:.3f}s, {acks} standalone acks)")
+
+    # small-budget micro-benches: exercised, logged, not gated
+    print(f"engine: {engine_events_per_second(50_000):,.0f} events/s")
+    print(f"vector merge: {vector_merge_ops_per_second(32, 20_000):,.0f} ops/s")
+
+    if overhead > ceiling:
+        print(f"FAIL: clean-wire overhead {overhead:.4f} exceeds the "
+              f"pinned ceiling {ceiling:.4f} "
+              f"(latest {args.artifact.name} record + {args.margin})")
+        return 1
+    print("perf smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

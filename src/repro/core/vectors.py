@@ -32,12 +32,36 @@ Invariants (checked by the property tests):
   dominates ``pb`` entry-wise under that order on the foreign entries,
   and the local entry exceeds ``pb[i]`` when the epochs match (the
   delivery itself advanced the interval).
+
+Storage is a flat ``int64`` array, and the all-epochs-agree merge (every
+merge of a failure-free run) is a vectorised mask/select: one ``<``
+compare, a ``count_nonzero`` and a masked ``copyto``, all O(n) in C with
+no per-entry Python loop.  A :class:`TaggedPiggyback` built by
+:meth:`DependIntervalVector.as_piggyback` carries a cached array of its
+values so the receiving merge never re-converts the tuple.  Every value
+that leaves this module (indexing, iteration, snapshots, piggyback
+entries) is a plain Python ``int`` — NumPy scalars must not leak into
+checksums, JSON or equality checks.  Without NumPy the same flat-array
+layout falls back to ``array('q')`` with the per-element merge.
 """
 
 from __future__ import annotations
 
+from array import array
 from operator import ne
 from typing import Iterable, Iterator, Sequence
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain bakes numpy in
+    _np = None
+
+
+def _make_store(values: Iterable[int]):
+    """A flat int64 array of ``values`` (NumPy, or ``array('q')``)."""
+    if _np is not None:
+        return _np.array(list(values), dtype=_np.int64)
+    return array("q", values)
 
 
 class TaggedPiggyback(tuple):
@@ -48,6 +72,11 @@ class TaggedPiggyback(tuple):
     consumer that only needs the counts — the delivery gate, the oracle,
     the worked-example tests — keeps working; the parallel ``epochs``
     tuple rides along for the consumers that are epoch-aware.
+
+    ``_arr`` caches the values as an int64 array so the receiver's merge
+    reads them without re-converting the tuple; it is populated by
+    :meth:`DependIntervalVector.as_piggyback` (or lazily on first merge)
+    and deliberately dropped on pickling/deepcopy — it is a pure cache.
     """
 
     def __new__(cls, values: Sequence[int],
@@ -59,6 +88,7 @@ class TaggedPiggyback(tuple):
                 f"epoch vector length {len(eps)} != value length {len(self)}"
             )
         self.epochs = eps
+        self._arr = None
         return self
 
     #: True once any entry refers to a post-rollback incarnation; only
@@ -67,8 +97,8 @@ class TaggedPiggyback(tuple):
     def tagged(self) -> bool:
         return any(self.epochs)
 
-    def __getnewargs__(self):  # pickling / deepcopy
-        return (tuple(self), self.epochs)
+    def __reduce__(self):  # pickling / deepcopy, minus the array cache
+        return (TaggedPiggyback, (tuple(self), self.epochs))
 
     def __repr__(self) -> str:
         return f"TaggedPiggyback({tuple(self)!r}, epochs={self.epochs!r})"
@@ -77,7 +107,7 @@ class TaggedPiggyback(tuple):
 class DependIntervalVector:
     """A mutable dependency vector with the epoch-aware merge rule."""
 
-    __slots__ = ("owner", "_v", "_e")
+    __slots__ = ("owner", "_v", "_e", "_ekey")
 
     def __init__(self, nprocs: int, owner: int,
                  values: Sequence[int] | None = None,
@@ -86,13 +116,13 @@ class DependIntervalVector:
             raise ValueError(f"owner {owner} out of range for nprocs={nprocs}")
         self.owner = owner
         if values is None:
-            self._v = [0] * nprocs
+            self._v = _make_store([0] * nprocs)
         else:
             if len(values) != nprocs:
                 raise ValueError(
                     f"vector length {len(values)} != nprocs {nprocs}"
                 )
-            self._v = [int(x) for x in values]
+            self._v = _make_store(int(x) for x in values)
         if epochs is None:
             self._e = [0] * nprocs
         else:
@@ -101,38 +131,42 @@ class DependIntervalVector:
                     f"epoch vector length {len(epochs)} != nprocs {nprocs}"
                 )
             self._e = [int(x) for x in epochs]
+        # epoch tuple mirror: lets the merge hot path compare a tagged
+        # piggyback's epochs in one C-level tuple comparison
+        self._ekey = tuple(self._e)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._v)
 
     def __getitem__(self, k: int) -> int:
-        return self._v[k]
+        return int(self._v[k])
 
     def __iter__(self) -> Iterator[int]:
-        return iter(self._v)
+        return iter(self._v.tolist())
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, DependIntervalVector):
-            return self._v == other._v and self._e == other._e
+            return (self._v.tolist() == other._v.tolist()
+                    and self._e == other._e)
         if isinstance(other, (list, tuple)):
-            return self._v == list(other)
+            return self._v.tolist() == list(other)
         return NotImplemented
 
     def __repr__(self) -> str:
-        return (f"DependIntervalVector(owner={self.owner}, {self._v}, "
-                f"epochs={self._e})")
+        return (f"DependIntervalVector(owner={self.owner}, "
+                f"{self._v.tolist()}, epochs={self._e})")
 
     # ------------------------------------------------------------------
     @property
     def own_interval(self) -> int:
         """This process's current state-interval index (deliveries made)."""
-        return self._v[self.owner]
+        return int(self._v[self.owner])
 
     @property
     def epochs(self) -> tuple[int, ...]:
         """Per-entry incarnation epochs (read-only view)."""
-        return tuple(self._e)
+        return self._ekey
 
     @property
     def own_epoch(self) -> int:
@@ -143,11 +177,12 @@ class DependIntervalVector:
         """Adopt the owner's current incarnation epoch (on protocol
         construction and after a checkpoint restore)."""
         self._e[self.owner] = int(epoch)
+        self._ekey = tuple(self._e)
 
     def advance_own(self) -> int:
         """Record one delivery: ``depend_interval[i] += 1`` (line 20)."""
         self._v[self.owner] += 1
-        return self._v[self.owner]
+        return int(self._v[self.owner])
 
     def merge(self, piggyback: Sequence[int]) -> int:
         """Merge a received piggyback (lines 22–24, epoch-aware).
@@ -163,19 +198,30 @@ class DependIntervalVector:
         if len(piggyback) != len(v):
             raise ValueError("piggyback length mismatch")
         pb_epochs = getattr(piggyback, "epochs", None)
-        if pb_epochs is not None and any(
+        if pb_epochs is not None and pb_epochs != self._ekey and any(
                 a != b for a, b in zip(pb_epochs, self._e)):
             return self._merge_tagged(piggyback, pb_epochs)
         # Fast path (every epoch agrees, i.e. almost every merge of a
-        # failure-free or single-failure run): pointwise max in C
-        # (map/max), then count the raised entries in C too (map/ne) —
-        # merge runs once per delivery on every rank, so a per-element
-        # Python loop here is measurable across a matrix.
+        # failure-free or single-failure run): one vectorised pass —
+        # merge runs once per delivery on every rank, so anything
+        # per-entry in Python here is measurable across a matrix.
+        if _np is not None:
+            a = getattr(piggyback, "_arr", None)
+            if a is None:
+                a = _np.asarray(piggyback, dtype=_np.int64)
+                if isinstance(piggyback, TaggedPiggyback):
+                    piggyback._arr = a  # prime the cache for re-merges
+            mask = v < a
+            mask[self.owner] = False
+            changed = _np.count_nonzero(mask)
+            if changed:
+                _np.copyto(v, a, where=mask)
+            return int(changed)
         merged = list(map(max, v, piggyback))
         merged[self.owner] = v[self.owner]
         changed = sum(map(ne, v, merged))
         if changed:
-            self._v = merged
+            self._v = array("q", merged)
         return changed
 
     def _merge_tagged(self, piggyback: Sequence[int],
@@ -193,6 +239,8 @@ class DependIntervalVector:
             elif pe == le and piggyback[k] > self._v[k]:
                 self._v[k] = piggyback[k]
                 changed += 1
+        if changed:
+            self._ekey = tuple(self._e)
         return changed
 
     def observe_rollback(self, rank: int, interval: int, epoch: int) -> bool:
@@ -207,23 +255,28 @@ class DependIntervalVector:
             return False
         self._v[rank] = int(interval)
         self._e[rank] = int(epoch)
+        self._ekey = tuple(self._e)
         return True
 
     def dominates(self, other: Iterable[int]) -> bool:
         """Pointwise >= — the delivery-gate relation used in tests."""
-        return all(a >= b for a, b in zip(self._v, other, strict=True))
+        return all(a >= b for a, b in zip(self._v.tolist(), other,
+                                          strict=True))
 
     def as_tuple(self) -> tuple[int, ...]:
         """Immutable copy of the interval values only."""
-        return tuple(self._v)
+        return tuple(self._v.tolist())
 
     def as_piggyback(self) -> TaggedPiggyback:
         """The epoch-tagged piggyback payload of a send."""
-        return TaggedPiggyback(self._v, self._e)
+        pb = TaggedPiggyback(self._v.tolist(), self._ekey)
+        if _np is not None:
+            pb._arr = self._v.copy()  # snapshot: the vector keeps mutating
+        return pb
 
     def snapshot(self) -> dict[str, list[int]]:
         """Mutable copy for checkpointing (values + epochs)."""
-        return {"v": list(self._v), "e": list(self._e)}
+        return {"v": self._v.tolist(), "e": list(self._e)}
 
     @classmethod
     def from_snapshot(cls, nprocs: int, owner: int, data) -> "DependIntervalVector":

@@ -12,9 +12,12 @@ serially in-process (``jobs=1``, the default, and what the test suite
 exercises) or fanned out over a ``ProcessPoolExecutor``.  Fan-out is
 safe because every run is a pure function of ``(config, seed)``: frame
 identifiers, RNG streams and event sequence numbers are all
-per-``Network``/per-``Engine``, so workers share nothing.  Results are
-reassembled in *request declaration order*, never completion order, so
-``-j 8`` produces byte-identical rows to ``-j 1``.
+per-``Network``/per-``Engine``, so workers share nothing.  Dispatch is
+*chunked* — many small requests ride one worker round trip (see
+:func:`run_request_chunk`), so pool overhead amortises across the
+matrix instead of taxing every cell.  Results are reassembled in
+*request declaration order*, never completion order, so ``-j 8``
+produces byte-identical rows to ``-j 1``.
 
 A worker failure (a :class:`SimulationError`, an oracle violation under
 ``--verify``, any crash) aborts the whole batch with the failing cell
@@ -91,6 +94,46 @@ def _fail(request: RunRequest, exc: BaseException) -> "SimulationError":
     )
 
 
+def run_request_chunk(requests: list[RunRequest],
+                      capture_errors: bool = False) -> list[RunSummary]:
+    """Worker entry point: run a chunk of requests in one dispatch.
+
+    Submitting requests one by one pays pool overhead — request pickling,
+    IPC, future bookkeeping, worker wake-up — per *cell*; on the fast
+    preset that overhead rivals the simulation itself and the "parallel"
+    path loses to serial outright.  Chunking pays it per ~``chunk_size``
+    cells instead.  A failing run raises with its cell already named, so
+    the parent can re-raise without guessing which chunk member died.
+    """
+    worker = run_request_capturing if capture_errors else run_request
+    summaries = []
+    for request in requests:
+        try:
+            summaries.append(worker(request))
+        except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+            raise
+        except BaseException as exc:
+            raise _fail(request, exc) from exc
+    return summaries
+
+
+#: dispatches each worker should get, roughly: >1 evens out uneven cell
+#: costs (lu@16 is much slower than sp@4) without reverting to
+#: per-cell dispatch overhead
+_CHUNKS_PER_WORKER = 4
+
+
+def chunk_requests(todo: list, jobs: int) -> list[list]:
+    """Split ``todo`` into contiguous dispatch chunks.
+
+    Contiguity keeps reassembly trivially declaration-ordered; the chunk
+    size targets ``_CHUNKS_PER_WORKER`` dispatches per worker so the
+    pool can still balance unevenly sized cells.
+    """
+    size = max(1, -(-len(todo) // (jobs * _CHUNKS_PER_WORKER)))
+    return [todo[i:i + size] for i in range(0, len(todo), size)]
+
+
 def run_batch(
     requests: Iterable[RunRequest],
     *,
@@ -144,19 +187,30 @@ def run_batch(
             except SimulationError as exc:
                 raise _fail(request, exc) from exc
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
-            futures = [(request, pool.submit(worker, request))
-                       for request in todo]
-            for request, future in futures:
+        chunks = chunk_requests(todo, jobs)
+        # never oversubscribe: more workers than cores just context-switch
+        # against each other (the old 1-core "anti-speedup")
+        workers = min(jobs, len(chunks), os.cpu_count() or jobs)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [(chunk, pool.submit(run_request_chunk, chunk,
+                                           capture_errors))
+                       for chunk in chunks]
+            for chunk, future in futures:
                 try:
-                    summary = future.result()
+                    summaries = future.result()
                 except (KeyboardInterrupt, SystemExit):
                     pool.shutdown(wait=False, cancel_futures=True)
                     raise
-                except BaseException as exc:
+                except SimulationError:
+                    # already named by the worker's per-request wrapper
                     pool.shutdown(wait=False, cancel_futures=True)
-                    raise _fail(request, exc) from exc
-                finish(request, summary)
+                    raise
+                except BaseException as exc:
+                    # pool infrastructure failure: name the chunk's head
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise _fail(chunk[0], exc) from exc
+                for request, summary in zip(chunk, summaries):
+                    finish(request, summary)
     return results  # type: ignore[return-value]  # every value is filled in
 
 

@@ -52,6 +52,26 @@ def _describe_drops(net) -> str:
     return f"{total} dropped: " + ", ".join(parts)
 
 
+def _transport_rate(stats, wall_time_s: float) -> str:
+    """Transport bookkeeping per wall second — `` (N events/s wall)``.
+
+    The divisor is :attr:`RunResult.wall_time_s`, which the cluster
+    measures with ``time.perf_counter`` — the same monotonic clock every
+    other wall-time figure in this codebase uses.  ``time.time`` is not
+    an option here: it can step (NTP), and a stepped divisor turns a
+    rate into noise.  Empty when the result predates the field (or the
+    run was too fast to time) so old pickled results still render.
+    """
+    if wall_time_s <= 0:
+        return ""
+    events = sum(
+        int(stats.total(key))
+        for key in ("rt_retransmits", "rt_dup_discards",
+                    "rt_corrupt_rejects", "rt_acks_sent")
+    )
+    return f" ({events / wall_time_s:.0f} events/s wall)"
+
+
 def summarize(result: "RunResult") -> str:
     """One-screen overview of a finished run."""
     stats = result.stats
@@ -92,6 +112,7 @@ def summarize(result: "RunResult") -> str:
             f"{rt_dups} dup discards, {rt_rejects} corrupt rejects, "
             f"{int(stats.total('rt_acks_sent'))} standalone acks, "
             f"{int(stats.total('rt_channel_resets'))} channel resets"
+            + _transport_rate(stats, result.wall_time_s)
         )
     failures = result.detector.failure_count()
     if failures:

@@ -8,6 +8,7 @@ a :class:`RunResult`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence, TYPE_CHECKING
 
@@ -47,6 +48,10 @@ class RunResult:
     detector: FailureDetector
     checkpoint_writes: int
     events_fired: int
+    #: host wall-clock seconds the run took, from ``time.perf_counter``
+    #: — the one clock this codebase times real work with (the CLI, the
+    #: fuzzer and the benches all use it; ``time.time`` can step)
+    wall_time_s: float = 0.0
     #: per-rank message streams when run with ``record=True``
     recording: Any = None
     #: causal-consistency oracle findings when run with ``verify=True``
@@ -133,6 +138,7 @@ class Cluster:
         if self._started:
             raise SimulationError("a Cluster instance runs exactly once")
         self._started = True
+        wall0 = time.perf_counter()
         if faults:
             self.injector.schedule(list(faults))
         for endpoint in self.endpoints:
@@ -170,6 +176,7 @@ class Cluster:
             detector=self.detector,
             checkpoint_writes=self.checkpoints.writes,
             events_fired=self.engine.events_fired,
+            wall_time_s=time.perf_counter() - wall0,
             recording=self.recording,
             violations=list(self.oracle.violations) if self.oracle else [],
         )

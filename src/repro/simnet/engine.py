@@ -1,24 +1,36 @@
 """The discrete-event engine.
 
-A single priority queue of ``(time, seq, callback)`` entries.  ``seq`` is a
-monotonically increasing tie-breaker so that two events scheduled for the
-same instant always fire in scheduling order — this is what makes every
-simulation run bit-for-bit reproducible from its configuration and seed.
+Two queues ordered by ``(time, seq)``.  ``seq`` is a monotonically
+increasing tie-breaker so that two events scheduled for the same instant
+always fire in scheduling order — this is what makes every simulation
+run bit-for-bit reproducible from its configuration and seed.
 
-The heap holds plain tuples, not wrapper objects: tuple comparison runs
-in C, whereas a ``@dataclass(order=True)`` entry pays a Python-level
-``__lt__`` call on every heap sift — and the sift comparisons are the
-innermost loop of every simulation.  Cancellation is tracked out of
-band: a cancelled event's ``seq`` moves from the pending set to the
-cancelled set, and the run loop discards such entries when they surface
-at the heap head.  ``seq`` values are unique, so two entries never
-compare beyond their first two fields and the callback itself is never
-compared.
+Most simulation traffic is *monotone*: a callback firing at time ``t``
+schedules its successors at ``t + delay >= t``, and the network's
+FIFO-epsilon lanes hand the engine long runs of non-decreasing
+timestamps.  The engine exploits this with a two-lane design:
+
+* the **FIFO lane** (a deque) absorbs any event scheduled at or after
+  the lane's current tail — append and popleft are O(1), no heap sift;
+* the **heap lane** takes the rest (out-of-order timers, retransmit
+  backoffs), preserving the classic O(log n) bound.
+
+The run loop merges the two lanes by comparing their heads, so a whole
+same-timestamp cohort drains with zero heap transactions instead of a
+pop+sift per event.  Entries are plain ``[time, seq, callback]`` lists
+(list comparison runs in C; ``seq`` uniqueness means the callback field
+is never compared).  Cancellation nulls the callback slot in place —
+``engine.cancel(handle)`` — and a ``_dead`` counter keeps
+``pending_events`` O(1); dead entries are discarded lazily when they
+surface at a lane head.  A list entry is deliberately returned as the
+handle itself: a wrapper object per event measurably throttles the
+innermost loop of every simulation.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable
 
 
@@ -27,36 +39,10 @@ class SimulationError(RuntimeError):
     finished engine, event-count overruns, deadlock detection)."""
 
 
-class EventHandle:
-    """A cancellable reference to a scheduled event."""
-
-    __slots__ = ("_engine", "_time", "_seq", "_cancelled")
-
-    def __init__(self, engine: "Engine", time: float, seq: int) -> None:
-        self._engine = engine
-        self._time = time
-        self._seq = seq
-        self._cancelled = False
-
-    def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent; safe after firing."""
-        if self._cancelled:
-            return
-        self._cancelled = True
-        pending = self._engine._pending
-        if self._seq in pending:
-            # Still queued: hide it from the run loop.  (After firing the
-            # seq is gone from the pending set and there is nothing to do.)
-            pending.discard(self._seq)
-            self._engine._cancelled.add(self._seq)
-
-    @property
-    def cancelled(self) -> bool:
-        return self._cancelled
-
-    @property
-    def time(self) -> float:
-        return self._time
+#: The scheduling handle: the live ``[time, seq, callback]`` entry itself.
+#: ``handle[0]`` is the scheduled time; a fired or cancelled entry has
+#: ``handle[2] is None``.  Cancel via :meth:`Engine.cancel`.
+EventHandle = list
 
 
 class Engine:
@@ -68,14 +54,17 @@ class Engine:
     layer implements them because only it knows what "blocked" means.
     """
 
+    __slots__ = ("now", "_heap", "_fifo", "_dead", "_seq",
+                 "_events_fired", "_running", "_stopped")
+
     def __init__(self) -> None:
         self.now: float = 0.0
-        #: heap of (time, seq, callback) tuples
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
-        #: seqs queued and live — ``pending_events`` is its size, O(1)
-        self._pending: set[int] = set()
-        #: seqs cancelled while still queued; discarded lazily at the head
-        self._cancelled: set[int] = set()
+        #: heap lane: out-of-order [time, seq, callback] entries
+        self._heap: list[list] = []
+        #: FIFO lane: entries appended in non-decreasing time order
+        self._fifo: deque[list] = deque()
+        #: cancelled-or-fired entries still sitting in a lane
+        self._dead: int = 0
         self._seq: int = 0
         self._events_fired: int = 0
         self._running: bool = False
@@ -86,26 +75,45 @@ class Engine:
     # ------------------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[[], None]) -> EventHandle:
         """Schedule ``fn`` to run ``delay`` simulated seconds from now."""
-        if delay < 0 or delay != delay:  # second test catches NaN
+        if not delay >= 0:  # single compare; False for NaN too
             raise SimulationError(f"cannot schedule event with delay {delay!r}")
         time = self.now + delay
         seq = self._seq
         self._seq = seq + 1
-        heapq.heappush(self._heap, (time, seq, fn))
-        self._pending.add(seq)
-        return EventHandle(self, time, seq)
+        entry = [time, seq, fn]
+        fifo = self._fifo
+        if not fifo or time >= fifo[-1][0]:
+            fifo.append(entry)
+        else:
+            heapq.heappush(self._heap, entry)
+        return entry
 
     def schedule_at(self, time: float, fn: Callable[[], None]) -> EventHandle:
         """Schedule ``fn`` at an absolute simulated time (>= now)."""
-        if time < self.now or time != time:
+        if not time >= self.now:  # single compare; False for NaN too
             raise SimulationError(
                 f"cannot schedule event in the past (t={time}, now={self.now})"
             )
         seq = self._seq
         self._seq = seq + 1
-        heapq.heappush(self._heap, (time, seq, fn))
-        self._pending.add(seq)
-        return EventHandle(self, time, seq)
+        entry = [time, seq, fn]
+        fifo = self._fifo
+        if not fifo or time >= fifo[-1][0]:
+            fifo.append(entry)
+        else:
+            heapq.heappush(self._heap, entry)
+        return entry
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Prevent a scheduled event from firing.
+
+        Idempotent, and harmless on an already-fired handle — the entry's
+        callback slot is simply nulled in place; the lanes discard it when
+        it surfaces.
+        """
+        if handle[2] is not None:
+            handle[2] = None
+            self._dead += 1
 
     # ------------------------------------------------------------------
     # Running
@@ -126,35 +134,68 @@ class Engine:
         self._running = True
         self._stopped = False
         heap = self._heap
-        pending = self._pending
-        cancelled = self._cancelled
-        pop = heapq.heappop
+        fifo = self._fifo
+        heappop = heapq.heappop
+        popleft = fifo.popleft
+        fired = self._events_fired
         try:
-            while heap:
-                if self._stopped:
+            if until is None and max_events is None:
+                # the common full-drain call: no per-event limit checks
+                while True:
+                    if fifo:
+                        entry = heappop(heap) if heap and heap[0] < fifo[0] \
+                            else popleft()
+                    elif heap:
+                        entry = heappop(heap)
+                    else:
+                        break
+                    fn = entry[2]
+                    if fn is None:
+                        self._dead -= 1
+                        continue
+                    entry[2] = None  # fired entries read as dead
+                    self.now = entry[0]
+                    fired += 1
+                    fn()
+                    if self._stopped:
+                        break
+                return
+            stop_t = float("inf") if until is None else until
+            stop_n = float("inf") if max_events is None else max_events
+            while True:
+                if fifo:
+                    entry = heappop(heap) if heap and heap[0] < fifo[0] \
+                        else popleft()
+                elif heap:
+                    entry = heappop(heap)
+                else:
+                    if until is not None and until > self.now:
+                        self.now = until
                     break
-                head = heap[0]
-                if cancelled and head[1] in cancelled:
-                    pop(heap)
-                    cancelled.discard(head[1])
+                fn = entry[2]
+                if fn is None:
+                    self._dead -= 1
                     continue
-                if until is not None and head[0] > until:
+                time = entry[0]
+                if time > stop_t:
+                    # keep the event: the heap lane accepts out-of-order
+                    # entries, so the popped head can always go back there
+                    heapq.heappush(heap, entry)
                     self.now = until
                     break
-                pop(heap)
-                pending.discard(head[1])
-                self.now = head[0]
-                self._events_fired += 1
-                if max_events is not None and self._events_fired > max_events:
+                entry[2] = None  # fired entries read as dead without counting
+                self.now = time
+                fired += 1
+                if fired > stop_n:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; "
                         "likely a livelock in the simulated system"
                     )
-                head[2]()
-            else:
-                if until is not None and until > self.now:
-                    self.now = until
+                fn()
+                if self._stopped:
+                    break
         finally:
+            self._events_fired = fired
             self._running = False
 
     def stop(self) -> None:
@@ -167,7 +208,7 @@ class Engine:
     @property
     def pending_events(self) -> int:
         """Number of queued, non-cancelled events (O(1))."""
-        return len(self._pending)
+        return len(self._heap) + len(self._fifo) - self._dead
 
     @property
     def events_fired(self) -> int:
@@ -176,11 +217,16 @@ class Engine:
     def peek_next_time(self) -> float | None:
         """Simulated time of the next live event, or ``None`` if idle."""
         heap = self._heap
-        cancelled = self._cancelled
-        while heap and heap[0][1] in cancelled:
-            cancelled.discard(heap[0][1])
+        fifo = self._fifo
+        while heap and heap[0][2] is None:
             heapq.heappop(heap)
-        return heap[0][0] if heap else None
+            self._dead -= 1
+        while fifo and fifo[0][2] is None:
+            fifo.popleft()
+            self._dead -= 1
+        if heap:
+            return min(heap[0][0], fifo[0][0]) if fifo else heap[0][0]
+        return fifo[0][0] if fifo else None
 
 
 def make_engine() -> Engine:

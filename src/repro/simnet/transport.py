@@ -13,14 +13,18 @@ the channel contract the protocols were built on.
 Mechanics, per directed channel (one :class:`_SendChannel` at the
 sender, one :class:`_RecvChannel` at the receiver):
 
-* every frame carries a sequence number and a payload checksum in
-  ``meta["rt"]``;
+* every frame carries a sequence number — and, when the wire can
+  corrupt (``corrupt_prob > 0``), a payload checksum — in ``meta["rt"]``;
 * the receiver delivers strictly in sequence order, parks early frames
   in a reorder buffer, discards replayed sequence numbers (the dedup
   window is everything at or below the cumulative ack), and rejects
   checksum mismatches with an immediate nack;
-* cumulative acks piggyback on any reverse-direction frame and fall back
-  to a standalone ``rt-ack`` frame after ``ack_delay`` of silence;
+* cumulative acks piggyback on any reverse-direction frame (cancelling
+  any standalone ack still pending for that channel) and fall back to a
+  standalone ``rt-ack`` frame after a delay that adapts to the channel's
+  observed inter-arrival gap — ``ack_gap_factor`` smoothed gaps, clamped
+  to [``ack_delay``, ``ack_delay_max``] — so steady traffic batches many
+  deliveries per ack; ``ack_max_pending`` deliveries force one out;
 * unacknowledged frames retransmit on a per-channel timer with capped
   exponential backoff plus seeded jitter (stream ``net.transport``);
   retransmission to a live, reachable peer that exceeds
@@ -55,13 +59,16 @@ pre-reset numbering — are recognised and discarded instead of poisoning
 the fresh channel.
 
 With the transport enabled but all impairments off, behaviour is
-bit-identical to running without it: frames pass through synchronously
-with unchanged sizes, retransmission timers are never armed (nothing
-short of a failure can lose a frame, and cross-failure loss is the
-protocol's job), and the standalone acks that clean up the in-flight
-buffers ride a dedicated jitter stream and FIFO lane.  The golden-trace
-test in ``tests/integration/test_transport_golden.py`` holds this
-equivalence pinned.
+bit-identical to running without it — and nearly free.  Nothing short
+of a failure can lose, duplicate or corrupt a frame on an unimpaired
+wire (cross-failure loss is the protocol's job), so the transport keeps
+only what failure semantics need: per-channel sequence numbers and the
+destination-epoch tag.  No retransmit buffers, no checksums, no acks —
+frames pass through synchronously with unchanged sizes and zero extra
+events.  The golden-trace test in
+``tests/integration/test_transport_golden.py`` holds this equivalence
+pinned, and ``benchmarks/bench_substrate.py`` tracks the clean-wire
+overhead ratio.
 """
 
 from __future__ import annotations
@@ -108,9 +115,24 @@ class TransportConfig:
     #: each backoff interval is stretched by up to this fraction of
     #: seeded jitter, decorrelating retransmit storms
     rto_jitter: float = 0.1
-    #: how long a receiver waits for reverse traffic to piggyback its
-    #: cumulative ack before sending a standalone ``rt-ack`` frame
+    #: minimum time a receiver waits for reverse traffic to piggyback
+    #: its cumulative ack before sending a standalone ``rt-ack`` frame;
+    #: 0 means "this engine timestamp cohort" — the ack fires at the
+    #: delivery's own simulated instant, with no adaptive stretching
     ack_delay: float = 2e-4
+    #: ceiling on the adaptively stretched ack delay (see
+    #: ``ack_gap_factor``); also the ack latency the retransmission
+    #: timeout budgets for, so coalescing never provokes a spurious
+    #: retransmit
+    ack_delay_max: float = 2e-3
+    #: the standalone-ack delay adapts to ``ack_gap_factor`` times the
+    #: channel's observed (EWMA) inter-arrival gap, clamped to
+    #: [``ack_delay``, ``ack_delay_max``] — steady traffic almost always
+    #: piggybacks or batches its acks instead of sending one per frame
+    ack_gap_factor: float = 4.0
+    #: deliveries a channel may leave unacknowledged before a cumulative
+    #: ack is forced out immediately, bounding sender-buffer growth
+    ack_max_pending: int = 64
     #: retransmissions to a live peer before the transport gives up and
     #: raises :class:`TransportStallError`
     max_retransmits: int = 12
@@ -128,6 +150,12 @@ class TransportConfig:
             raise ValueError("rto_jitter must be >= 0")
         if self.ack_delay < 0:
             raise ValueError("ack_delay must be >= 0")
+        if self.ack_delay_max < self.ack_delay:
+            raise ValueError("ack_delay_max must be >= ack_delay")
+        if self.ack_gap_factor < 0:
+            raise ValueError("ack_gap_factor must be >= 0")
+        if self.ack_max_pending < 1:
+            raise ValueError("ack_max_pending must be >= 1")
         if self.max_retransmits < 1:
             raise ValueError("max_retransmits must be >= 1")
 
@@ -178,7 +206,8 @@ class _InFlight:
     payload: Any
     size_bytes: int
     meta: dict[str, Any]
-    checksum: int
+    #: None when the wire cannot corrupt (checksums gated off)
+    checksum: int | None
     first_sent: float
     retries: int = 0
 
@@ -223,6 +252,12 @@ class _RecvChannel:
         self.ack_timer: EventHandle | None = None
         #: a delivery/dup since the last ack went out (piggyback or not)
         self.ack_pending = False
+        #: deliveries since the last ack went out (standalone-ack cap)
+        self.pending_count = 0
+        #: EWMA of the channel's data-frame inter-arrival gap (seconds);
+        #: drives the adaptive standalone-ack delay
+        self.gap_ewma = 0.0
+        self.last_arrival: float | None = None
 
     @property
     def cumulative_ack(self) -> int:
@@ -264,8 +299,16 @@ class ReliableTransport:
         self._recv: dict[tuple[int, int], _RecvChannel] = {}
         #: retransmission is pointless on a lossless wire; skipping the
         #: timers entirely keeps zero-impairment runs draw-for-draw
-        #: identical to transport-off runs
+        #: identical to transport-off runs.  The same observation gates
+        #: the whole heavy path: an unimpaired wire cannot lose,
+        #: duplicate or corrupt a frame, so there is nothing for
+        #: buffers, checksums or acks to do and ``transmit`` reduces to
+        #: sequence-and-forward (see the module doc).
         self._retransmit_armed = network.config.impaired
+        #: checksums exist to catch the corruption impairment; computing
+        #: and re-verifying them on wires that cannot corrupt dominated
+        #: clean-wire transport profiles
+        self._checksums = network.config.corrupt_prob > 0
 
     # ------------------------------------------------------------------
     # Network surface (what endpoints and services call)
@@ -313,19 +356,30 @@ class ReliableTransport:
         """Send ``frame`` reliably: sequence, checksum, buffer, piggyback."""
         ch = self._send_channel(frame.src, frame.dst)
         seq = ch.next_seq
-        ch.next_seq += 1
+        ch.next_seq = seq + 1
+        if not self._retransmit_armed:
+            # lossless wire: the only delivery hazard left is an epoch
+            # mismatch across a failure, so the frame needs its sequence
+            # number (numbering restarts stay observable) and its
+            # destination epoch — no buffer, no checksum, no acks
+            meta = dict(frame.meta)
+            meta["rt"] = {"seq": seq, "de": ch.peer_epoch}
+            frame.meta = meta
+            self.network.transmit(frame)
+            return
         record = _InFlight(
             seq=seq,
             kind=frame.kind,
             payload=frame.payload,
             size_bytes=frame.size_bytes,
             meta=dict(frame.meta),
-            checksum=payload_checksum(frame.payload, seq),
+            checksum=(payload_checksum(frame.payload, seq)
+                      if self._checksums else None),
             first_sent=self.engine.now,
         )
         ch.unacked[seq] = record
         self._send_record(ch, record)
-        if self._retransmit_armed and ch.timer is None:
+        if ch.timer is None:
             self._arm_retransmit(ch, record)
 
     # ------------------------------------------------------------------
@@ -351,18 +405,22 @@ class ReliableTransport:
         """Put one buffered frame on the wire (first send or retransmit)."""
         rt: dict[str, Any] = {
             "seq": record.seq,
-            "ck": record.checksum,
             "de": ch.peer_epoch,
         }
+        if record.checksum is not None:
+            rt["ck"] = record.checksum
         reverse = self._recv.get((ch.dst, ch.src))
         if reverse is not None:
-            # piggyback our cumulative ack for the reverse channel; it
-            # refers to the numbering connected to our current epoch
+            # piggyback our cumulative ack for the reverse channel (it
+            # refers to the numbering connected to our current epoch)
+            # and suppress any standalone ack still waiting to fire —
+            # this frame carries everything the ack would have
             rt["ack"] = reverse.cumulative_ack
             rt["ae"] = self.nodes[ch.src].epoch
             reverse.ack_pending = False
+            reverse.pending_count = 0
             if reverse.ack_timer is not None:
-                reverse.ack_timer.cancel()
+                self.engine.cancel(reverse.ack_timer)
                 reverse.ack_timer = None
         meta = dict(record.meta)
         meta["rt"] = rt
@@ -378,7 +436,10 @@ class ReliableTransport:
         rtt = (self.network.delay_for(record.size_bytes)
                + self.network.delay_for(cfg.ack_frame_bytes)
                + 2.0 * net.jitter_fraction * net.base_latency)
-        return cfg.rto_min + rtt + cfg.ack_delay
+        # budget for the worst-case coalesced ack, not the minimum
+        # delay: a deliberately held-back cumulative ack must never
+        # look like a lost frame
+        return cfg.rto_min + rtt + max(cfg.ack_delay, cfg.ack_delay_max)
 
     def _arm_retransmit(self, ch: _SendChannel, record: _InFlight) -> None:
         if ch.interval <= 0.0:
@@ -474,9 +535,26 @@ class ReliableTransport:
         self._on_data_frame(rank, frame, rt)
 
     def _on_data_frame(self, rank: int, frame: Frame, rt: dict) -> None:
+        if not self._retransmit_armed:
+            # lossless wire: frames arrive exactly once and in order, so
+            # the dedup window, reorder buffer and acks have no work;
+            # hand the frame straight up
+            self._deliver(rank, frame)
+            return
         seq = rt["seq"]
         ch = self._recv_channel(frame.src, rank)
-        if payload_checksum(frame.payload, seq) != rt["ck"]:
+        now = self.engine.now
+        last = ch.last_arrival
+        if last is not None and now > last:
+            # TCP-style smoothed inter-arrival gap (alpha = 1/8): the
+            # adaptive standalone-ack delay stretches to a few gaps so
+            # steady traffic coalesces its acks
+            gap = now - last
+            ch.gap_ewma = (gap if ch.gap_ewma == 0.0
+                           else 0.875 * ch.gap_ewma + 0.125 * gap)
+        ch.last_arrival = now
+        ck = rt.get("ck")
+        if ck is not None and payload_checksum(frame.payload, seq) != ck:
             self._count(rank, "rt_corrupt_rejects")
             self.stats.frames_dropped_corrupt += 1
             self.trace.emit("rt.corrupt_reject", rank, src=frame.src, seq=seq,
@@ -485,17 +563,22 @@ class ReliableTransport:
             return
         if seq < ch.next_expected or seq in ch.reorder:
             # replayed sequence number: dedup window discard, but re-ack
-            # so a retransmitting sender settles
+            # *immediately* — a retransmission means the sender's copy of
+            # our ack state is stale (the ack was probably dropped), and
+            # a coalescing delay here would let its backoff fire again
             self._count(rank, "rt_dup_discards")
             self.trace.emit("rt.dup_discard", rank, src=frame.src, seq=seq,
                             frame_kind=frame.kind, frame_id=frame.frame_id)
-            self._schedule_ack(ch)
+            self._ack_now(ch)
             return
         if seq > ch.next_expected:
+            # a gap usually means a loss in flight: ack immediately so
+            # the sender learns where the hole starts without waiting
+            # out the coalescing delay
             self.trace.emit("rt.reorder_buffer", rank, src=frame.src, seq=seq,
                             expected=ch.next_expected, frame_id=frame.frame_id)
             ch.reorder[seq] = frame
-            self._schedule_ack(ch)
+            self._ack_now(ch)
             return
         # in order: deliver, then drain whatever the gap was hiding
         ch.next_expected += 1
@@ -514,11 +597,49 @@ class ReliableTransport:
     # ------------------------------------------------------------------
     # Acknowledgements
     # ------------------------------------------------------------------
+    def _ack_now(self, ch: _RecvChannel) -> None:
+        """Send the cumulative ack immediately, folding in any pending one."""
+        if ch.ack_timer is not None:
+            self.engine.cancel(ch.ack_timer)
+            ch.ack_timer = None
+        self._send_standalone_ack(ch)
+
     def _schedule_ack(self, ch: _RecvChannel) -> None:
         ch.ack_pending = True
+        ch.pending_count += 1
+        if ch.pending_count >= self.config.ack_max_pending:
+            # bound the sender's unacked buffer: force the cumulative
+            # ack out now instead of waiting for the timer
+            if ch.ack_timer is not None:
+                self.engine.cancel(ch.ack_timer)
+                ch.ack_timer = None
+            self._send_standalone_ack(ch)
+            return
         if ch.ack_timer is None:
             ch.ack_timer = self.engine.schedule(
-                self.config.ack_delay, lambda: self._ack_tick(ch))
+                self._ack_delay_for(ch), lambda: self._ack_tick(ch))
+
+    def _ack_delay_for(self, ch: _RecvChannel) -> float:
+        """Adaptive standalone-ack delay for one receive channel.
+
+        ``ack_delay`` is the floor.  Once the channel has an observed
+        inter-arrival gap, the delay stretches to ``ack_gap_factor``
+        gaps (capped at ``ack_delay_max``) so that bursts of deliveries
+        — or reverse traffic arriving a few gaps later — fold into one
+        cumulative ack instead of one standalone ack per frame.  A zero
+        ``ack_delay`` disables the stretching entirely: the ack fires
+        in the same engine timestamp cohort as the delivery.
+        """
+        cfg = self.config
+        base = cfg.ack_delay
+        if base == 0.0:
+            return 0.0
+        ewma = ch.gap_ewma
+        if ewma > 0.0:
+            stretched = cfg.ack_gap_factor * ewma
+            if stretched > base:
+                return min(stretched, cfg.ack_delay_max)
+        return base
 
     def _ack_tick(self, ch: _RecvChannel) -> None:
         ch.ack_timer = None
@@ -532,6 +653,7 @@ class ReliableTransport:
         """Emit an ``rt-ack`` frame carrying the cumulative ack (and an
         optional nack for a checksum-rejected sequence number)."""
         ch.ack_pending = False
+        ch.pending_count = 0
         if not self.nodes[ch.src].alive:
             # the network would drop it at the dead node; the sender's
             # next retransmit after re-attach provokes a fresh ack
@@ -568,7 +690,7 @@ class ReliableTransport:
         if not ch.unacked:
             ch.interval = 0.0
             if ch.timer is not None:
-                ch.timer.cancel()
+                self.engine.cancel(ch.timer)
                 ch.timer = None
 
     def _fast_retransmit(self, rank: int, peer: int, seq: int,
@@ -595,13 +717,13 @@ class ReliableTransport:
         for key in [k for k in self._recv if k[1] == rank]:
             ch = self._recv.pop(key)
             if ch.ack_timer is not None:
-                ch.ack_timer.cancel()
+                self.engine.cancel(ch.ack_timer)
 
     def _reset_send_channel(self, key: tuple[int, int]) -> None:
         """Reconnect a peer's send channel to a freshly attached rank."""
         old = self._send.pop(key)
         if old.timer is not None:
-            old.timer.cancel()
+            self.engine.cancel(old.timer)
         if old.unacked:
             self.trace.emit("rt.reset", key[0], dst=key[1],
                             discarded=len(old.unacked))

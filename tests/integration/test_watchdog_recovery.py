@@ -64,7 +64,7 @@ def epoch_blind_merge(self, piggyback):
     merged = [max(a, b) for a, b in zip(self._v, piggyback)]
     merged[self.owner] = self._v[self.owner]
     changed = sum(a != b for a, b in zip(self._v, merged))
-    self._v = merged
+    self._v[:] = merged  # in place: the store is a flat array, not a list
     return changed
 
 

@@ -42,7 +42,7 @@ def test_cancellation_subset(events):
         if keep:
             expected.append((delay, i))
         else:
-            handle.cancel()
+            engine.cancel(handle)
     engine.run()
     assert fired == [i for _, i in sorted(expected, key=lambda p: (p[0], p[1]))]
 

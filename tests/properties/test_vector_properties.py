@@ -7,14 +7,19 @@ to the order in which piggybacks are observed — the formal backbone of
 the paper's claim that delivery order may be relaxed.
 """
 
+from unittest import mock
+
 from hypothesis import given, strategies as st
 
-from repro.core.vectors import DependIntervalVector
+import repro.core.vectors as vectors_mod
+from repro.core.vectors import DependIntervalVector, TaggedPiggyback
 
 N = 5
 
 vectors = st.lists(st.integers(min_value=0, max_value=100), min_size=N, max_size=N)
 owners = st.integers(min_value=0, max_value=N - 1)
+epoch_vectors = st.lists(st.integers(min_value=0, max_value=3), min_size=N,
+                         max_size=N)
 
 
 def fresh(owner, values):
@@ -85,3 +90,88 @@ def test_snapshot_roundtrip_preserves(owner, values):
     v = fresh(owner, values)
     restored = DependIntervalVector.from_snapshot(N, owner, v.snapshot())
     assert restored == v
+
+
+# ----------------------------------------------------------------------
+# Old-vs-new merge equivalence
+#
+# The vectorised flat-array merge must compute exactly what the original
+# per-entry Python loop computed — same ``{"v", "e"}`` snapshot, same
+# changed-entry count — for every combination of values, epochs and
+# piggyback form.  ``reference_merge`` below IS that original loop
+# (epoch-lexicographic: newer epoch wins outright, equal epochs take the
+# max, older epochs are ignored, the owner entry never merges; an
+# untagged piggyback matches each entry's current epoch by definition).
+# ----------------------------------------------------------------------
+
+def reference_merge(owner, values, epochs, pb_values, pb_epochs):
+    v, e, changed = list(values), list(epochs), 0
+    for k in range(len(v)):
+        if k == owner:
+            continue
+        pe = pb_epochs[k]
+        if pe > e[k]:
+            v[k], e[k] = pb_values[k], pe
+            changed += 1
+        elif pe == e[k] and pb_values[k] > v[k]:
+            v[k] = pb_values[k]
+            changed += 1
+    return v, e, changed
+
+
+def check_merge_matches_reference(owner, values, epochs, pb_values,
+                                  pb_epochs, via_as_piggyback=False):
+    v = DependIntervalVector(N, owner, values, epochs)
+    if pb_epochs is None:
+        piggyback = tuple(pb_values)
+        ref_epochs = list(epochs)  # untagged == current epochs, entrywise
+    elif via_as_piggyback:
+        donor = DependIntervalVector(N, (owner + 1) % N, pb_values, pb_epochs)
+        piggyback = donor.as_piggyback()
+        ref_epochs = pb_epochs
+    else:
+        piggyback = TaggedPiggyback(pb_values, pb_epochs)
+        ref_epochs = pb_epochs
+    want_v, want_e, want_changed = reference_merge(
+        owner, values, epochs, pb_values, ref_epochs)
+    changed = v.merge(piggyback)
+    assert changed == want_changed
+    assert v.snapshot() == {"v": want_v, "e": want_e}
+    assert all(isinstance(x, int) and not isinstance(x, bool)
+               for x in v.snapshot()["v"])
+
+
+@given(owners, vectors, vectors)
+def test_untagged_merge_matches_reference(owner, values, pb_values):
+    check_merge_matches_reference(owner, values, [0] * N, pb_values, None)
+
+
+@given(owners, vectors, epoch_vectors, vectors, epoch_vectors)
+def test_tagged_merge_matches_reference(owner, values, epochs, pb_values,
+                                        pb_epochs):
+    check_merge_matches_reference(owner, values, epochs, pb_values, pb_epochs)
+
+
+@given(owners, vectors, epoch_vectors, vectors, epoch_vectors)
+def test_as_piggyback_merge_matches_reference(owner, values, epochs,
+                                              pb_values, pb_epochs):
+    # the cached-array fast path: piggybacks built the way protocols
+    # build them, including a second merge that hits the warm cache
+    v = DependIntervalVector(N, owner, values, epochs)
+    donor = DependIntervalVector(N, (owner + 1) % N, pb_values, pb_epochs)
+    pb = donor.as_piggyback()
+    want_v, want_e, want_changed = reference_merge(
+        owner, values, epochs, pb_values, pb_epochs)
+    assert v.merge(pb) == want_changed
+    assert v.snapshot() == {"v": want_v, "e": want_e}
+    assert v.merge(pb) == 0  # idempotent on the now-cached array
+
+
+@given(owners, vectors, epoch_vectors, vectors, epoch_vectors)
+def test_merge_matches_reference_without_numpy(owner, values, epochs,
+                                               pb_values, pb_epochs):
+    # same semantics on the array('q') fallback store
+    with mock.patch.object(vectors_mod, "_np", None):
+        check_merge_matches_reference(owner, values, epochs, pb_values,
+                                      pb_epochs, via_as_piggyback=True)
+        check_merge_matches_reference(owner, values, [0] * N, pb_values, None)

@@ -69,25 +69,25 @@ class TestCancellation:
     def test_cancelled_event_does_not_fire(self, engine):
         hits = []
         handle = engine.schedule(1.0, lambda: hits.append(1))
-        handle.cancel()
+        engine.cancel(handle)
         engine.run()
         assert hits == []
 
     def test_cancel_is_idempotent(self, engine):
         handle = engine.schedule(1.0, lambda: None)
-        handle.cancel()
-        handle.cancel()
-        assert handle.cancelled
+        engine.cancel(handle)
+        engine.cancel(handle)
+        assert engine.pending_events == 0
 
     def test_cancel_after_fire_is_harmless(self, engine):
         handle = engine.schedule(1.0, lambda: None)
         engine.run()
-        handle.cancel()  # no error
+        engine.cancel(handle)  # no error
 
     def test_pending_events_excludes_cancelled(self, engine):
         engine.schedule(1.0, lambda: None)
         handle = engine.schedule(2.0, lambda: None)
-        handle.cancel()
+        engine.cancel(handle)
         assert engine.pending_events == 1
 
 
@@ -150,24 +150,23 @@ class TestRunControl:
     def test_peek_skips_cancelled(self, engine):
         h = engine.schedule(1.0, lambda: None)
         engine.schedule(2.0, lambda: None)
-        h.cancel()
+        engine.cancel(h)
         assert engine.peek_next_time() == 2.0
 
 
-class TestHeapBookkeeping:
-    """The tuple-heap rewrite keeps its live-event accounting exact."""
+class TestLaneBookkeeping:
+    """The two-lane rewrite keeps its live-event accounting exact."""
 
     def test_handle_reports_scheduled_time(self, engine):
         engine.schedule(1.0, lambda: None)  # advance seq past zero
         handle = engine.schedule(2.5, lambda: None)
-        assert handle.time == 2.5
+        assert handle[0] == 2.5
 
     def test_cancel_after_fire_keeps_pending_count(self, engine):
         fired = engine.schedule(1.0, lambda: None)
         engine.schedule(5.0, lambda: None)
         engine.run(until=2.0)
-        fired.cancel()  # stale handle: must not corrupt the live counter
-        assert fired.cancelled
+        engine.cancel(fired)  # stale handle: must not corrupt the counter
         assert engine.pending_events == 1
         engine.run()
         assert engine.pending_events == 0
@@ -175,18 +174,26 @@ class TestHeapBookkeeping:
     def test_mass_cancellation_count(self, engine):
         handles = [engine.schedule(float(i), lambda: None) for i in range(100)]
         for handle in handles[::2]:
-            handle.cancel()
+            engine.cancel(handle)
         assert engine.pending_events == 50
         engine.run()
         assert engine.events_fired == 50
         assert engine.pending_events == 0
 
-    def test_cancelled_entries_are_purged_from_heap(self, engine):
+    def test_cancelled_entries_are_purged_from_lanes(self, engine):
         handles = [engine.schedule(1.0, lambda: None) for _ in range(10)]
         for handle in handles:
-            handle.cancel()
+            engine.cancel(handle)
         engine.run()
-        assert engine._heap == [] and engine._cancelled == set()
+        assert engine._heap == [] and not engine._fifo and engine._dead == 0
+
+    def test_out_of_order_schedule_lands_in_heap_lane(self, engine):
+        order = []
+        engine.schedule(3.0, lambda: order.append("fifo"))
+        engine.schedule(1.0, lambda: order.append("heap"))  # before tail
+        assert len(engine._heap) == 1 and len(engine._fifo) == 1
+        engine.run()
+        assert order == ["heap", "fifo"]
 
     def test_schedule_at_nan_rejected(self, engine):
         with pytest.raises(SimulationError):

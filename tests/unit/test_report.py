@@ -71,6 +71,27 @@ class TestSummarize:
         assert "impairments:" in out and "lost" in out
         assert "transport:" in out and "retransmits" in out
 
+    def test_transport_rate_uses_perf_counter_wall_time(self, lossy_run):
+        # the transport rate divides rt counter totals by the cluster's
+        # perf_counter wall clock, not time.time (which can step)
+        import dataclasses
+
+        from repro.metrics.report import _transport_rate
+
+        assert lossy_run.wall_time_s > 0  # measured, not defaulted
+        out = summarize(lossy_run)
+        assert "events/s wall" in out
+        events = sum(
+            int(lossy_run.stats.total(k))
+            for k in ("rt_retransmits", "rt_dup_discards",
+                      "rt_corrupt_rejects", "rt_acks_sent"))
+        expected = f"({events / lossy_run.wall_time_s:.0f} events/s wall)"
+        assert expected in out
+        # a pre-field result (wall_time_s defaulted to 0) renders rateless
+        old = dataclasses.replace(lossy_run, wall_time_s=0.0)
+        assert "events/s wall" not in summarize(old)
+        assert _transport_rate(lossy_run.stats, 0.0) == ""
+
     def test_drop_cause_counters_consistent(self, lossy_run):
         net = lossy_run.network
         assert net.frames_dropped == (

@@ -199,8 +199,11 @@ class TestFailureSemantics:
 
     def test_stale_ack_from_previous_incarnation_ignored(self):
         # an ack minted against a pre-reset numbering must not clear
-        # renumbered frames that were never delivered
-        engine, nodes, _, rt = make_fabric()
+        # renumbered frames that were never delivered.  (Impaired wire:
+        # only then does the transport buffer frames for retransmission
+        # — an unimpaired wire has nothing to ack.)
+        engine, nodes, _, rt = make_fabric(
+            net_cfg=NetworkConfig(drop_prob=1e-12, jitter_fraction=0.0))
         rt.attach(0, lambda f: None)
         rt.attach(1, lambda f: None)
         ch_key = (0, 1)
@@ -218,6 +221,43 @@ class TestFailureSemantics:
         assert rt._send[ch_key].unacked  # still in flight
         engine.run()
         assert not rt._send[ch_key].unacked  # the real ack settles it
+
+
+class TestAckScheduling:
+    def _ack_and_delivery_times(self, seed=0):
+        """Run 10 one-way frames on an armed wire with ``ack_delay=0``;
+        return each delivery's engine timestamp and each standalone
+        ack's emission timestamp, in order."""
+        engine, _, net, rt = make_fabric(
+            net_cfg=NetworkConfig(drop_prob=1e-12, jitter_fraction=0.0),
+            rt_cfg=TransportConfig(enabled=True, ack_delay=0.0),
+            seed=seed)
+        deliveries, acks = [], []
+        rt.attach(0, lambda f: None)
+        rt.attach(1, lambda f: deliveries.append(engine.now))
+        real_transmit = net.transmit
+
+        def spy(frame):
+            if frame.kind == "rt-ack":
+                acks.append(engine.now)
+            real_transmit(frame)
+
+        net.transmit = spy
+        for i in range(10):
+            rt.transmit(Frame("app", 0, 1, i, 64))
+        engine.run()
+        return deliveries, acks
+
+    def test_zero_ack_delay_means_same_timestamp_cohort(self):
+        # regression: a zero ack_delay once inherited the retransmission
+        # backoff's jitter bounds, smearing "immediate" acks across sim
+        # time.  Delay 0 must mean the ack fires at the very timestamp
+        # of the delivery that provoked it — one ack per delivery, no
+        # drift, run after run.
+        deliveries, acks = self._ack_and_delivery_times()
+        assert deliveries and acks == deliveries
+        again = self._ack_and_delivery_times()
+        assert (deliveries, acks) == again  # trace pinned across runs
 
 
 class TestEquivalence:
