@@ -5,15 +5,37 @@ process sweep and reports the per-scale series.  The assertions pin the
 paper's qualitative shape: TAG > TEL > TDI everywhere, TDI exactly
 linear in the process count, the TAG/TDI gap widening with scale and
 worst on LU (the most communication-intensive benchmark).
+
+Beyond the paper's 32-rank ceiling, the large-scale section sweeps
+n in {64, 256, 1024} on a communication-sparse ring workload to measure
+what ``compress_piggybacks`` does to TDI's O(n) wire cost.  Run as a
+module (``python benchmarks/bench_fig6_piggyback.py``) to append one
+record to ``BENCH_piggyback.json``.
 """
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
+from repro._version import __version__
+from repro.config import SimulationConfig
 from repro.harness.config import ExperimentOptions
 from repro.harness.runner import Cell, run_cell
+from repro.mpi.cluster import run_simulation
+from repro.workloads.presets import workload_factory
 
 OPTIONS = ExperimentOptions()  # paper preset, scales 4..32
 SCALES = OPTIONS.scales
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_piggyback.json"
+#: beyond-the-paper scales for the compressed-wire sweep
+LARGE_SCALES = (64, 256, 1024)
 
 
 def sweep(workload: str, protocol: str) -> dict[int, float]:
@@ -78,3 +100,125 @@ def test_fig6_lu_is_worst_for_graph_protocols(benchmark, figure_report):
         "fig6 TAG identifiers at n=32 by workload: "
         + "  ".join(f"{k}:{v:.0f}" for k, v in values.items())
     )
+
+
+# ----------------------------------------------------------------------
+# Beyond the paper: compressed piggybacks at 64-1024 ranks
+# ----------------------------------------------------------------------
+
+def ring_run(nprocs: int, *, compress: bool, rounds: int = 6):
+    """One TDI run on the sparse ring workload at the given scale.
+
+    Fixed nearest-neighbour strides keep each rank's causal cone to the
+    few ranks within ``rounds`` hops, so the *delta* between consecutive
+    piggybacks stays O(1) while the raw dense vector is O(n) — the
+    regime the compressed encodings exist for.
+    """
+    config = SimulationConfig(
+        nprocs=nprocs, protocol="tdi", seed=1,
+        checkpoint_interval=10.0,  # no mid-run checkpoints; pure tracking
+        compress_piggybacks=compress,
+    )
+    workload = workload_factory("synthetic", scale="fast",
+                                pattern="ring", rounds=rounds)
+    return run_simulation(config, workload)
+
+
+def ring_bytes_per_message(nprocs: int, *, compress: bool) -> float:
+    """Piggyback bytes per app message actually put on the wire."""
+    run = ring_run(nprocs, compress=compress)
+    sends = run.stats.total("app_sends")
+    counter = "piggyback_bytes_wire" if compress else "piggyback_bytes_raw"
+    return run.stats.total(counter) / sends
+
+
+def ring_sweep() -> dict[int, dict[str, float]]:
+    series: dict[int, dict[str, float]] = {}
+    for nprocs in LARGE_SCALES:
+        raw = ring_bytes_per_message(nprocs, compress=False)
+        wire = ring_bytes_per_message(nprocs, compress=True)
+        series[nprocs] = {"raw": raw, "wire": wire, "ratio": raw / wire}
+    return series
+
+
+def test_compressed_ring_scaling(figure_report):
+    """The tentpole claim: raw grows O(n), compressed stays near-flat."""
+    series = ring_sweep()
+    figure_report.append(
+        "piggyback wire bytes/msg (ring, tdi): "
+        + "  ".join(f"n={n}: raw={v['raw']:.0f} wire={v['wire']:.1f} "
+                    f"({v['ratio']:.0f}x)" for n, v in sorted(series.items()))
+    )
+    # raw is the dense (n+1)-identifier encoding at 4 bytes each
+    for n in LARGE_SCALES:
+        assert series[n]["raw"] == pytest.approx(4 * (n + 1))
+    # at 1024 ranks the compressed wire must beat raw by >= 10x
+    assert series[1024]["ratio"] >= 10.0
+    # and grow sublinearly across the sweep: each 4x scale step must
+    # grow compressed bytes/msg by strictly less than 4x
+    assert series[256]["wire"] < 4 * series[64]["wire"]
+    assert series[1024]["wire"] < 4 * series[256]["wire"]
+
+
+def test_compressed_ring_same_answer():
+    """Compression is a wire format, not a semantics change."""
+    base = ring_run(64, compress=False)
+    comp = ring_run(64, compress=True)
+    assert comp.answer == base.answer
+    assert comp.stats.total("pb_undecodable_drops") == 0
+
+
+# ----------------------------------------------------------------------
+# Trajectory artifact
+# ----------------------------------------------------------------------
+
+def collect_record() -> dict:
+    """Measure the ring sweep once and package it for the trajectory."""
+    series = ring_sweep()
+    return {
+        "date": time.strftime("%Y-%m-%d"),
+        "version": __version__,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "workload": {"kernel": "synthetic", "pattern": "ring", "rounds": 6,
+                     "protocol": "tdi", "seed": 1},
+        "scales": list(LARGE_SCALES),
+        "raw_bytes_per_msg": {str(n): round(series[n]["raw"], 2)
+                              for n in LARGE_SCALES},
+        "wire_bytes_per_msg": {str(n): round(series[n]["wire"], 2)
+                               for n in LARGE_SCALES},
+        "compression_ratio": {str(n): round(series[n]["ratio"], 1)
+                              for n in LARGE_SCALES},
+    }
+
+
+def append_record(record: dict, path: Path = ARTIFACT) -> None:
+    """Append ``record`` to the trajectory file (created on first use)."""
+    if path.exists():
+        data = json.loads(path.read_text(encoding="utf-8"))
+    else:
+        data = {"benchmark": "bench_fig6_piggyback",
+                "description": "piggyback bytes per message, raw vs "
+                               "compressed wire encodings (TDI, sparse "
+                               "ring workload, 64-1024 ranks), one "
+                               "record appended per measurement run",
+                "records": []}
+    data["records"].append(record)
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Measure, print, and append to the trajectory artifact."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=ARTIFACT,
+                        help=f"trajectory file (default: {ARTIFACT})")
+    args = parser.parse_args(argv)
+    record = collect_record()
+    append_record(record, args.out)
+    print(json.dumps(record, indent=2))
+    print(f"appended to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -11,6 +11,13 @@ exercised; their rates are printed for the log but not gated (absolute
 throughput is machine-dependent; the trajectory files are where those
 numbers are tracked).
 
+Also gates the compressed-piggyback wire size: bytes per message at
+n=256 on the sparse ring workload is fully deterministic (byte counts,
+not wall time), so it is pinned against the latest
+``BENCH_piggyback.json`` record with a relative margin — a delta-encoder
+regression that silently re-sends full vectors shows up as a 10-20x
+jump, far past the 10% margin.
+
 Run from the repo root: ``PYTHONPATH=src python benchmarks/perf_smoke.py``.
 """
 
@@ -27,7 +34,14 @@ from benchmarks.bench_harness import (  # noqa: E402
     engine_events_per_second,
     vector_merge_ops_per_second,
 )
+from benchmarks.bench_fig6_piggyback import (  # noqa: E402
+    ARTIFACT as PB_ARTIFACT,
+    ring_bytes_per_message,
+)
 from benchmarks.bench_substrate import ARTIFACT, _timed, _transport_run  # noqa: E402
+
+#: scale point for the deterministic compressed-bytes gate
+PB_GATE_NPROCS = 256
 
 
 def pinned_ceiling(path: Path, margin: float) -> float:
@@ -39,6 +53,17 @@ def pinned_ceiling(path: Path, margin: float) -> float:
     return records[-1]["overhead_0pct"] + margin
 
 
+def pinned_wire_bytes_ceiling(path: Path, rel_margin: float) -> float:
+    """Latest recorded compressed bytes/msg at n=256, plus a margin."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    records = data["records"]
+    if not records:
+        raise SystemExit(f"no records in {path}; "
+                         "run bench_fig6_piggyback.py first")
+    return records[-1]["wire_bytes_per_msg"][str(PB_GATE_NPROCS)] \
+        * (1.0 + rel_margin)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--margin", type=float, default=0.10,
@@ -48,6 +73,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="best-of repeats per timing (default: 3)")
     parser.add_argument("--artifact", type=Path, default=ARTIFACT,
                         help=f"trajectory file (default: {ARTIFACT})")
+    parser.add_argument("--pb-margin", type=float, default=0.10,
+                        help="relative margin above the latest recorded "
+                        "compressed bytes/msg (default: 0.10)")
+    parser.add_argument("--pb-artifact", type=Path, default=PB_ARTIFACT,
+                        help=f"piggyback trajectory file "
+                        f"(default: {PB_ARTIFACT})")
     args = parser.parse_args(argv)
 
     ceiling = pinned_ceiling(args.artifact, args.margin)
@@ -59,14 +90,28 @@ def main(argv: list[str] | None = None) -> int:
           f"(ceiling {ceiling:.4f}, baseline {base_s:.3f}s, "
           f"transport {rt0_s:.3f}s, {acks} standalone acks)")
 
+    # compressed piggyback wire size: deterministic, gated at +10%
+    pb_ceiling = pinned_wire_bytes_ceiling(args.pb_artifact, args.pb_margin)
+    pb_wire = ring_bytes_per_message(PB_GATE_NPROCS, compress=True)
+    print(f"compressed piggyback wire: {pb_wire:.2f} bytes/msg at "
+          f"n={PB_GATE_NPROCS} (ceiling {pb_ceiling:.2f})")
+
     # small-budget micro-benches: exercised, logged, not gated
     print(f"engine: {engine_events_per_second(50_000):,.0f} events/s")
     print(f"vector merge: {vector_merge_ops_per_second(32, 20_000):,.0f} ops/s")
 
+    failed = False
     if overhead > ceiling:
         print(f"FAIL: clean-wire overhead {overhead:.4f} exceeds the "
               f"pinned ceiling {ceiling:.4f} "
               f"(latest {args.artifact.name} record + {args.margin})")
+        failed = True
+    if pb_wire > pb_ceiling:
+        print(f"FAIL: compressed piggyback {pb_wire:.2f} bytes/msg exceeds "
+              f"the pinned ceiling {pb_ceiling:.2f} "
+              f"(latest {args.pb_artifact.name} record + {args.pb_margin:.0%})")
+        failed = True
+    if failed:
         return 1
     print("perf smoke OK")
     return 0

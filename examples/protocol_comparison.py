@@ -23,7 +23,7 @@ def main() -> None:
         rows.append({
             "protocol": protocol,
             "piggyback ids/msg": r.stats.piggyback_identifiers_per_message,
-            "piggyback KiB total": r.stats.total("piggyback_bytes") / 1024,
+            "piggyback KiB total": r.stats.total("piggyback_bytes_raw") / 1024,
             "tracking ms": r.stats.tracking_time_total * 1e3,
             "graph nodes scanned": int(r.stats.total("graph_nodes_scanned")),
             "sim time ms": r.sim_time * 1e3,

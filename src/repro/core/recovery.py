@@ -133,6 +133,7 @@ class TdiRecoveryMixin:
             epoch = None
             interval = sum(lost_deliver_index)
         if epoch is not None:
+            prior = self.vectors.peer_epoch[src]
             if not self.vectors.observe_peer_epoch(src, epoch):
                 # a retry from an incarnation that has since died again;
                 # answering would clamp suppression below what the
@@ -141,6 +142,10 @@ class TdiRecoveryMixin:
                                 src=src, epoch=epoch,
                                 known=self.vectors.peer_epoch[src])
                 return
+            if epoch > prior:
+                # the peer's receiver-side piggyback reconstruction state
+                # died with its previous incarnation
+                self._on_peer_epoch_advance(src)
             # our dependency on the peer's erased state collapses to
             # its restored interval, re-tagged under the new epoch
             self.depend_interval.observe_rollback(src, interval, epoch)
@@ -185,7 +190,9 @@ class TdiRecoveryMixin:
                 return
             epoch = payload.get("epoch")
             if epoch is not None:
-                self.vectors.observe_peer_epoch(src, epoch)
+                prior = self.vectors.peer_epoch[src]
+                if self.vectors.observe_peer_epoch(src, epoch) and epoch > prior:
+                    self._on_peer_epoch_advance(src)
         else:  # pre-epoch payload: the bare delivered count
             last_receive_index = payload
         if last_receive_index > self.rollback_last_send_index[src]:

@@ -29,6 +29,12 @@ from repro.core.recovery import (
     TdiRecoveryMixin,
 )
 from repro.core.vectors import DependIntervalVector
+from repro.core.wire import encode_vector_full
+from repro.protocols.compression import (
+    UndecodablePiggyback,
+    VectorDeltaDecoder,
+    VectorDeltaEncoder,
+)
 from repro.protocols.base import (
     DeliveryVerdict,
     LoggedMessage,
@@ -57,6 +63,11 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
         #: from — the clamp target for stale-epoch dependencies (startup
         #: state is checkpoint zero)
         self._ckpt_own_interval = 0
+        # compressed wire layer: per-destination delta chains out, and
+        # per-source reconstruction state in (repro.protocols.compression)
+        self._pb_encoder = VectorDeltaEncoder(self.depend_interval) \
+            if self.compress else None
+        self._pb_decoder = VectorDeltaDecoder(n) if self.compress else None
         self._init_recovery_state()
 
     # ------------------------------------------------------------------
@@ -91,7 +102,16 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
         )
         self.metrics.log_items_created += 1
         self.metrics.log_bytes_peak = max(self.metrics.log_bytes_peak, self.log.nbytes)
+        wire_blob = None
         if transmit:
+            if self._pb_encoder is not None:
+                # encode here, not at transmit time: the delta is against
+                # the vector as of *this* snapshot, and deliveries may
+                # mutate it before the scheduled transmission
+                wire_blob, fell_back = self._pb_encoder.encode(
+                    dest, piggyback, send_index)
+                if fell_back:
+                    self.metrics.delta_fallback_full_sends += 1
             self.charge(
                 cost,
                 identifiers=identifiers,
@@ -107,6 +127,7 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
             piggyback_identifiers=identifiers,
             cost=cost,
             transmit=transmit,
+            wire=wire_blob,
         )
 
     # ------------------------------------------------------------------
@@ -255,12 +276,40 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
         # entry re-tags under the current epoch, and its restored value
         # is what stale-epoch dependencies clamp to
         self.depend_interval.set_own_epoch(self.epoch)
+        if self._pb_encoder is not None:
+            self._pb_encoder.bind(self.depend_interval)
         self._ckpt_own_interval = self.depend_interval.own_interval
         self.last_ckpt_deliver_index = list(state["last_ckpt_deliver_index"])
         self.rollback_last_send_index = list(state["rollback_last_send_index"])
         self.log = SenderLog.from_snapshot(
             self.nprocs, copy.copy(state["log"]), trace=self.trace, owner=self.rank
         )
+
+    # ------------------------------------------------------------------
+    # Compressed piggyback wire layer
+    # ------------------------------------------------------------------
+    def _on_peer_epoch_advance(self, rank: int) -> None:
+        """The peer's decoder state died with its previous incarnation:
+        the next send to it must carry a full record."""
+        if self._pb_encoder is not None:
+            self._pb_encoder.invalidate(rank)
+
+    def encode_piggyback_wire(self, dest: int, piggyback: Any,
+                              send_index: int) -> Any:
+        if self._pb_encoder is None:
+            return None
+        # resends are standalone full records: they may overtake or
+        # duplicate, so they must not touch either side's channel state
+        epochs = getattr(piggyback, "epochs", None) or (0,) * self.nprocs
+        return encode_vector_full(tuple(piggyback), epochs, send_index)
+
+    def decode_piggyback_wire(self, src: int, blob: Any,
+                              send_index: int) -> Any:
+        piggyback, embedded = self._pb_decoder.decode(src, blob)
+        if embedded != send_index:
+            raise UndecodablePiggyback(
+                f"record send_index {embedded} != frame {send_index}")
+        return piggyback
 
     def handle_control(self, ctl: str, src: int, payload: Any) -> None:
         if ctl == CHECKPOINT_ADVANCE:

@@ -107,7 +107,8 @@ class TaggedPiggyback(tuple):
 class DependIntervalVector:
     """A mutable dependency vector with the epoch-aware merge rule."""
 
-    __slots__ = ("owner", "_v", "_e", "_ekey")
+    __slots__ = ("owner", "_v", "_e", "_ekey",
+                 "_track", "_clock", "_stamp", "_log", "_log_base")
 
     def __init__(self, nprocs: int, owner: int,
                  values: Sequence[int] | None = None,
@@ -115,6 +116,13 @@ class DependIntervalVector:
         if not (0 <= owner < nprocs):
             raise ValueError(f"owner {owner} out of range for nprocs={nprocs}")
         self.owner = owner
+        # dirty-entry tracking (off unless the compressed wire layer
+        # enables it — every guard below is a single attribute test)
+        self._track = False
+        self._clock = 0
+        self._stamp: list[int] | None = None
+        self._log: list[tuple[int, int]] | None = None
+        self._log_base = 0
         if values is None:
             self._v = _make_store([0] * nprocs)
         else:
@@ -176,12 +184,76 @@ class DependIntervalVector:
     def set_own_epoch(self, epoch: int) -> None:
         """Adopt the owner's current incarnation epoch (on protocol
         construction and after a checkpoint restore)."""
+        if int(epoch) != self._e[self.owner] and self._track:
+            self._record((self.owner,))
         self._e[self.owner] = int(epoch)
         self._ekey = tuple(self._e)
 
+    # ------------------------------------------------------------------
+    # Dirty-entry tracking for the compressed wire layer
+    # ------------------------------------------------------------------
+    def enable_change_tracking(self) -> None:
+        """Start recording which entries mutate, so a per-channel delta
+        is O(entries changed) to build instead of O(n).
+
+        The clock ticks once per mutation batch; a change log of
+        ``(clock, index)`` pairs answers :meth:`delta_since` for recent
+        watermarks, and a per-entry last-change stamp covers watermarks
+        that predate the (bounded) log.
+        """
+        if self._track:
+            return
+        self._track = True
+        self._stamp = [0] * len(self._v)
+        self._log = []
+        self._log_base = 0
+
+    @property
+    def change_clock(self) -> int:
+        """Monotone mutation clock (0 until tracking sees a change)."""
+        return self._clock
+
+    def _record(self, indices) -> None:
+        """Stamp a batch of changed entries (tracking enabled only)."""
+        self._clock += 1
+        clock = self._clock
+        log = self._log
+        stamp = self._stamp
+        for k in indices:
+            log.append((clock, k))
+            stamp[k] = clock
+        # Bound the log at 4n entries: drop the oldest half, remembering
+        # the last dropped clock — watermarks at or past it still get
+        # the O(changed) walk, older ones fall back to the stamp scan.
+        limit = 4 * len(self._v)
+        if len(log) > limit:
+            keep = len(log) // 2
+            self._log_base = log[-keep - 1][0]
+            del log[:-keep]
+
+    def delta_since(self, watermark: int) -> tuple[int, ...]:
+        """Sorted indices of every entry whose value or epoch changed
+        after mutation clock ``watermark``."""
+        if not self._track:
+            raise RuntimeError("change tracking is not enabled")
+        if watermark >= self._clock:
+            return ()
+        if watermark >= self._log_base:
+            seen: set[int] = set()
+            for clock, k in reversed(self._log):
+                if clock <= watermark:
+                    break
+                seen.add(k)
+            return tuple(sorted(seen))
+        stamp = self._stamp
+        return tuple(k for k in range(len(stamp)) if stamp[k] > watermark)
+
+    # ------------------------------------------------------------------
     def advance_own(self) -> int:
         """Record one delivery: ``depend_interval[i] += 1`` (line 20)."""
         self._v[self.owner] += 1
+        if self._track:
+            self._record((self.owner,))
         return int(self._v[self.owner])
 
     def merge(self, piggyback: Sequence[int]) -> int:
@@ -216,11 +288,16 @@ class DependIntervalVector:
             changed = _np.count_nonzero(mask)
             if changed:
                 _np.copyto(v, a, where=mask)
+                if self._track:
+                    self._record(_np.nonzero(mask)[0].tolist())
             return int(changed)
         merged = list(map(max, v, piggyback))
         merged[self.owner] = v[self.owner]
         changed = sum(map(ne, v, merged))
         if changed:
+            if self._track:
+                self._record(k for k in range(len(merged))
+                             if merged[k] != v[k])
             self._v = array("q", merged)
         return changed
 
@@ -228,6 +305,7 @@ class DependIntervalVector:
                       pb_epochs: Sequence[int]) -> int:
         """Slow path: at least one entry's epoch differs from ours."""
         changed = 0
+        dirty: list[int] = []
         for k in range(len(self._v)):
             if k == self.owner:
                 continue
@@ -236,11 +314,15 @@ class DependIntervalVector:
                 self._v[k] = piggyback[k]
                 self._e[k] = pe
                 changed += 1
+                dirty.append(k)
             elif pe == le and piggyback[k] > self._v[k]:
                 self._v[k] = piggyback[k]
                 changed += 1
+                dirty.append(k)
         if changed:
             self._ekey = tuple(self._e)
+            if self._track:
+                self._record(dirty)
         return changed
 
     def observe_rollback(self, rank: int, interval: int, epoch: int) -> bool:
@@ -256,6 +338,8 @@ class DependIntervalVector:
         self._v[rank] = int(interval)
         self._e[rank] = int(epoch)
         self._ekey = tuple(self._e)
+        if self._track:
+            self._record((rank,))
         return True
 
     def dominates(self, other: Iterable[int]) -> bool:

@@ -6,6 +6,7 @@ Examples::
     python -m repro.fuzz --seed-range 0:500 --budget 100 --jobs 2
     python -m repro.fuzz --seed-range 0:20 --no-shrink --no-cache
     python -m repro.fuzz --seed-range 0:200 --net-bias lossy   # impaired wire
+    python -m repro.fuzz --seed-range 0:200 --compress   # compressed piggybacks
     python -m repro.fuzz --replay tests/corpus/high-water-regeneration.json
 
 Failures are shrunk to minimal repros and written as replayable corpus
@@ -91,6 +92,12 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
                         "drop/dup/corruption up to 5%%, occasional partition "
                         "windows) with the reliable transport enabled under "
                         "the protocol runs (default: clean)")
+    parser.add_argument("--compress", action="store_true",
+                        help="run the protocol legs with the compressed "
+                        "piggyback wire formats (SimulationConfig."
+                        "compress_piggybacks); scenarios are identical to "
+                        "the uncompressed band's, so findings unique to "
+                        "this band indict the wire encoding")
     parser.add_argument("--replay", metavar="ENTRY.json",
                         help="replay one corpus entry (or every entry in a "
                         "directory) instead of fuzzing")
@@ -168,6 +175,7 @@ def main(argv: list[str] | None = None) -> int:
         stop_after=args.stop_after,
         fault_bias=None if args.fault_bias == "none" else args.fault_bias,
         net_bias=None if args.net_bias == "clean" else args.net_bias,
+        compress=args.compress,
         log=None if args.quiet else print,
     )
     elapsed = time.perf_counter() - t0

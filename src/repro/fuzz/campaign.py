@@ -78,6 +78,7 @@ def run_campaign(
     stop_after: int | None = None,
     fault_bias: str | None = None,
     net_bias: str | None = None,
+    compress: bool = False,
     log: Callable[[str], None] | None = None,
 ) -> CampaignResult:
     """Fuzz every seed in ``seeds`` (up to ``budget`` scenarios).
@@ -91,7 +92,11 @@ def run_campaign(
     (``"lossy"`` runs every scenario over a drop/dup/corrupt-impaired
     wire with the reliable transport under the protocol runs); biased
     bands draw from a salted seed stream so they
-    never retread the unbiased band's scenarios.  Failures are shrunk
+    never retread the unbiased band's scenarios.  ``compress`` turns the
+    compressed piggyback wire formats on for the protocol legs; it is
+    *not* salted, so a compressed band retreads its uncompressed
+    counterpart's scenarios exactly and any finding unique to it indicts
+    the wire encoding.  Failures are shrunk
     with a predicate that preserves the original ``(protocol,
     failure-kind)`` signature, then persisted to ``corpus_dir`` (when
     given) with full provenance.
@@ -105,7 +110,7 @@ def run_campaign(
             emit(f"budget of {budget} scenarios exhausted")
             break
         scenario = generate_scenario(seed, fault_bias=fault_bias,
-                                     net_bias=net_bias)
+                                     net_bias=net_bias, compress=compress)
         verdict = run_scenario(scenario, protocols, jobs=jobs, cache=cache)
         result.scenarios_run += 1
         result.runs_executed += verdict.runs

@@ -117,6 +117,11 @@ def _request(scenario: Scenario, protocol: str, *, faulted: bool,
         # finding rather than contaminating the reference
         overrides.append(("network", scenario.network_config()))
         overrides.append(("transport", TransportConfig(enabled=True)))
+    if scenario.compress and protocol != GROUND_TRUTH:
+        # same asymmetry as the impairments: the compressed wire formats
+        # apply to the protocol legs only, so an encoding/decoding bug
+        # diverges from the pristine reference instead of cancelling out
+        overrides.append(("compress_piggybacks", True))
     return RunRequest(
         key=(scenario.name, protocol, "faulted" if faulted else "ff"),
         cell=Cell(scenario.workload, scenario.nprocs, protocol,

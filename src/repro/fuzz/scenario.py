@@ -126,6 +126,10 @@ class Scenario:
     partitions: tuple = ()
     #: how the impairment profile was generated (documentation only)
     net_kind: str = "clean"
+    #: run the protocol legs with the compressed piggyback wire formats
+    #: (``SimulationConfig.compress_piggybacks``); the ground truth is
+    #: unaffected, so any decode bug shows up as a differential finding
+    compress: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "faults", tuple(
@@ -233,6 +237,7 @@ class Scenario:
             "partitions": [[start, end, list(side_a), list(side_b)]
                            for start, end, side_a, side_b in self.partitions],
             "net_kind": self.net_kind,
+            "compress": self.compress,
         }
 
     @classmethod
@@ -257,6 +262,7 @@ class Scenario:
                 (float(start), float(end), tuple(side_a), tuple(side_b))
                 for start, end, side_a, side_b in data.get("partitions", [])),
             net_kind=data.get("net_kind", "clean"),
+            compress=bool(data.get("compress", False)),
         )
 
     def describe(self) -> str:
@@ -268,10 +274,11 @@ class Scenario:
             parts = f" parts={len(self.partitions)}" if self.partitions else ""
             net = (f" net[{self.net_kind}]=drop {self.drop_prob:g}/dup "
                    f"{self.dup_prob:g}/corrupt {self.corrupt_prob:g}{parts}")
+        compress = " compressed-pb" if self.compress else ""
         return (f"{self.name}: {self.workload}({kwargs}) nprocs={self.nprocs} "
                 f"{self.comm_mode} ckpt={self.checkpoint_interval:g}s "
                 f"eager={self.eager_threshold_bytes} seed={self.seed} "
-                f"faults[{self.fault_kind}]={faults}{net}")
+                f"faults[{self.fault_kind}]={faults}{net}{compress}")
 
 
 # ----------------------------------------------------------------------
@@ -323,7 +330,8 @@ def _lossy_network(rng: random.Random, nprocs: int) -> dict[str, Any]:
 
 
 def generate_scenario(seed: int, fault_bias: str | None = None,
-                      net_bias: str | None = None) -> Scenario:
+                      net_bias: str | None = None,
+                      compress: bool = False) -> Scenario:
     """Deterministically map ``seed`` to a random scenario.
 
     ``fault_bias="overlap"`` reshapes the fault-schedule distribution
@@ -336,6 +344,12 @@ def generate_scenario(seed: int, fault_bias: str | None = None,
     under the protocol runs.  Both biases are part of the RNG salt, so
     ``(seed, fault_bias, net_bias)`` triples are reproducible and no two
     bands ever retread each other's scenarios.
+
+    ``compress=True`` turns the compressed piggyback wire formats on for
+    the protocol legs.  It is deliberately *not* part of the RNG salt:
+    a compressed band walks scenarios identical to its uncompressed
+    counterpart, so any finding unique to the compressed band indicts
+    the wire encoding, not a different scenario draw.
     """
     if fault_bias in (None, "none"):
         fault_bias = None
@@ -415,8 +429,11 @@ def generate_scenario(seed: int, fault_bias: str | None = None,
         network = _lossy_network(rng, nprocs)
 
     suffix = "".join(f"-{tag}" for tag in tags)
+    if compress:
+        suffix += "-compress"
     return Scenario(
         name=f"seed-{seed:06d}{suffix}",
+        compress=compress,
         workload=workload,
         nprocs=nprocs,
         seed=sim_seed,

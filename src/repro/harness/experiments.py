@@ -85,7 +85,7 @@ def _fig6_plan(options: ExperimentOptions):
             protocol=protocol,
             value=run.stats.piggyback_identifiers_per_message,
             messages=run.stats.messages_total,
-            piggyback_bytes=run.stats.total("piggyback_bytes"),
+            piggyback_bytes=run.stats.total("piggyback_bytes_raw"),
         )
     return result
 

@@ -50,7 +50,13 @@ class CostModel:
     ckpt_read_bandwidth: float = 6.0e7
     #: stable write latency of the TEL event logger (per determinant batch)
     evlog_latency: float = 1.0e-3
-    #: wire size of one identifier
+    #: wire size of one identifier.  This prices the *raw* encoding;
+    #: with ``SimulationConfig.compress_piggybacks`` the frame carries
+    #: the compressed record's actual byte length instead, while the
+    #: tracking CPU cost stays raw-identifier-based — the protocol still
+    #: builds and merges the same logical identifiers either way, and
+    #: keeping Fig. 7 encoding-independent is what makes the raw and
+    #: compressed runs comparable
     identifier_bytes: int = 4
 
     def identifiers_cost(self, count: int) -> float:

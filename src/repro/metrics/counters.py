@@ -26,9 +26,16 @@ class RankMetrics:
     app_delivers: int = 0
     duplicates_discarded: int = 0
     resends: int = 0                 # middleware-level resends on behalf of a peer
-    # --- piggyback accounting (Fig. 6)
+    # --- piggyback accounting (Fig. 6).  Identifier counts and raw
+    # bytes are always accounted against the *raw* encoding (identifier
+    # arrays), whatever the wire ships — the Fig. 6/7 comparison stays
+    # encoding-independent; piggyback_bytes_wire records what the
+    # compressed layer actually put on the wire (0 when disabled)
     piggyback_identifiers: int = 0
-    piggyback_bytes: int = 0
+    piggyback_bytes_raw: int = 0
+    piggyback_bytes_wire: int = 0
+    delta_fallback_full_sends: int = 0   # compressed sends shipped full
+    pb_undecodable_drops: int = 0        # frames dropped pending resend
     # --- tracking time (Fig. 7), simulated seconds
     tracking_time: float = 0.0
     graph_nodes_scanned: int = 0

@@ -87,7 +87,7 @@ def summarize(result: "RunResult") -> str:
         f"{int(stats.total('duplicates_discarded'))} duplicates discarded)",
         f"  piggyback:             "
         f"{stats.piggyback_identifiers_per_message:.1f} identifiers/message, "
-        f"{_fmt_bytes(stats.total('piggyback_bytes'))} total",
+        f"{_fmt_bytes(stats.total('piggyback_bytes_raw'))} total",
         f"  tracking time:         {_fmt_time(stats.tracking_time_total)} "
         f"across ranks (max rank {_fmt_time(stats.tracking_time_max_rank)})",
         f"  checkpoints:           {result.checkpoint_writes} writes, "
@@ -96,6 +96,17 @@ def summarize(result: "RunResult") -> str:
         f"{_fmt_bytes(result.network.bytes_sent)} "
         f"({_describe_drops(result.network)})",
     ]
+    wire_bytes = stats.total("piggyback_bytes_wire")
+    if wire_bytes > 0:
+        raw_bytes = stats.total("piggyback_bytes_raw")
+        ratio = raw_bytes / wire_bytes if wire_bytes else 0.0
+        lines.append(
+            f"  piggyback compression: {_fmt_bytes(wire_bytes)} on the wire "
+            f"({ratio:.1f}x vs raw, "
+            f"{int(stats.total('delta_fallback_full_sends'))} full-record "
+            f"fallbacks, {int(stats.total('pb_undecodable_drops'))} "
+            f"undecodable drops)"
+        )
     net = result.network
     if net.frames_dropped_impaired or net.frames_duplicated or net.frames_corrupted:
         lines.append(

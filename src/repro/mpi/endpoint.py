@@ -75,6 +75,9 @@ class Endpoint:
         self.nprocs = cluster.config.nprocs
         self.app = app
         self.config = cluster.config
+        #: EndpointServices surface for the protocol's compressed wire
+        #: layer (read at protocol construction, one line below)
+        self.compress_piggybacks = cluster.config.compress_piggybacks
         self.engine = cluster.engine
         #: the cluster fabric: the reliable transport when enabled, else
         #: the raw network — same attach/transmit/detach surface
@@ -202,6 +205,10 @@ class Endpoint:
             identifiers=item.piggyback_identifiers,
             ack=ack,
             resend=True,
+            # standalone record: resends may overtake or duplicate the
+            # per-channel delta stream, so they never participate in it
+            wire=self.protocol.encode_piggyback_wire(
+                item.dest, item.piggyback, item.send_index),
         )
 
     def wake_delivery(self) -> None:
@@ -289,6 +296,7 @@ class Endpoint:
             piggyback=prepared.piggyback,
             identifiers=prepared.piggyback_identifiers,
             ack=self._ack_mode(op.size_bytes),
+            wire=prepared.wire,
         )
 
     def _pump_process(self, request: SendRequest) -> float:
@@ -307,6 +315,7 @@ class Endpoint:
                 piggyback=prepared.piggyback,
                 identifiers=prepared.piggyback_identifiers,
                 ack=None,
+                wire=prepared.wire,
             )
         else:
             self.metrics.app_sends_suppressed += 1
@@ -331,16 +340,26 @@ class Endpoint:
         identifiers: int,
         ack: str | None,
         resend: bool = False,
+        wire: Any = None,
     ) -> None:
-        pb_bytes = identifiers * self.config.costs.identifier_bytes
         meta = {
             "tag": tag,
             "send_index": send_index,
-            "pb": piggyback,
             "ack": ack,
             "app_size": app_size,
             "resend": resend,
         }
+        if wire is not None:
+            # compressed piggyback: the receiver reconstructs meta["pb"]
+            # from the wire record at arrival, and the frame pays for the
+            # bytes actually shipped
+            pb_bytes = len(wire)
+            meta["pbw"] = wire
+            if not resend:
+                self.metrics.piggyback_bytes_wire += pb_bytes
+        else:
+            pb_bytes = identifiers * self.config.costs.identifier_bytes
+            meta["pb"] = piggyback
         self.trace.emit("verify.send", self.rank, dest=dest, tag=tag,
                         send_index=send_index, pb=piggyback, resend=resend)
         frame = Frame("app", self.rank, dest, payload, app_size + pb_bytes, meta)
@@ -361,6 +380,27 @@ class Endpoint:
 
     def _on_app_frame(self, frame: Frame) -> None:
         from repro.protocols.base import DeliveryVerdict
+        from repro.protocols.compression import UndecodablePiggyback
+
+        if "pb" not in frame.meta:
+            # Compressed piggyback: reconstruct at *arrival*, before any
+            # classification — per-channel arrival order equals the
+            # sender's encode order (FIFO channels), which is what the
+            # delta chains assume.  The "pb" guard keeps a duplicated
+            # frame object from being decoded twice.
+            try:
+                frame.meta["pb"] = self.protocol.decode_piggyback_wire(
+                    frame.src, frame.meta["pbw"], frame.meta["send_index"])
+            except UndecodablePiggyback as exc:
+                # only possible when a failure destroyed reconstruction
+                # state; the peer's ROLLBACK handling re-sends every
+                # uncovered message as a standalone (self-contained)
+                # record, so dropping here loses nothing
+                self.metrics.pb_undecodable_drops += 1
+                self.trace.emit(
+                    "proto.pb_undecodable", self.rank, src=frame.src,
+                    send_index=frame.meta["send_index"], error=str(exc))
+                return
 
         verdict = self.protocol.classify(frame.meta, frame.src)
         if verdict is DeliveryVerdict.DUPLICATE:

@@ -56,6 +56,12 @@ class PreparedSend:
     #: forward (Algorithm 1 line 10): the item is logged but not
     #: transmitted
     transmit: bool = True
+    #: compressed wire form of the piggyback (``None`` = ship raw).
+    #: Built inside ``prepare_send`` — the channel-delta encoders need
+    #: the piggyback snapshot and the encode to be one atomic step, and
+    #: in blocking mode deliveries can mutate the vector between
+    #: ``prepare_send`` and the scheduled transmission.
+    wire: Any = None
 
 
 @dataclass
@@ -128,6 +134,11 @@ class Protocol(abc.ABC):
         # test doubles without the method default to epoch 0.
         epoch_fn = getattr(services, "incarnation_epoch", None)
         self.epoch: int = epoch_fn() if callable(epoch_fn) else 0
+        #: ship piggybacks in the compressed wire encoding
+        #: (``SimulationConfig.compress_piggybacks``); duck-typed so
+        #: protocol test doubles without the attribute default to raw
+        self.compress: bool = bool(
+            getattr(services, "compress_piggybacks", False))
 
     # ------------------------------------------------------------------
     # Normal-execution path
@@ -211,13 +222,36 @@ class Protocol(abc.ABC):
         return None
 
     # ------------------------------------------------------------------
+    # Compressed piggyback wire layer (repro.protocols.compression)
+    # ------------------------------------------------------------------
+    def _on_peer_epoch_advance(self, rank: int) -> None:
+        """A peer announced a strictly newer incarnation epoch: its
+        receiver-side reconstruction state died with it.  Protocols with
+        per-channel delta encoders invalidate the channel here."""
+
+    def encode_piggyback_wire(self, dest: int, piggyback: Any,
+                              send_index: int) -> Any:
+        """Standalone (channel-state-free) wire form of a piggyback, used
+        for log resends; ``None`` ships the piggyback raw."""
+        return None
+
+    def decode_piggyback_wire(self, src: int, blob: Any,
+                              send_index: int) -> Any:
+        """Reconstruct a piggyback from its wire form at frame arrival.
+        Raises ``UndecodablePiggyback`` when reconstruction is impossible
+        (the endpoint then drops the frame; recovery resends cover it)."""
+        raise NotImplementedError(
+            f"{self.name} received a compressed piggyback it cannot decode"
+        )
+
+    # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
     def charge(self, cost: float, identifiers: int = 0, pb_bytes: int = 0) -> None:
         """Record tracking cost and piggyback volume into the metrics."""
         self.metrics.tracking_time += cost
         self.metrics.piggyback_identifiers += identifiers
-        self.metrics.piggyback_bytes += pb_bytes
+        self.metrics.piggyback_bytes_raw += pb_bytes
 
 
 @dataclass

@@ -1,0 +1,209 @@
+"""Per-channel piggyback compression state machines.
+
+The codecs in :mod:`repro.core.wire` turn one piggyback into one record;
+this module owns the *channel* protocol that makes delta records safe:
+
+Sender side (:class:`VectorDeltaEncoder`), one per TDI protocol
+instance, one channel per destination:
+
+* the first record on a channel is a self-contained FULL (dense or
+  sparse, whichever is smaller) carrying stream sequence number 0;
+* every further record is a DELTA of the entries that changed since the
+  channel's *watermark* — the vector's mutation clock at the previous
+  record — built in O(changed) from the vector's dirty-entry log;
+* a DELTA that would not beat the full form falls back to a stream FULL
+  (exact: the comparison encodes both once the delta is big enough to
+  possibly lose);
+* :meth:`VectorDeltaEncoder.invalidate` drops a channel when its peer
+  enters a new incarnation epoch (the peer's decoder state died with
+  it), so the next send re-establishes with a FULL.
+
+Receiver side (:class:`VectorDeltaDecoder`), one channel per source:
+
+* a stream FULL unconditionally resets the channel base and adopts the
+  record's sequence number — which is how a *new sender incarnation*
+  (fresh encoder, seq 0) takes over a channel without any explicit
+  receiver-side invalidation;
+* a DELTA must match the expected sequence number exactly and requires
+  an established base; anything else raises
+  :class:`UndecodablePiggyback` and the endpoint drops the frame.  A
+  dropped frame is always re-covered: the only way a stream record can
+  be undecodable is a receiver that lost its base to a failure, and the
+  recovery protocol's ROLLBACK handling re-sends every uncovered logged
+  message as a standalone FULL record.
+
+Standalone FULL records (``FLAG_STANDALONE``) carry no sequence number
+and touch no channel state on either side — every log resend uses them,
+so resends may overtake, interleave, or duplicate freely.
+
+Ordering contract: per destination, records are encoded in transmit
+order and (FIFO channels — the raw clean network's guarantee, restored
+exactly-once by the reliable transport under impairment) decoded at
+arrival in that same order, each at most once.
+
+The PWD-family piggybacks (TAG / TEL / PART determinant increments) are
+self-contained, so their compressed form is stateless: a varint
+determinant list, plus TEL's stability vector.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core import wire
+from repro.core.vectors import DependIntervalVector, TaggedPiggyback
+
+
+class UndecodablePiggyback(Exception):
+    """A compressed piggyback could not be reconstructed (missing or
+    out-of-sequence channel base, or a malformed record)."""
+
+
+class VectorDeltaEncoder:
+    """Sender-side per-destination delta chains over one depend-interval
+    vector.  ``encode`` must be called in per-destination transmit order,
+    with the piggyback snapshot taken from the vector in the same
+    mutation-free step (prepare_send does exactly this)."""
+
+    def __init__(self, vector: DependIntervalVector) -> None:
+        self.vector = vector
+        vector.enable_change_tracking()
+        #: dest -> [watermark, seq]: mutation clock at the previous
+        #: record, and that record's stream sequence number
+        self._channels: dict[int, list[int]] = {}
+        #: destinations that ever had a channel — distinguishes the very
+        #: first FULL (establishment) from a fallback FULL
+        self._ever: set[int] = set()
+
+    def bind(self, vector: DependIntervalVector) -> None:
+        """Re-point at a replacement vector (checkpoint restore swaps the
+        instance); all channels re-establish."""
+        self.vector = vector
+        vector.enable_change_tracking()
+        self._channels.clear()
+
+    def invalidate(self, dest: int) -> None:
+        """The peer entered a new incarnation epoch: its decoder state is
+        gone, so the next send must carry a full record."""
+        self._channels.pop(dest, None)
+
+    def encode(self, dest: int, piggyback: TaggedPiggyback,
+               send_index: int) -> tuple[bytes, bool]:
+        """Encode one transmitted piggyback for ``dest``.
+
+        Returns ``(record, fell_back)`` where ``fell_back`` is True for
+        every stream FULL after the channel's first-ever record (epoch
+        invalidation, watermark loss, or a delta that lost the exact
+        size comparison).
+        """
+        clock = self.vector.change_clock
+        n = len(piggyback)
+        chan = self._channels.get(dest)
+        if chan is None:
+            blob = wire.encode_vector_full(
+                tuple(piggyback), piggyback.epochs, send_index, seq=0)
+            self._channels[dest] = [clock, 0]
+            fell_back = dest in self._ever
+            self._ever.add(dest)
+            return blob, fell_back
+        watermark, seq = chan
+        seq += 1
+        changed = self.vector.delta_since(watermark)
+        changes = tuple(
+            (k, piggyback[k], piggyback.epochs[k]) for k in changed)
+        blob = wire.encode_vector_delta(changes, send_index, seq)
+        fell_back = False
+        # Exact fallback: any record shorter than n + 3 bytes is provably
+        # no larger than the dense full form (header + seq + n values +
+        # send_index, one byte minimum each) — only past that can a full
+        # record win, and then the comparison is done for real.
+        if len(blob) >= n + 3:
+            full = wire.encode_vector_full(
+                tuple(piggyback), piggyback.epochs, send_index, seq=seq)
+            if len(full) <= len(blob):
+                blob = full
+                fell_back = True
+        chan[0] = clock
+        chan[1] = seq
+        return blob, fell_back
+
+
+class VectorDeltaDecoder:
+    """Receiver-side reconstruction of per-source delta chains."""
+
+    def __init__(self, nprocs: int) -> None:
+        self.nprocs = nprocs
+        #: src -> [next_expected_seq, values, epochs]
+        self._channels: dict[int, list[Any]] = {}
+
+    def decode(self, src: int, blob: bytes) -> tuple[TaggedPiggyback, int]:
+        """Reconstruct one record from ``src``; returns the piggyback and
+        the record's embedded send index."""
+        try:
+            rec = wire.decode_vector_record(blob, self.nprocs)
+        except ValueError as exc:
+            raise UndecodablePiggyback(f"malformed record: {exc}") from exc
+        if rec.mode != wire.DELTA:
+            if not rec.standalone:
+                # stream FULL: (re-)establish the channel — a brand-new
+                # sender incarnation resets an existing chain this way
+                self._channels[src] = [
+                    rec.seq + 1, list(rec.values), list(rec.epochs)]
+            return TaggedPiggyback(rec.values, rec.epochs), rec.send_index
+        chan = self._channels.get(src)
+        if chan is None:
+            raise UndecodablePiggyback(
+                f"delta from rank {src} with no established base")
+        if rec.seq != chan[0]:
+            raise UndecodablePiggyback(
+                f"delta from rank {src} has seq {rec.seq}, expected {chan[0]}")
+        chan[0] += 1
+        values, epochs = chan[1], chan[2]
+        for index, value, epoch in rec.changes:
+            values[index] = value
+            epochs[index] = epoch
+        return TaggedPiggyback(values, epochs), rec.send_index
+
+
+# ----------------------------------------------------------------------
+# PWD-family piggybacks (stateless)
+# ----------------------------------------------------------------------
+
+#: flags-byte bit: a stability vector follows the determinant list (TEL)
+PWD_FLAG_STABLE = 0x01
+
+
+def encode_pwd_piggyback(piggyback: Any, send_index: int) -> bytes | None:
+    """Compressed form of a determinant-increment piggyback; ``None``
+    passes through (the pessimistic baseline piggybacks nothing)."""
+    if piggyback is None:
+        return None
+    stable = piggyback.get("stable")
+    out = bytearray([PWD_FLAG_STABLE if stable is not None else 0])
+    out += wire.encode_uvarint(send_index)
+    out += wire.encode_determinants_varint(piggyback["dets"])
+    if stable is not None:
+        for entry in stable:
+            out += wire.encode_uvarint(entry)
+    return bytes(out)
+
+
+def decode_pwd_piggyback(blob: bytes, nprocs: int) -> tuple[dict, int]:
+    """Inverse of :func:`encode_pwd_piggyback`; returns the piggyback
+    dict and the embedded send index."""
+    try:
+        flags = blob[0]
+        send_index, offset = wire.decode_uvarint(blob, 1)
+        dets, offset = wire.decode_determinants_varint(blob, offset)
+        piggyback: dict[str, Any] = {"dets": tuple(dets)}
+        if flags & PWD_FLAG_STABLE:
+            stable = []
+            for _ in range(nprocs):
+                entry, offset = wire.decode_uvarint(blob, offset)
+                stable.append(entry)
+            piggyback["stable"] = tuple(stable)
+        if offset != len(blob):
+            raise ValueError(f"{len(blob) - offset} trailing bytes")
+    except (ValueError, IndexError) as exc:
+        raise UndecodablePiggyback(f"malformed record: {exc}") from exc
+    return piggyback, send_index

@@ -138,7 +138,11 @@ class PwdCausalProtocol(Protocol):
         )
         self.metrics.log_items_created += 1
         self.metrics.log_bytes_peak = max(self.metrics.log_bytes_peak, self.log.nbytes)
+        wire_blob = None
         if transmit:
+            if self.compress:
+                wire_blob = self.encode_piggyback_wire(
+                    dest, piggyback, send_index)
             self.charge(cost, identifiers=identifiers,
                         pb_bytes=identifiers * self.costs.identifier_bytes)
         else:
@@ -149,6 +153,7 @@ class PwdCausalProtocol(Protocol):
             piggyback_identifiers=identifiers,
             cost=cost,
             transmit=transmit,
+            wire=wire_blob,
         )
 
     # ------------------------------------------------------------------
@@ -294,6 +299,36 @@ class PwdCausalProtocol(Protocol):
             self.services.send_control(dst, ROLLBACK, payload, size)
         self.trace.emit("proto.rollback_bcast", self.rank, targets=sorted(targets))
 
+    # ------------------------------------------------------------------
+    # Compressed piggyback wire layer
+    # ------------------------------------------------------------------
+    # Determinant-increment piggybacks are self-contained, so the PWD
+    # compressed form is *stateless*: every record is standalone and no
+    # channel state exists to invalidate on epoch advances.  The imports
+    # are function-level because repro.core.wire imports Determinant
+    # from this module.
+
+    def encode_piggyback_wire(self, dest: int, piggyback: Any,
+                              send_index: int) -> Any:
+        if not self.compress:
+            return None
+        from repro.protocols.compression import encode_pwd_piggyback
+
+        return encode_pwd_piggyback(piggyback, send_index)
+
+    def decode_piggyback_wire(self, src: int, blob: Any,
+                              send_index: int) -> Any:
+        from repro.protocols.compression import (
+            UndecodablePiggyback,
+            decode_pwd_piggyback,
+        )
+
+        piggyback, embedded = decode_pwd_piggyback(blob, self.nprocs)
+        if embedded != send_index:
+            raise UndecodablePiggyback(
+                f"record send_index {embedded} != frame {send_index}")
+        return piggyback
+
     def handle_control(self, ctl: str, src: int, payload: Any) -> None:
         if ctl == CHECKPOINT_ADVANCE:
             released = self.log.release_upto(src, payload["from_counts"][self.rank])
@@ -308,13 +343,17 @@ class PwdCausalProtocol(Protocol):
 
     def _handle_rollback(self, src: int, payload: dict[str, Any]) -> None:
         epoch = payload.get("epoch")
-        if epoch is not None and not self.vectors.observe_peer_epoch(src, epoch):
-            # a retry from an incarnation that has since died again;
-            # answering would clamp suppression below what the current
-            # incarnation already told us it has covered
-            self.trace.emit("proto.stale_rollback", self.rank, src=src,
-                            epoch=epoch, known=self.vectors.peer_epoch[src])
-            return
+        if epoch is not None:
+            prior = self.vectors.peer_epoch[src]
+            if not self.vectors.observe_peer_epoch(src, epoch):
+                # a retry from an incarnation that has since died again;
+                # answering would clamp suppression below what the current
+                # incarnation already told us it has covered
+                self.trace.emit("proto.stale_rollback", self.rank, src=src,
+                                epoch=epoch, known=self.vectors.peer_epoch[src])
+                return
+            if epoch > prior:
+                self._on_peer_epoch_advance(src)
         dets = self._determinants_for(src, payload["ckpt_deliver_total"])
         response = {
             "delivered": self.vectors.last_deliver_index[src],
@@ -352,7 +391,9 @@ class PwdCausalProtocol(Protocol):
             return
         epoch = payload.get("epoch")
         if epoch is not None:
-            self.vectors.observe_peer_epoch(src, epoch)
+            prior = self.vectors.peer_epoch[src]
+            if self.vectors.observe_peer_epoch(src, epoch) and epoch > prior:
+                self._on_peer_epoch_advance(src)
         if payload["delivered"] > self.rollback_last_send_index[src]:
             self.rollback_last_send_index[src] = payload["delivered"]
         for det in payload["dets"]:

@@ -44,6 +44,12 @@ class SyntheticParams:
     #: the named partner
     any_source: bool = False
     ckpt_bytes: int = 1024 * 1024
+    #: partner schedule: ``"weyl"`` hops to a different pseudo-random
+    #: stride every round (the causal cone reaches everyone quickly);
+    #: ``"ring"`` keeps fixed nearest-neighbour strides, the
+    #: communication-sparse regime where a rank's causal cone — and a
+    #: compressed piggyback's delta — stays small however large n grows
+    pattern: str = "weyl"
 
 
 class SyntheticApp(Application):
@@ -75,8 +81,9 @@ class SyntheticApp(Application):
         while self.round < p.rounds:
             yield ctx.checkpoint_point()
             r = self.round
+            ring = p.pattern == "ring"
             for fan in range(p.fanout):
-                stride = _stride(r, fan, n)
+                stride = fan + 1 if ring else _stride(r, fan, n)
                 dest = (self.rank + stride) % n
                 yield ctx.send(
                     dest,
@@ -89,7 +96,7 @@ class SyntheticApp(Application):
                 if p.any_source:
                     d = yield ctx.recv(source=ANY_SOURCE, tag=r)
                 else:
-                    stride = _stride(r, fan, n)
+                    stride = fan + 1 if ring else _stride(r, fan, n)
                     src = (self.rank - stride) % n
                     d = yield ctx.recv(source=src, tag=r)
                 got += int(d.payload)

@@ -1,0 +1,140 @@
+"""Model-based stateful testing of the compressed piggyback channel.
+
+A hypothesis ``RuleBasedStateMachine`` drives one sender-side
+:class:`VectorDeltaEncoder` and one receiver-side
+:class:`VectorDeltaDecoder` over a single channel through arbitrary
+interleavings of vector mutations (deliveries, merges, peer rollbacks,
+epoch bumps), stream sends, standalone resends, epoch invalidations and
+simulated crashes on either end.  After every stream send the decoder's
+reconstructed piggyback must equal the sender's snapshot bit for bit —
+values, epochs and send index — whatever mix of FULL and DELTA records
+the encoder chose to emit.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, precondition, rule
+
+from repro.core import wire
+from repro.core.vectors import DependIntervalVector, TaggedPiggyback
+from repro.protocols.compression import (
+    UndecodablePiggyback,
+    VectorDeltaDecoder,
+    VectorDeltaEncoder,
+)
+
+import pytest
+
+NPROCS = 6
+OWNER = 0
+DEST = 1
+
+
+class ChannelMachine(RuleBasedStateMachine):
+    """One sender/receiver channel under arbitrary interleavings."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.vector = DependIntervalVector(NPROCS, OWNER)
+        self.encoder = VectorDeltaEncoder(self.vector)
+        self.decoder = VectorDeltaDecoder(NPROCS)
+        self.send_index = 0
+        #: True while the receiver has no usable base for stream deltas
+        #: (fresh decoder after a simulated receiver crash)
+        self.receiver_reset = False
+
+    # -------------------------------------------------- vector mutations
+    @rule()
+    def deliver(self) -> None:
+        self.vector.advance_own()
+
+    @rule(pb=st.lists(st.integers(0, 1 << 36),
+                      min_size=NPROCS, max_size=NPROCS))
+    def merge_plain(self, pb: list[int]) -> None:
+        self.vector.merge(tuple(pb))
+
+    @rule(data=st.data())
+    def merge_tagged(self, data) -> None:
+        values = data.draw(st.lists(st.integers(0, 1 << 36),
+                                    min_size=NPROCS, max_size=NPROCS))
+        epochs = data.draw(st.lists(st.integers(0, 4),
+                                    min_size=NPROCS, max_size=NPROCS))
+        self.vector.merge(TaggedPiggyback(values, epochs))
+
+    @rule(rank=st.integers(1, NPROCS - 1), interval=st.integers(0, 1 << 20),
+          epoch=st.integers(1, 6))
+    def peer_rollback(self, rank: int, interval: int, epoch: int) -> None:
+        self.vector.observe_rollback(rank, interval, epoch)
+
+    @rule(epoch=st.integers(1, 6))
+    def own_epoch_bump(self, epoch: int) -> None:
+        self.vector.set_own_epoch(max(epoch, self.vector.own_epoch))
+
+    # ------------------------------------------------------------ sends
+    @rule()
+    def send(self) -> None:
+        """One stream record: encode, decode, compare bit for bit."""
+        self.send_index += 1
+        pb = self.vector.as_piggyback()
+        blob, _ = self.encoder.encode(DEST, pb, self.send_index)
+        rec = wire.decode_vector_record(blob, NPROCS)
+        if self.receiver_reset and rec.mode == wire.DELTA:
+            # a fresh receiver has no base: the delta must be rejected,
+            # never mis-applied — and in the real protocol the ROLLBACK
+            # exchange then invalidates the sender's channel (modelled
+            # by the epoch_invalidate rule before sends resume)
+            with pytest.raises(UndecodablePiggyback):
+                self.decoder.decode(OWNER, blob)
+            self.encoder.invalidate(DEST)
+            return
+        decoded, send_index = self.decoder.decode(OWNER, blob)
+        if rec.mode != wire.DELTA:
+            self.receiver_reset = False
+        assert tuple(decoded) == tuple(pb)
+        assert decoded.epochs == pb.epochs
+        assert send_index == self.send_index
+        # the exact-fallback contract: a stream record never loses to
+        # the full form it could have sent instead
+        full = wire.encode_vector_full(tuple(pb), pb.epochs,
+                                       self.send_index, seq=0)
+        assert len(blob) <= len(full)
+
+    @rule()
+    def resend_standalone(self) -> None:
+        """Log resends are standalone FULLs: decodable any time, and
+        invisible to the channel state on both sides."""
+        pb = self.vector.as_piggyback()
+        blob = wire.encode_vector_full(tuple(pb), pb.epochs, self.send_index)
+        decoded, send_index = self.decoder.decode(OWNER, blob)
+        assert tuple(decoded) == tuple(pb)
+        assert decoded.epochs == pb.epochs
+        assert send_index == self.send_index
+
+    # ---------------------------------------------------- perturbations
+    @rule()
+    def epoch_invalidate(self) -> None:
+        """The peer entered a new epoch: sender drops the channel, the
+        next stream record is a FULL that resets the receiver."""
+        self.encoder.invalidate(DEST)
+
+    @rule()
+    def crash_sender(self) -> None:
+        """Sender restores from checkpoint: a replacement vector (same
+        logical content), a re-bound encoder, channels re-establish."""
+        snap = self.vector.snapshot()
+        self.vector = DependIntervalVector.from_snapshot(NPROCS, OWNER, snap)
+        self.encoder.bind(self.vector)
+
+    @precondition(lambda self: not self.receiver_reset)
+    @rule()
+    def crash_receiver(self) -> None:
+        """Receiver loses its volatile channel state entirely."""
+        self.decoder = VectorDeltaDecoder(NPROCS)
+        self.receiver_reset = True
+
+
+TestChannelMachine = ChannelMachine.TestCase
+# deadline policy comes from the profile in tests/conftest.py
+TestChannelMachine.settings = settings(
+    max_examples=60, stateful_step_count=50)

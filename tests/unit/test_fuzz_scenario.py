@@ -138,6 +138,37 @@ class TestGeneration:
         assert args.net_bias == "lossy"
         assert _parse_args([]).net_bias == "clean"
 
+    def test_compress_band_retreads_identical_scenarios(self):
+        """``compress`` is deliberately NOT in the RNG salt: the band
+        walks the same scenarios, so a compressed-only finding indicts
+        the wire encoding rather than a different draw."""
+        for seed in range(40):
+            plain = generate_scenario(seed)
+            compressed = generate_scenario(seed, compress=True)
+            assert compressed.compress and not plain.compress
+            assert compressed.name == plain.name + "-compress"
+            assert compressed.with_(compress=False, name=plain.name) == plain
+
+    def test_compress_band_composes_with_biases(self):
+        scenario = generate_scenario(5, "overlap", "lossy", compress=True)
+        assert scenario.compress
+        assert scenario.name.endswith("-compress")
+        base = generate_scenario(5, "overlap", "lossy")
+        assert scenario.faults == base.faults
+        assert scenario.drop_prob == base.drop_prob
+
+    def test_compress_survives_json_roundtrip(self):
+        scenario = generate_scenario(11, compress=True)
+        again = Scenario.from_json_dict(scenario.to_json_dict())
+        assert again == scenario and again.compress
+        assert "compressed-pb" in scenario.describe()
+
+    def test_cli_accepts_compress(self):
+        from repro.fuzz.__main__ import _parse_args
+
+        assert _parse_args(["--compress"]).compress
+        assert not _parse_args([]).compress
+
     def test_blocking_scenarios_stay_eager(self):
         """Blocking + rendezvous deadlocks even without fault tolerance
         (the kernels send before they receive), so the generator must

@@ -84,6 +84,138 @@ class TestTelCodec:
         assert got_dets == dets and list(got_stable) == stable and got_idx == idx
 
 
+u64plus = st.integers(0, (1 << 70) - 1)
+
+
+class TestUvarint:
+    @given(u64plus)
+    def test_roundtrip(self, value):
+        data = wire.encode_uvarint(value)
+        got, offset = wire.decode_uvarint(data)
+        assert got == value and offset == len(data)
+        assert len(data) == wire.uvarint_len(value)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            wire.encode_uvarint(-1)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError, match="truncated"):
+            wire.decode_uvarint(b"\x80")
+
+
+def _full_roundtrip(values, epochs, send_index, seq):
+    blob = wire.encode_vector_full(tuple(values), tuple(epochs),
+                                   send_index, seq=seq)
+    rec = wire.decode_vector_record(blob, len(values))
+    assert rec.values == tuple(values)
+    assert rec.epochs == tuple(epochs)
+    assert rec.send_index == send_index
+    assert rec.seq == seq
+    assert rec.standalone == (seq is None)
+    return blob, rec
+
+
+class TestVectorRecordCodec:
+    @given(st.data(), st.integers(1, 64))
+    def test_full_roundtrip(self, data, nprocs):
+        values = data.draw(st.lists(st.integers(0, 1 << 40),
+                                    min_size=nprocs, max_size=nprocs))
+        epochs = data.draw(st.lists(st.integers(0, 8),
+                                    min_size=nprocs, max_size=nprocs))
+        seq = data.draw(st.one_of(st.none(), st.integers(0, 1 << 20)))
+        send_index = data.draw(st.integers(0, 1 << 40))
+        _full_roundtrip(values, epochs, send_index, seq)
+
+    @given(st.data(), st.integers(1, 48))
+    def test_delta_roundtrip(self, data, nprocs):
+        indices = data.draw(st.sets(st.integers(0, nprocs - 1), max_size=nprocs))
+        changes = tuple(
+            (k, data.draw(st.integers(0, 1 << 40)), data.draw(st.integers(0, 8)))
+            for k in sorted(indices))
+        seq = data.draw(st.integers(0, 1 << 20))
+        send_index = data.draw(st.integers(0, 1 << 40))
+        blob = wire.encode_vector_delta(changes, send_index, seq)
+        rec = wire.decode_vector_record(blob, nprocs)
+        assert rec.mode == wire.DELTA
+        assert rec.changes == changes
+        assert rec.send_index == send_index and rec.seq == seq
+
+    def test_beyond_u32_dense(self):
+        # every entry hot, so the dense body wins; the legacy u32 codec
+        # rejects these counts but the varint forms must not
+        values = [(1 << 32) + k for k in range(6)]
+        blob, rec = _full_roundtrip(values, [0] * 6, (1 << 33) + 5, seq=9)
+        assert rec.mode == wire.FULL_DENSE
+
+    def test_beyond_u32_sparse(self):
+        values = [0] * 64
+        values[3] = (1 << 34) + 7
+        blob, rec = _full_roundtrip(values, [0] * 64, 1 << 32, seq=0)
+        assert rec.mode == wire.FULL_SPARSE
+
+    def test_beyond_u32_delta(self):
+        changes = ((5, (1 << 35) + 1, 2),)
+        blob = wire.encode_vector_delta(changes, (1 << 32) + 3, seq=4)
+        rec = wire.decode_vector_record(blob, 16)
+        assert rec.changes == changes and rec.send_index == (1 << 32) + 3
+
+    @given(st.data(), st.integers(1, 64))
+    def test_dense_fallback_boundary_exact(self, data, nprocs):
+        """FULL picks sparse only when *strictly* shorter than dense."""
+        values = data.draw(st.lists(
+            st.one_of(st.just(0), st.integers(1, 1 << 20)),
+            min_size=nprocs, max_size=nprocs))
+        epochs = data.draw(st.lists(st.integers(0, 3),
+                                    min_size=nprocs, max_size=nprocs))
+        blob, rec = _full_roundtrip(values, epochs, 7, seq=1)
+        with_epochs = any(epochs)
+        # reconstruct both candidate body lengths independently
+        dense = sum(wire.uvarint_len(v) for v in values)
+        if with_epochs:
+            dense += sum(wire.uvarint_len(e) for e in epochs)
+        entries = [(k, values[k], epochs[k]) for k in range(nprocs)
+                   if values[k] or epochs[k]]
+        sparse = wire.uvarint_len(len(entries))
+        prev = -1
+        for k, v, e in entries:
+            sparse += wire.uvarint_len(k - prev - 1 if prev >= 0 else k)
+            sparse += wire.uvarint_len(v)
+            if with_epochs:
+                sparse += wire.uvarint_len(e)
+            prev = k
+        overhead = 1 + wire.uvarint_len(1) + wire.uvarint_len(7)
+        assert len(blob) == overhead + min(dense, sparse)
+        if rec.mode == wire.FULL_SPARSE:
+            assert sparse < dense
+        else:
+            assert dense <= sparse
+
+    def test_trailing_bytes_rejected(self):
+        blob = wire.encode_vector_full((1, 2), (0, 0), 3, seq=0)
+        with pytest.raises(ValueError):
+            wire.decode_vector_record(blob + b"\x00", 2)
+
+    def test_out_of_range_index_rejected(self):
+        blob = wire.encode_vector_delta(((9, 4, 0),), 1, seq=0)
+        with pytest.raises(ValueError):
+            wire.decode_vector_record(blob, 4)
+
+
+class TestVarintDeterminantCodec:
+    @given(dets_strategy)
+    def test_roundtrip(self, dets):
+        data = wire.encode_determinants_varint(dets)
+        got, offset = wire.decode_determinants_varint(data)
+        assert got == dets and offset == len(data)
+
+    def test_beyond_u32_fields(self):
+        dets = [Determinant(1, (1 << 32) + 1, 2, (1 << 40) + 9)]
+        got, _ = wire.decode_determinants_varint(
+            wire.encode_determinants_varint(dets))
+        assert got == dets
+
+
 class TestAccountingGrounded:
     """The simulated piggyback accounting equals real encoded sizes."""
 
