@@ -19,7 +19,8 @@ from __future__ import annotations
 from typing import Any, Sequence
 
 from repro.config import SimulationConfig
-from repro.faults.injector import FaultSpec, simultaneous, staggered
+from repro.faults.injector import (EventSpec, FaultSpec, JoinSpec, LeaveSpec,
+                                   simultaneous, staggered)
 from repro.mpi.cluster import AppFactory, Cluster, RunResult, run_simulation
 from repro.protocols.registry import available_protocols
 from repro.workloads.presets import WORKLOADS, workload_factory
@@ -27,7 +28,10 @@ from repro.workloads.presets import WORKLOADS, workload_factory
 __all__ = [
     "run_workload",
     "run_app",
+    "EventSpec",
     "FaultSpec",
+    "JoinSpec",
+    "LeaveSpec",
     "simultaneous",
     "staggered",
     "SimulationConfig",
@@ -46,7 +50,7 @@ def run_workload(
     scale: str = "fast",
     comm_mode: str = "nonblocking",
     checkpoint_interval: float = 5.0,
-    faults: Sequence[FaultSpec] | None = None,
+    faults: Sequence[EventSpec] | None = None,
     trace: bool = False,
     verify: bool = False,
     config: SimulationConfig | None = None,
@@ -78,7 +82,7 @@ def run_workload(
 def run_app(
     app_factory: AppFactory,
     config: SimulationConfig,
-    faults: Sequence[FaultSpec] | None = None,
+    faults: Sequence[EventSpec] | None = None,
 ) -> RunResult:
     """Run a custom :class:`~repro.workloads.base.Application`."""
     return Cluster(config, app_factory).run(faults)

@@ -62,7 +62,7 @@ class TdiRecoveryMixin:
         last_deliver_index so peers know which messages were lost."""
         self.metrics.recovery_count += 1
         self._awaiting_response = {
-            r for r in range(self.nprocs) if r != self.rank
+            r for r in self.members if r != self.rank
         }
         self._broadcast_rollback(self._awaiting_response)
 
@@ -96,7 +96,7 @@ class TdiRecoveryMixin:
                         awaiting=sorted(self._awaiting_response))
         self._stale_epoch_degraded = True
         self._broadcast_rollback(
-            {r for r in range(self.nprocs) if r != self.rank})
+            {r for r in self.members if r != self.rank})
         # queued frames may be deliverable under the degraded gate
         self.services.wake_delivery()
 
@@ -124,6 +124,8 @@ class TdiRecoveryMixin:
     def _handle_rollback(self, src: int, payload: Any) -> None:
         """Lines 47–51: answer with RESPONSE, then re-send every logged
         message the failed process has not covered by its checkpoint."""
+        # a ROLLBACK from a rank that had left and rejoined re-admits it
+        self.grow_membership(src)
         if isinstance(payload, dict):
             lost_deliver_index = payload["ldi"]
             epoch = payload.get("epoch")

@@ -52,9 +52,13 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
     def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         n = self.nprocs
-        # Algorithm 1 lines 2-7
+        # Algorithm 1 lines 2-7.  The depend-interval vector is sized to
+        # the membership *horizon* (it grows as ranks join); every other
+        # per-rank list stays capacity-sized so control payloads and
+        # index lookups never need bounds checks.
         self.log = SenderLog(n, trace=self.trace, owner=self.rank)
-        self.depend_interval = DependIntervalVector(n, owner=self.rank)
+        self.depend_interval = DependIntervalVector(self.horizon,
+                                                    owner=self.rank)
         self.depend_interval.set_own_epoch(self.epoch)
         self.vectors = VectorState(n)
         self.last_ckpt_deliver_index = [0] * n
@@ -71,19 +75,29 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
         self._init_recovery_state()
 
     # ------------------------------------------------------------------
-    # Sending (lines 8-12)
+    # Dynamic membership
     # ------------------------------------------------------------------
+    def _grow_to(self, horizon: int) -> None:
+        self.depend_interval.grow_to(horizon)
+        if self._pb_encoder is not None:
+            # every open delta chain refers to the shorter vector; the
+            # next record per destination re-establishes with a counted
+            # FULL at the new length
+            self._pb_encoder.grow()
     def prepare_send(self, dest: int, tag: int, payload: Any, size_bytes: int) -> PreparedSend:
+        if dest >= self.horizon:
+            # sending to a rank we have not yet seen a frame from
+            self.grow_membership(dest)
         self.vectors.last_send_index[dest] += 1
         send_index = self.vectors.last_send_index[dest]
         piggyback = self.depend_interval.as_piggyback()
 
         transmit = send_index > self.rollback_last_send_index[dest]
-        # piggyback = n-entry vector + the send index itself; once any
-        # entry refers to a post-rollback incarnation the epoch vector
-        # rides along too (2n + 1) — see core.wire for the two forms
-        identifiers = (2 * self.nprocs + 1) if piggyback.tagged \
-            else self.nprocs + 1
+        # piggyback = horizon-length vector + the send index itself; once
+        # any entry refers to a post-rollback incarnation the epoch
+        # vector rides along too (2n + 1) — see core.wire for the forms
+        identifiers = (2 * len(piggyback) + 1) if piggyback.tagged \
+            else len(piggyback) + 1
         cost = (
             self.costs.per_send_base
             + self.costs.identifiers_cost(identifiers)
@@ -149,10 +163,13 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
             return DeliveryVerdict.DEFER
         piggyback = frame_meta["pb"]
         # line 17: enough local deliveries must have happened — but an
-        # interval count is only comparable within one incarnation.
-        required = piggyback[self.rank]
+        # interval count is only comparable within one incarnation.  A
+        # piggyback from a peer with a smaller membership horizon may not
+        # reach our entry; absent entries are zero (no dependency).
+        in_range = self.rank < len(piggyback)
+        required = piggyback[self.rank] if in_range else 0
         epochs = getattr(piggyback, "epochs", None)
-        if epochs is not None:
+        if epochs is not None and in_range:
             entry_epoch = epochs[self.rank]
             if entry_epoch > self.epoch:
                 # a dependency on an incarnation of ours that does not
@@ -187,10 +204,12 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
             return (f"frame {src}->{self.rank} #{send_index} waits for "
                     f"predecessor #{last + 1} on that channel")
         piggyback = frame_meta["pb"]
-        required = piggyback[self.rank]
+        in_range = self.rank < len(piggyback)
+        required = piggyback[self.rank] if in_range else 0
         epochs = getattr(piggyback, "epochs", None)
         # an untagged piggyback gates at face value, like classify()
-        entry_epoch = epochs[self.rank] if epochs is not None else self.epoch
+        entry_epoch = (epochs[self.rank]
+                       if epochs is not None and in_range else self.epoch)
         own = self.depend_interval.own_interval
         if entry_epoch > self.epoch:
             return (f"frame {src}->{self.rank} #{send_index} references "
@@ -226,9 +245,13 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
         self.depend_interval.advance_own()
         self.vectors.last_deliver_index[src] = send_index
         piggyback = frame_meta["pb"]
+        if len(piggyback) > len(self.depend_interval):
+            # the sender's horizon is ahead of ours: a rank joined that we
+            # have not heard from yet
+            self.grow_membership(len(piggyback) - 1)
         merged = self.depend_interval.merge(piggyback)
-        scanned = (2 * self.nprocs if getattr(piggyback, "tagged", False)
-                   else self.nprocs)
+        scanned = (2 * len(piggyback) if getattr(piggyback, "tagged", False)
+                   else len(piggyback))
         cost = self.costs.per_deliver_base + self.costs.identifiers_cost(scanned)
         self.charge(cost)
         self.trace.emit(
@@ -246,6 +269,7 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
             "last_ckpt_deliver_index": list(self.vectors.last_deliver_index),
             "rollback_last_send_index": list(self.rollback_last_send_index),
             "log": self.log.snapshot(),
+            "membership": self.membership_snapshot(),
         }
 
     def checkpoint_log_bytes(self) -> int:
@@ -254,7 +278,7 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
     def after_checkpoint(self) -> None:
         """Lines 34-37: tell each sender how far our checkpoint covers its
         messages, so it can garbage-collect its log."""
-        for k in range(self.nprocs):
+        for k in sorted(self.members):
             if k == self.rank:
                 continue
             delivered = self.vectors.last_deliver_index[k]
@@ -269,8 +293,13 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
     # ------------------------------------------------------------------
     def restore(self, state: dict[str, Any]) -> None:
         self.vectors.restore(state["vectors"])
+        # the vector restores at its checkpointed length (the membership
+        # horizon as of the checkpoint); sync_membership grows it back to
+        # the live horizon once the incarnation re-attaches
+        stored = state["depend_interval"]
+        stored_len = len(stored["v"]) if isinstance(stored, dict) else len(stored)
         self.depend_interval = DependIntervalVector.from_snapshot(
-            self.nprocs, self.rank, state["depend_interval"]
+            stored_len, self.rank, stored
         )
         # the restored counts belong to *this* incarnation now: the own
         # entry re-tags under the current epoch, and its restored value
@@ -278,6 +307,7 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
         self.depend_interval.set_own_epoch(self.epoch)
         if self._pb_encoder is not None:
             self._pb_encoder.bind(self.depend_interval)
+        self.restore_membership(state.get("membership"))
         self._ckpt_own_interval = self.depend_interval.own_interval
         self.last_ckpt_deliver_index = list(state["last_ckpt_deliver_index"])
         self.rollback_last_send_index = list(state["rollback_last_send_index"])
@@ -300,7 +330,7 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
             return None
         # resends are standalone full records: they may overtake or
         # duplicate, so they must not touch either side's channel state
-        epochs = getattr(piggyback, "epochs", None) or (0,) * self.nprocs
+        epochs = getattr(piggyback, "epochs", None) or (0,) * len(piggyback)
         return encode_vector_full(tuple(piggyback), epochs, send_index)
 
     def decode_piggyback_wire(self, src: int, blob: Any,
@@ -312,6 +342,8 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
         return piggyback
 
     def handle_control(self, ctl: str, src: int, payload: Any) -> None:
+        if self.handle_membership(ctl, src, payload):
+            return
         if ctl == CHECKPOINT_ADVANCE:
             self._handle_checkpoint_advance(src, payload)
         elif ctl == ROLLBACK:

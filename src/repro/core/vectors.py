@@ -248,6 +248,31 @@ class DependIntervalVector:
         stamp = self._stamp
         return tuple(k for k in range(len(stamp)) if stamp[k] > watermark)
 
+    def grow_to(self, nprocs: int) -> None:
+        """Grow the vector to ``nprocs`` entries (dynamic membership: a
+        rank beyond the current horizon joined).  New entries start at
+        value 0, epoch 0 — nobody has ever depended on the newcomer —
+        and are stamped dirty so delta encoders whose watermark predates
+        the growth ship them; the encoders additionally re-establish
+        every channel with a counted FULL record (see
+        :meth:`~repro.protocols.compression.VectorDeltaEncoder.grow`).
+        Shrinking is not a thing: departed ranks stay in everyone's
+        causal history."""
+        old = len(self._v)
+        if nprocs <= old:
+            return
+        if _np is not None and isinstance(self._v, _np.ndarray):
+            grown = _np.zeros(nprocs, dtype=_np.int64)
+            grown[:old] = self._v
+            self._v = grown
+        else:
+            self._v.extend([0] * (nprocs - old))
+        self._e.extend([0] * (nprocs - old))
+        self._ekey = tuple(self._e)
+        if self._track:
+            self._stamp.extend([0] * (nprocs - old))
+            self._record(range(old, nprocs))
+
     # ------------------------------------------------------------------
     def advance_own(self) -> int:
         """Record one delivery: ``depend_interval[i] += 1`` (line 20)."""
@@ -267,38 +292,45 @@ class DependIntervalVector:
         Returns the number of entries that changed, for cost accounting.
         """
         v = self._v
-        if len(piggyback) != len(v):
+        m = len(piggyback)
+        if m > len(v):
             raise ValueError("piggyback length mismatch")
         pb_epochs = getattr(piggyback, "epochs", None)
-        if pb_epochs is not None and pb_epochs != self._ekey and any(
+        if pb_epochs is not None and pb_epochs != self._ekey[:m] and any(
                 a != b for a, b in zip(pb_epochs, self._e)):
             return self._merge_tagged(piggyback, pb_epochs)
         # Fast path (every epoch agrees, i.e. almost every merge of a
         # failure-free or single-failure run): one vectorised pass —
         # merge runs once per delivery on every rank, so anything
-        # per-entry in Python here is measurable across a matrix.
+        # per-entry in Python here is measurable across a matrix.  A
+        # shorter piggyback (sent before its sender learned of a join)
+        # merges onto the prefix: absent entries mean "no dependency".
         if _np is not None:
             a = getattr(piggyback, "_arr", None)
             if a is None:
                 a = _np.asarray(piggyback, dtype=_np.int64)
                 if isinstance(piggyback, TaggedPiggyback):
                     piggyback._arr = a  # prime the cache for re-merges
-            mask = v < a
-            mask[self.owner] = False
+            prefix = v if m == len(v) else v[:m]
+            mask = prefix < a
+            if self.owner < m:
+                mask[self.owner] = False
             changed = _np.count_nonzero(mask)
             if changed:
-                _np.copyto(v, a, where=mask)
+                _np.copyto(prefix, a, where=mask)
                 if self._track:
                     self._record(_np.nonzero(mask)[0].tolist())
             return int(changed)
         merged = list(map(max, v, piggyback))
-        merged[self.owner] = v[self.owner]
+        if self.owner < m:
+            merged[self.owner] = v[self.owner]
         changed = sum(map(ne, v, merged))
         if changed:
             if self._track:
                 self._record(k for k in range(len(merged))
                              if merged[k] != v[k])
-            self._v = array("q", merged)
+            for k in range(m):
+                v[k] = merged[k]
         return changed
 
     def _merge_tagged(self, piggyback: Sequence[int],
@@ -306,7 +338,7 @@ class DependIntervalVector:
         """Slow path: at least one entry's epoch differs from ours."""
         changed = 0
         dirty: list[int] = []
-        for k in range(len(self._v)):
+        for k in range(min(len(self._v), len(piggyback))):
             if k == self.owner:
                 continue
             pe, le = pb_epochs[k], self._e[k]

@@ -243,6 +243,10 @@ _MODE_MASK = 0x0F
 FLAG_EPOCHS = 0x10
 #: record carries no stream seq and must not touch channel state (resends)
 FLAG_STANDALONE = 0x20
+#: an explicit vector length follows the header (dynamic membership: a
+#: sender's horizon may differ from the receiver's capacity, so a FULL
+#: record names its own length instead of trusting the caller's nprocs)
+FLAG_COUNTED = 0x40
 
 
 class VectorRecord(NamedTuple):
@@ -301,9 +305,9 @@ def encode_vector_full(values: Sequence[int], epochs: Sequence[int],
     if len(epochs) != n:
         raise ValueError(f"epoch vector length {len(epochs)} != {n}")
     with_epochs = any(epochs)
-    flags = (FLAG_EPOCHS if with_epochs else 0) | (
+    flags = FLAG_COUNTED | (FLAG_EPOCHS if with_epochs else 0) | (
         FLAG_STANDALONE if seq is None else 0)
-    head = bytearray()
+    head = bytearray(encode_uvarint(n))
     if seq is not None:
         head += encode_uvarint(seq)
     tail = encode_uvarint(send_index)
@@ -353,6 +357,12 @@ def decode_vector_record(data: bytes, nprocs: int) -> VectorRecord:
     seq = None
     if mode == DELTA and standalone:
         raise ValueError("delta records cannot be standalone")
+    if header & FLAG_COUNTED:
+        # the record names its own vector length; ``nprocs`` stays the
+        # legacy fallback for uncounted (pre-membership) records
+        nprocs, offset = decode_uvarint(data, offset)
+        if nprocs < 1:
+            raise ValueError("counted record with zero-length vector")
     if not standalone:
         seq, offset = decode_uvarint(data, offset)
     if mode == FULL_DENSE:

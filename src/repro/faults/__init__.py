@@ -1,11 +1,16 @@
 """Fault injection, stochastic failure schedules and detection."""
 
-from repro.faults.injector import FaultSpec, FaultInjector, simultaneous, staggered
+from repro.faults.injector import (EventSpec, FaultSpec, FaultInjector,
+                                   JoinSpec, LeaveSpec, simultaneous,
+                                   staggered)
 from repro.faults.detector import FailureDetector
 from repro.faults.schedules import expected_failures, poisson_schedule, weibull_schedule
 
 __all__ = [
+    "EventSpec",
     "FaultSpec",
+    "JoinSpec",
+    "LeaveSpec",
     "FaultInjector",
     "FailureDetector",
     "simultaneous",

@@ -1,4 +1,4 @@
-"""Fault injection.
+"""Fault injection and membership events.
 
 A :class:`FaultSpec` kills one rank at one simulated time; the injector
 schedules the kill and the subsequent incarnation (detection + restart
@@ -6,12 +6,20 @@ lead time comes from ``config.restart_delay``).  Multiple specs with the
 same ``at_time`` model the paper's §III.D multiple-simultaneous-failures
 scenario — every killed process loses its volatile log and the logs are
 rebuilt during rolling forward.
+
+Dynamic membership rides the same scheduler: a :class:`JoinSpec` brings
+a rank into the computation at ``at_time`` (either the first-ever join
+of a deferred capacity slot, or the rejoin of a rank that previously
+left), and a :class:`LeaveSpec` makes a rank depart gracefully.  A rank
+whose *earliest* scheduled membership event is a join starts the run
+deferred — its node sits in ``UNJOINED`` and no process runs on it until
+the join fires.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.cluster import Cluster
@@ -29,6 +37,40 @@ class FaultSpec:
             raise ValueError("fault time must be >= 0")
 
 
+@dataclass(frozen=True)
+class JoinSpec:
+    """Bring ``rank`` into the membership at ``at_time`` seconds.
+
+    At ``at_time == 0`` against a rank with no earlier events this is a
+    *deferred start*: the rank never participates until the join fires.
+    Against a rank that previously left, it is a rejoin — a fresh
+    incarnation restored from the rank's last checkpoint.
+    """
+
+    rank: int
+    at_time: float
+
+    def __post_init__(self) -> None:
+        if self.at_time < 0:
+            raise ValueError("join time must be >= 0")
+
+
+@dataclass(frozen=True)
+class LeaveSpec:
+    """Remove ``rank`` from the membership gracefully at ``at_time``."""
+
+    rank: int
+    at_time: float
+
+    def __post_init__(self) -> None:
+        if self.at_time < 0:
+            raise ValueError("leave time must be >= 0")
+
+
+#: anything the injector can schedule
+EventSpec = Union[FaultSpec, JoinSpec, LeaveSpec]
+
+
 def simultaneous(ranks: Iterable[int], at_time: float) -> list[FaultSpec]:
     """Fault schedule killing several ranks at the same instant."""
     return [FaultSpec(rank=r, at_time=at_time) for r in ranks]
@@ -40,35 +82,95 @@ def staggered(ranks: Iterable[int], start: float, gap: float) -> list[FaultSpec]
 
 
 class FaultInjector:
-    """Schedules kills and incarnations against a cluster."""
+    """Schedules kills, joins, leaves and incarnations against a cluster."""
 
     def __init__(self, cluster: "Cluster") -> None:
         self.cluster = cluster
-        self.injected: list[FaultSpec] = []
-        self.skipped: list[FaultSpec] = []
+        self.injected: list[EventSpec] = []
+        self.skipped: list[EventSpec] = []
         self._scheduled: set[tuple[int, float]] = set()
+        #: ranks whose earliest scheduled event is a join: they start the
+        #: run deferred (node UNJOINED, no process) until the join fires
+        self.deferred: set[int] = set()
 
-    def schedule(self, faults: Sequence[FaultSpec]) -> None:
-        """Arm the fault schedule against the cluster's engine."""
+    def schedule(self, faults: Sequence[EventSpec]) -> None:
+        """Arm the fault/membership schedule against the cluster's engine."""
         config = self.cluster.config
         if faults and config.protocol == "none":
             raise ValueError(
-                "cannot inject faults with protocol='none' (no recovery); "
-                "pick tdi, tag or tel"
+                "cannot inject faults or membership events with "
+                "protocol='none' (no recovery); pick tdi, tag or tel"
             )
+        membership: dict[int, list[EventSpec]] = {}
         for spec in faults:
             if not (0 <= spec.rank < config.nprocs):
                 raise ValueError(f"fault rank {spec.rank} out of range")
-            key = (spec.rank, spec.at_time)
-            if key in self._scheduled:
-                raise ValueError(
-                    f"duplicate fault: rank {spec.rank} is already scheduled "
-                    f"to die at t={spec.at_time:g} — a schedule that kills "
-                    f"the same rank twice at the same instant is a bug in "
-                    f"the caller, not a simultaneous-failure scenario"
-                )
-            self._scheduled.add(key)
-            self.cluster.engine.schedule_at(spec.at_time, lambda s=spec: self._kill(s))
+            if isinstance(spec, FaultSpec):
+                key = (spec.rank, spec.at_time)
+                if key in self._scheduled:
+                    raise ValueError(
+                        f"duplicate fault: rank {spec.rank} is already scheduled "
+                        f"to die at t={spec.at_time:g} — a schedule that kills "
+                        f"the same rank twice at the same instant is a bug in "
+                        f"the caller, not a simultaneous-failure scenario"
+                    )
+                self._scheduled.add(key)
+            else:
+                membership.setdefault(spec.rank, []).append(spec)
+        self._validate_membership(membership)
+        for spec in faults:
+            if isinstance(spec, FaultSpec):
+                self.cluster.engine.schedule_at(
+                    spec.at_time, lambda s=spec: self._kill(s))
+            elif isinstance(spec, JoinSpec):
+                self.cluster.engine.schedule_at(
+                    spec.at_time, lambda s=spec: self._join(s))
+            else:
+                self.cluster.engine.schedule_at(
+                    spec.at_time, lambda s=spec: self._leave(s))
+
+    def _validate_membership(self, membership: dict[int, list[EventSpec]]) -> None:
+        """Replay each rank's join/leave schedule and reject impossible ones.
+
+        Mirrors the duplicate-:class:`FaultSpec` guard: a schedule that
+        joins a joined rank, leaves an absent rank, or puts a join and a
+        leave of the same rank at the same instant is a bug in the
+        caller, not a churn scenario.
+        """
+        for rank, events in membership.items():
+            times = [e.at_time for e in events]
+            if len(set(times)) != len(times):
+                by_time: dict[float, list[EventSpec]] = {}
+                for event in events:
+                    by_time.setdefault(event.at_time, []).append(event)
+                for at_time, group in by_time.items():
+                    if len(group) > 1:
+                        raise ValueError(
+                            f"conflicting membership events: rank {rank} has "
+                            f"{len(group)} join/leave events at t={at_time:g}; "
+                            f"their order would be undefined"
+                        )
+            joined = not isinstance(
+                min(events, key=lambda e: e.at_time), JoinSpec)
+            if joined is False:
+                self.deferred.add(rank)
+            for event in sorted(events, key=lambda e: e.at_time):
+                if isinstance(event, JoinSpec):
+                    if joined:
+                        raise ValueError(
+                            f"invalid membership schedule: rank {rank} is "
+                            f"already joined at t={event.at_time:g} — a "
+                            f"JoinSpec must target a deferred or departed rank"
+                        )
+                    joined = True
+                else:
+                    if not joined:
+                        raise ValueError(
+                            f"invalid membership schedule: rank {rank} is not "
+                            f"joined at t={event.at_time:g} — a LeaveSpec "
+                            f"must target a currently-joined rank"
+                        )
+                    joined = False
 
     def _kill(self, spec: FaultSpec) -> None:
         endpoint = self.cluster.endpoints[spec.rank]
@@ -82,3 +184,33 @@ class FaultInjector:
         self.cluster.engine.schedule(
             self.cluster.config.restart_delay, endpoint.incarnate
         )
+
+    def _join(self, spec: JoinSpec) -> None:
+        from repro.simnet.node import NodeState
+
+        endpoint = self.cluster.endpoints[spec.rank]
+        state = endpoint.node.state
+        if state is NodeState.UNJOINED:
+            self.injected.append(spec)
+            self.cluster.membership.observe_join(spec.rank)
+            endpoint.join()
+        elif state is NodeState.LEFT:
+            # rejoin: a fresh incarnation restored from the last
+            # checkpoint, recovered exactly like a crash victim
+            self.injected.append(spec)
+            self.cluster.membership.observe_join(spec.rank)
+            endpoint.incarnate()
+        else:
+            # the static replay validated the schedule, but a crash can
+            # race a rejoin at runtime; skip rather than fight the state
+            self.skipped.append(spec)
+
+    def _leave(self, spec: LeaveSpec) -> None:
+        endpoint = self.cluster.endpoints[spec.rank]
+        if not endpoint.node.alive:
+            # crashed (or already gone) before the planned departure
+            self.skipped.append(spec)
+            return
+        self.injected.append(spec)
+        self.cluster.membership.observe_leave(spec.rank)
+        endpoint.leave()

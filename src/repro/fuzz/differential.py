@@ -129,7 +129,11 @@ def _request(scenario: Scenario, protocol: str, *, faulted: bool,
         preset=scenario.preset,
         checkpoint_interval=scenario.checkpoint_interval,
         seed=scenario.seed,
-        faults=scenario.fault_specs() if faulted else (),
+        # membership churn rides the faulted legs only; the ground truth
+        # and failure-free legs run the full fixed membership, so a join
+        # or leave that perturbs application-visible behaviour diverges
+        # from the reference instead of cancelling out
+        faults=scenario.event_specs() if faulted else (),
         verify=verify,
         strict_verify=False,
         workload_kwargs=scenario.workload_kwargs,
@@ -153,7 +157,7 @@ def scenario_requests(scenario: Scenario,
     for protocol in protocols:
         requests.append(_request(scenario, protocol, faulted=False,
                                  record=True, verify=True))
-    if scenario.faults:
+    if scenario.faults or scenario.churned:
         for protocol in protocols:
             requests.append(_request(scenario, protocol, faulted=True,
                                      record=False, verify=True))
@@ -247,14 +251,39 @@ def _check_metrics(findings: list[Finding], protocol: str, phase: str,
                 f"message; the TDI piggyback is bounded by {bound} "
                 f"({'n+1' if phase == 'failure-free' else '2n+1 with epochs'})"))
     if phase == "faulted" and scenario.faults:
-        first_fault = min(t for _, t in scenario.faults)
-        if (first_fault < truth.accomplishment_time
-                and summary.stats.total("recovery_count") == 0):
-            findings.append(Finding(
-                protocol, "metrics:missing-recovery",
-                f"faulted run scheduled a kill at {first_fault:g}s (inside "
-                f"the {truth.accomplishment_time:g}s run) but recorded no "
-                f"recovery"))
+        # a kill only demands a recovery if it can actually land: a
+        # kill aimed at a rank that has not joined yet (deferred start)
+        # or is in a left window is a legitimate no-op
+        landing = [t for rank, t in scenario.faults
+                   if _joined_at(scenario, rank, t)]
+        if landing:
+            first_fault = min(landing)
+            if (first_fault < truth.accomplishment_time
+                    and summary.stats.total("recovery_count") == 0):
+                findings.append(Finding(
+                    protocol, "metrics:missing-recovery",
+                    f"faulted run scheduled a kill at {first_fault:g}s "
+                    f"(inside the {truth.accomplishment_time:g}s run) but "
+                    f"recorded no recovery"))
+
+
+def _joined_at(scenario: Scenario, rank: int, t: float) -> bool:
+    """Whether ``rank`` is a joined member at instant ``t`` under the
+    scenario's membership schedule (the injector's inference: a rank
+    whose earliest membership event is a join starts deferred).  A kill
+    coinciding exactly with a membership event is treated as absent —
+    the runtime ordering at a shared instant is unspecified."""
+    moves = sorted(
+        [(at, "join") for r, at in scenario.joins if r == rank]
+        + [(at, "leave") for r, at in scenario.leaves if r == rank])
+    if not moves:
+        return True
+    joined = moves[0][1] != "join"
+    for at, kind in moves:
+        if at >= t:
+            return joined and at != t
+        joined = kind == "join"
+    return joined
 
 
 def diff_results(scenario: Scenario, results: Mapping[tuple, RunSummary],

@@ -28,7 +28,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.config import SimulationConfig
-from repro.faults.injector import FaultSpec
+from repro.faults.injector import EventSpec, FaultSpec, JoinSpec, LeaveSpec
 from repro.simnet.network import NetworkConfig, PartitionWindow
 from repro.simnet.transport import TransportConfig
 from repro.workloads.presets import workload_factory
@@ -74,8 +74,21 @@ OVERLAP_FAULT_KINDS = (
     ("nasty", 0.10),
 )
 
+#: ``--fault-bias churn``: every scenario gets membership churn —
+#: deferred starts (a rank joins mid-run for the first time) and
+#: leave-then-rejoin cycles — optionally overlapping plain crashes.
+#: Simultaneous/nasty kill shapes are dropped so the schedule pressure
+#: stays on the join/leave machinery rather than on mass failure.
+CHURN_FAULT_KINDS = (
+    ("none", 0.40),
+    ("single", 0.40),
+    ("staggered", 0.20),
+    ("simultaneous", 0.0),
+    ("nasty", 0.0),
+)
+
 #: recognised values for the generator's ``fault_bias`` parameter
-FAULT_BIASES = ("none", "overlap")
+FAULT_BIASES = ("none", "overlap", "churn")
 
 #: recognised values for the generator's ``net_bias`` parameter:
 #: ``"lossy"`` runs every scenario over an impaired network (loss, dup,
@@ -110,6 +123,13 @@ class Scenario:
     eager_threshold_bytes: int = 8192
     #: ``(rank, at_time)`` pairs, in schedule order
     faults: tuple = ()
+    #: membership churn as ``(rank, at_time)`` pairs: a join whose rank
+    #: has no earlier event is a deferred start; one after a leave is a
+    #: rejoin.  The generator always pairs every leave with a later
+    #: rejoin — a permanent departure starves peers waiting on the
+    #: leaver's messages, which is a workload deadlock, not a finding
+    joins: tuple = ()
+    leaves: tuple = ()
     #: ``(name, value)`` kernel-parameter overrides (kept sorted so equal
     #: scenarios hash equal)
     workload_kwargs: tuple = ()
@@ -134,6 +154,10 @@ class Scenario:
     def __post_init__(self) -> None:
         object.__setattr__(self, "faults", tuple(
             (int(r), float(t)) for r, t in self.faults))
+        object.__setattr__(self, "joins", tuple(
+            (int(r), float(t)) for r, t in self.joins))
+        object.__setattr__(self, "leaves", tuple(
+            (int(r), float(t)) for r, t in self.leaves))
         object.__setattr__(self, "workload_kwargs",
                            tuple(sorted(tuple(kv) for kv in self.workload_kwargs)))
         object.__setattr__(self, "partitions", tuple(
@@ -145,6 +169,17 @@ class Scenario:
     def fault_specs(self) -> tuple[FaultSpec, ...]:
         """The schedule as injector-ready :class:`FaultSpec` objects."""
         return tuple(FaultSpec(rank=r, at_time=t) for r, t in self.faults)
+
+    def event_specs(self) -> tuple[EventSpec, ...]:
+        """Crashes plus membership churn, injector-ready."""
+        return (self.fault_specs()
+                + tuple(JoinSpec(rank=r, at_time=t) for r, t in self.joins)
+                + tuple(LeaveSpec(rank=r, at_time=t) for r, t in self.leaves))
+
+    @property
+    def churned(self) -> bool:
+        """Whether any membership churn is scheduled."""
+        return bool(self.joins or self.leaves)
 
     def with_(self, **changes: Any) -> "Scenario":
         """Functional update (shrinker convenience)."""
@@ -206,6 +241,33 @@ class Scenario:
                 if (rank, at_time) in seen:
                     return f"duplicate fault (rank {rank}, t={at_time:g})"
                 seen.add((rank, at_time))
+            churn: dict[int, list[tuple[float, str]]] = {}
+            for rank, at_time in self.joins:
+                churn.setdefault(rank, []).append((at_time, "join"))
+            for rank, at_time in self.leaves:
+                churn.setdefault(rank, []).append((at_time, "leave"))
+            for rank, events in churn.items():
+                if not (0 <= rank < self.nprocs):
+                    return (f"membership rank {rank} out of range for "
+                            f"nprocs={self.nprocs}")
+                times = [t for t, _ in events]
+                if len(set(times)) != len(times):
+                    return (f"conflicting membership events for rank {rank}")
+                # mirror the injector's static replay: joins must target
+                # deferred/departed ranks, leaves currently-joined ones
+                events.sort()
+                joined = events[0][1] != "join"
+                for at_time, kind in events:
+                    if kind == "join":
+                        if joined:
+                            return (f"rank {rank} already joined at "
+                                    f"t={at_time:g}")
+                        joined = True
+                    else:
+                        if not joined:
+                            return (f"rank {rank} not joined at "
+                                    f"t={at_time:g}")
+                        joined = False
             for _, _, side_a, side_b in self.partitions:
                 for rank in (*side_a, *side_b):
                     if not (0 <= rank < self.nprocs + 1):
@@ -228,6 +290,8 @@ class Scenario:
             "checkpoint_interval": self.checkpoint_interval,
             "eager_threshold_bytes": self.eager_threshold_bytes,
             "faults": [list(f) for f in self.faults],
+            "joins": [list(f) for f in self.joins],
+            "leaves": [list(f) for f in self.leaves],
             "workload_kwargs": {k: v for k, v in self.workload_kwargs},
             "preset": self.preset,
             "fault_kind": self.fault_kind,
@@ -252,6 +316,8 @@ class Scenario:
             checkpoint_interval=float(data.get("checkpoint_interval", 0.005)),
             eager_threshold_bytes=int(data.get("eager_threshold_bytes", 8192)),
             faults=tuple((int(r), float(t)) for r, t in data.get("faults", [])),
+            joins=tuple((int(r), float(t)) for r, t in data.get("joins", [])),
+            leaves=tuple((int(r), float(t)) for r, t in data.get("leaves", [])),
             workload_kwargs=tuple(sorted(data.get("workload_kwargs", {}).items())),
             preset=data.get("preset", "fast"),
             fault_kind=data.get("fault_kind", "none"),
@@ -275,10 +341,17 @@ class Scenario:
             net = (f" net[{self.net_kind}]=drop {self.drop_prob:g}/dup "
                    f"{self.dup_prob:g}/corrupt {self.corrupt_prob:g}{parts}")
         compress = " compressed-pb" if self.compress else ""
+        churn = ""
+        if self.churned:
+            moves = sorted(
+                [(t, r, "join") for r, t in self.joins]
+                + [(t, r, "leave") for r, t in self.leaves])
+            churn = " churn=" + "; ".join(
+                f"{kind} {r}@{t:g}s" for t, r, kind in moves)
         return (f"{self.name}: {self.workload}({kwargs}) nprocs={self.nprocs} "
                 f"{self.comm_mode} ckpt={self.checkpoint_interval:g}s "
                 f"eager={self.eager_threshold_bytes} seed={self.seed} "
-                f"faults[{self.fault_kind}]={faults}{net}{compress}")
+                f"faults[{self.fault_kind}]={faults}{churn}{net}{compress}")
 
 
 # ----------------------------------------------------------------------
@@ -338,7 +411,9 @@ def generate_scenario(seed: int, fault_bias: str | None = None,
     toward overlapping recoveries (see :data:`OVERLAP_FAULT_KINDS`): the
     staggered gaps are drawn around ``restart_delay`` so later victims
     die while earlier ones are mid-recovery, and victims are always
-    distinct.  ``net_bias="lossy"`` gives every scenario an impaired
+    distinct.  ``fault_bias="churn"`` gives every scenario membership
+    churn — deferred starts and leave-then-rejoin cycles, with crashes
+    drawn from :data:`CHURN_FAULT_KINDS` free to overlap them.  ``net_bias="lossy"`` gives every scenario an impaired
     network (loss/dup/corruption up to 5% per frame, occasional
     partition windows) with the reliable transport restoring delivery
     under the protocol runs.  Both biases are part of the RNG salt, so
@@ -393,7 +468,8 @@ def generate_scenario(seed: int, fault_bias: str | None = None,
         eager = max(eager, largest + 1)
     sim_seed = rng.randrange(1 << 20)
 
-    kind_table = OVERLAP_FAULT_KINDS if fault_bias == "overlap" else FAULT_KINDS
+    kind_table = {"overlap": OVERLAP_FAULT_KINDS,
+                  "churn": CHURN_FAULT_KINDS}.get(fault_bias, FAULT_KINDS)
     kind = _weighted(rng, kind_table)
     faults: list[tuple[int, float]] = []
     if kind == "single":
@@ -424,6 +500,27 @@ def generate_scenario(seed: int, fault_bias: str | None = None,
     # kind's window sampling can collide, so dedupe preserving order
     faults = list(dict.fromkeys(faults))
 
+    joins: list[tuple[int, float]] = []
+    leaves: list[tuple[int, float]] = []
+    if fault_bias == "churn":
+        # 1–2 churned ranks, never the whole cluster: a rank either
+        # starts deferred (first join mid-run), cycles out and back in,
+        # or both.  Times are strictly increasing per rank by
+        # construction, and every leave gets a later rejoin — the
+        # crash schedule above is free to overlap any of it
+        count = rng.randint(1, max(1, min(2, nprocs - 1)))
+        for rank in rng.sample(range(nprocs), count):
+            style = rng.choice(("defer", "cycle", "defer+cycle"))
+            t = 0.0
+            if "defer" in style:
+                t = rng.uniform(2e-4, 5e-3)
+                joins.append((rank, t))
+            if "cycle" in style:
+                depart = t + rng.uniform(8e-4, 4e-3)
+                rejoin = depart + rng.uniform(1e-3, 5e-3)
+                leaves.append((rank, depart))
+                joins.append((rank, rejoin))
+
     network: dict[str, Any] = {}
     if net_bias == "lossy":
         network = _lossy_network(rng, nprocs)
@@ -441,6 +538,8 @@ def generate_scenario(seed: int, fault_bias: str | None = None,
         checkpoint_interval=checkpoint_interval,
         eager_threshold_bytes=eager,
         faults=tuple(faults),
+        joins=tuple(joins),
+        leaves=tuple(leaves),
         workload_kwargs=tuple(sorted(kwargs.items())),
         fault_kind=kind,
         **network,

@@ -34,6 +34,7 @@ def scenario_size(scenario: Scenario) -> tuple:
         workload_rank = len(_SIMPLICITY_ORDER)
     return (
         len(scenario.faults),
+        len(scenario.joins) + len(scenario.leaves),
         scenario.nprocs,
         workload_rank,
         horizon[1] if horizon else 0,
@@ -73,11 +74,39 @@ def _drop_faults(s: Scenario) -> Iterator[Scenario]:
             yield s.with_(faults=s.faults[:i] + s.faults[i + 1:])
 
 
+def _drop_churn(s: Scenario) -> Iterator[Scenario]:
+    """Remove membership churn, always a whole rank's schedule (or a
+    trailing leave+rejoin cycle) at a time so every candidate keeps the
+    leave-pairs-with-rejoin shape — an unpaired leave starves the
+    workload, which is a deadlock by construction, not the bug."""
+    ranks = sorted({r for r, _ in (*s.joins, *s.leaves)})
+    if not ranks:
+        return
+    if len(ranks) > 1:
+        yield s.with_(joins=(), leaves=())
+    for rank in ranks:
+        yield s.with_(joins=tuple(p for p in s.joins if p[0] != rank),
+                      leaves=tuple(p for p in s.leaves if p[0] != rank))
+        cycles = [p for p in s.leaves if p[0] == rank]
+        if cycles:
+            last = max(cycles, key=lambda p: p[1])
+            yield s.with_(
+                leaves=tuple(p for p in s.leaves if p != last),
+                joins=tuple(p for p in s.joins
+                            if not (p[0] == rank and p[1] > last[1])))
+
+
 def _fewer_procs(s: Scenario) -> Iterator[Scenario]:
     for nprocs in range(2, s.nprocs):
         faults = tuple(dict.fromkeys(
             (min(rank, nprocs - 1), at) for rank, at in s.faults))
-        yield s.with_(nprocs=nprocs, faults=faults)
+        # collapsing churned ranks the way faults collapse could alias
+        # two membership schedules onto one rank; dropping a rank's
+        # churn wholesale keeps every candidate structurally valid
+        joins = tuple(p for p in s.joins if p[0] < nprocs)
+        leaves = tuple(p for p in s.leaves if p[0] < nprocs)
+        yield s.with_(nprocs=nprocs, faults=faults, joins=joins,
+                      leaves=leaves)
 
 
 def _simpler_workload(s: Scenario) -> Iterator[Scenario]:
@@ -145,6 +174,7 @@ def _calmer_network(s: Scenario) -> Iterator[Scenario]:
 #: scenario the most per evaluation)
 _PASSES: tuple[tuple[str, Callable[[Scenario], Iterable[Scenario]]], ...] = (
     ("drop-faults", _drop_faults),
+    ("drop-churn", _drop_churn),
     ("fewer-procs", _fewer_procs),
     ("simpler-workload", _simpler_workload),
     ("shorter-horizon", _shorter_horizon),

@@ -54,7 +54,10 @@ def request_fingerprint(request: RunRequest) -> dict:
         "preset": request.preset,
         "workload_kwargs": sorted([list(kv) for kv in request.workload_kwargs]),
         "config": _jsonify(asdict(request.config())),
-        "faults": [asdict(f) for f in request.faults],
+        # the kind discriminates event classes whose fields coincide
+        # (JoinSpec and FaultSpec both serialise to {rank, at_time})
+        "faults": [{"kind": type(f).__name__, **asdict(f)}
+                   for f in request.faults],
         # not an input to the simulation, but it decides whether a
         # violating run raises or returns — a tolerant (fuzzer) entry
         # carrying violations must never satisfy a strict (harness) read

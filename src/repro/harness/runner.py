@@ -22,7 +22,7 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Sequence
 
 from repro.config import SimulationConfig
-from repro.faults.injector import FaultSpec
+from repro.faults.injector import EventSpec
 from repro.metrics.counters import MetricsAggregate, RankMetrics, aggregate
 from repro.mpi.cluster import RunResult, run_simulation
 from repro.simnet.engine import SimulationError
@@ -72,7 +72,7 @@ def run_cell(
     preset: str,
     checkpoint_interval: float,
     seed: int,
-    faults: Sequence[FaultSpec] | None = None,
+    faults: Sequence[EventSpec] | None = None,
     workload_kwargs: Sequence[tuple[str, Any]] = (),
     cost_overrides: Sequence[tuple[str, Any]] = (),
     raise_on_violation: bool = True,

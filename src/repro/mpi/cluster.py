@@ -14,9 +14,10 @@ from typing import Any, Callable, Sequence, TYPE_CHECKING
 
 from repro.config import SimulationConfig
 from repro.faults.detector import FailureDetector
-from repro.faults.injector import FaultInjector, FaultSpec
+from repro.faults.injector import EventSpec, FaultInjector
 from repro.metrics.counters import MetricsAggregate, RankMetrics, aggregate
 from repro.mpi.endpoint import Endpoint
+from repro.protocols.base import MembershipView
 from repro.protocols.checkpoint import CheckpointStore
 from repro.simnet.engine import Engine, SimulationError
 from repro.simnet.network import Network, NetworkStats
@@ -118,6 +119,10 @@ class Cluster:
             )
             self.services.append(logger)
 
+        #: the cluster's live membership truth; endpoints expose it to
+        #: their protocols (EndpointServices), the injector mutates it
+        self.membership = MembershipView(config.nprocs)
+
         self.oracle = None
         if config.verify:
             from repro.verify import CausalOracle
@@ -133,7 +138,7 @@ class Cluster:
         self._started = False
 
     # ------------------------------------------------------------------
-    def run(self, faults: Sequence[FaultSpec] | None = None) -> RunResult:
+    def run(self, faults: Sequence[EventSpec] | None = None) -> RunResult:
         """Run the application to completion (or ``max_sim_time``)."""
         if self._started:
             raise SimulationError("a Cluster instance runs exactly once")
@@ -141,8 +146,20 @@ class Cluster:
         wall0 = time.perf_counter()
         if faults:
             self.injector.schedule(list(faults))
+        if self.injector.deferred:
+            # ranks whose first scheduled event is a JoinSpec start as
+            # empty capacity slots; protocols were built against the
+            # full-membership view, so rebuild them against the reduced
+            # one (nothing has run yet — construction is free)
+            for rank in self.injector.deferred:
+                self.membership.defer(rank)
+            for endpoint in self.endpoints:
+                endpoint.protocol = endpoint._new_protocol()
         for endpoint in self.endpoints:
-            endpoint.start()
+            if endpoint.rank in self.injector.deferred:
+                endpoint.defer_start()
+            else:
+                endpoint.start()
         self.engine.run(until=self.config.max_sim_time, max_events=self.config.max_events)
 
         errors = [
@@ -189,7 +206,7 @@ class Cluster:
 def run_simulation(
     config: SimulationConfig,
     app_factory: AppFactory,
-    faults: Sequence[FaultSpec] | None = None,
+    faults: Sequence[EventSpec] | None = None,
 ) -> RunResult:
     """One-shot convenience: build a cluster, run it, return the result."""
     return Cluster(config, app_factory).run(faults)

@@ -186,10 +186,18 @@ class Endpoint:
         self.fabric.transmit(frame)
 
     def broadcast_control(self, ctl: str, payload: Any, size_bytes: int) -> None:
-        """Control frame to every other application rank."""
-        for dst in range(self.nprocs):
+        """Control frame to every other member rank."""
+        for dst in sorted(self.protocol.members):
             if dst != self.rank:
                 self.send_control(dst, ctl, payload, size_bytes)
+
+    def current_members(self) -> set[int]:
+        """The cluster's live membership view (EndpointServices)."""
+        return self.cluster.membership.current_members()
+
+    def membership_horizon(self) -> int:
+        """One past the highest rank that ever joined (EndpointServices)."""
+        return self.cluster.membership.horizon
 
     def resend_logged(self, item: LoggedMessage) -> None:
         """Retransmit a logged message on a peer's rollback (middleware
@@ -586,6 +594,53 @@ class Endpoint:
         self.fabric.detach(self.rank)
         self.trace.emit("fault.kill", self.rank)
 
+    def defer_start(self) -> None:
+        """This rank's capacity slot starts empty (its first scheduled
+        membership event is a JoinSpec): no checkpoint zero, no task, and
+        frames addressed to it drop like to a dead rank."""
+        self.node.defer()
+        self.fabric.detach(self.rank)
+        self.trace.emit("member.deferred", self.rank)
+
+    def join(self) -> None:
+        """Establishment join: a fresh epoch-0 incarnation nobody has
+        ever depended on.  Write checkpoint zero, adopt the live
+        membership view, announce the join, start the application —
+        no ROLLBACK and no recovery accounting."""
+        self.node.join(self.engine.now)
+        self.fabric.attach(self.rank, self._on_frame)
+        self.protocol.sync_membership(
+            self.cluster.membership.current_members(),
+            self.cluster.membership.horizon,
+        )
+        self._write_checkpoint(initial=True)
+        self.protocol.announce_join()
+        self.trace.emit("member.join", self.rank)
+        self._spawn_task()
+
+    def leave(self) -> None:
+        """Graceful departure: announce it while still attached, then
+        tear down like a crash — except the node parts as LEFT (its
+        durable checkpoint remains; a later JoinSpec rejoins through the
+        standard incarnation path) and the transport forgets its
+        channels instead of heartbeating a permanently absent peer."""
+        self.protocol.announce_leave()
+        self.node.leave(self.engine.now)
+        if self.task is not None:
+            self.task.kill()
+        if self.pump is not None:
+            self.pump.kill()
+        self.queue.clear()
+        self._pending_acks.clear()
+        self._window.clear()
+        self._parked_send = None
+        self._pending_recv = None
+        forget = getattr(self.fabric, "forget_peer", None)
+        if forget is not None:
+            forget(self.rank)
+        self.fabric.detach(self.rank)
+        self.trace.emit("member.leave", self.rank)
+
     def incarnate(self) -> None:
         """Start the incarnation (called ``restart_delay`` after the
         fault): read the checkpoint from stable storage, restore protocol
@@ -602,6 +657,11 @@ class Endpoint:
         epoch = self.node.revive(self.engine.now)
         self.protocol = self._new_protocol()
         self.protocol.restore(copy.deepcopy(ckpt.protocol_state))
+        # the checkpointed membership view may predate joins and leaves
+        self.protocol.sync_membership(
+            self.cluster.membership.current_members(),
+            self.cluster.membership.horizon,
+        )
         self.app.restore(copy.deepcopy(ckpt.app_state))
         self.queue = ReceivingQueue()
         if self.pump is not None:

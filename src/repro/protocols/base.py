@@ -33,6 +33,55 @@ from repro.metrics.counters import RankMetrics
 from repro.simnet.trace import Trace
 
 
+#: membership control frames (coordinator-free: every rank applies them
+#: independently, in whatever order its channels deliver them)
+MEMBER_JOIN = "JOIN"
+MEMBER_LEAVE = "LEAVE"
+
+
+class MembershipView:
+    """The cluster's live membership truth (one instance per cluster).
+
+    ``nprocs`` is *capacity* — the largest rank the run may ever host
+    plus one.  Members are the ranks currently part of the computation:
+    crashed ranks stay members (a crash is a recovery in progress, not a
+    departure); deferred slots and departed ranks are not members.  The
+    *horizon* is one past the highest rank that ever joined — the length
+    depend-interval vectors must grow to.  It is monotone: a departed
+    rank's entries stay meaningful in everyone's causal history.
+    """
+
+    def __init__(self, nprocs: int, deferred: Any = ()) -> None:
+        self.nprocs = nprocs
+        self._members = set(range(nprocs)) - set(deferred)
+        self._ever = set(self._members)
+
+    def current_members(self) -> set[int]:
+        """The ranks currently in the computation (crashed ones included)."""
+        return set(self._members)
+
+    @property
+    def horizon(self) -> int:
+        """One past the highest rank that ever joined (monotone)."""
+        return 1 + max(self._ever, default=-1)
+
+    def defer(self, rank: int) -> None:
+        """Mark a capacity slot that starts empty (its first scheduled
+        membership event is a JoinSpec): not a member, not yet counted
+        into the horizon."""
+        self._members.discard(rank)
+        self._ever.discard(rank)
+
+    def observe_join(self, rank: int) -> None:
+        """Admit ``rank`` (first join or rejoin); extends the horizon."""
+        self._members.add(rank)
+        self._ever.add(rank)
+
+    def observe_leave(self, rank: int) -> None:
+        """Record ``rank``'s departure; the horizon stays put."""
+        self._members.discard(rank)
+
+
 class DeliveryVerdict(enum.Enum):
     """Outcome of scanning one queued frame for a pending receive."""
 
@@ -95,7 +144,13 @@ class EndpointServices(TypingProtocol):
         """Transmit one protocol control frame to ``dst``."""
 
     def broadcast_control(self, ctl: str, payload: Any, size_bytes: int) -> None:
-        """Transmit a control frame to every other application rank."""
+        """Transmit a control frame to every other member rank."""
+
+    def current_members(self) -> set[int]:
+        """The cluster's live membership view (see :class:`MembershipView`)."""
+
+    def membership_horizon(self) -> int:
+        """One past the highest rank that ever joined the computation."""
 
     def resend_logged(self, item: "LoggedMessage") -> None:
         """Retransmit a logged message (middleware level, non-blocking)."""
@@ -139,6 +194,19 @@ class Protocol(abc.ABC):
         #: protocol test doubles without the attribute default to raw
         self.compress: bool = bool(
             getattr(services, "compress_piggybacks", False))
+        # Dynamic membership: the ranks this instance currently treats
+        # as part of the computation, and the vector horizon (one past
+        # the highest rank that ever joined).  Duck-typed so test
+        # doubles without a membership view default to fixed-n.
+        members_fn = getattr(services, "current_members", None)
+        if callable(members_fn):
+            self.members: set[int] = set(members_fn()) | {self.rank}
+        else:
+            self.members = set(range(nprocs))
+        horizon_fn = getattr(services, "membership_horizon", None)
+        horizon = horizon_fn() if callable(horizon_fn) else nprocs
+        self.horizon: int = max(horizon, self.rank + 1,
+                                max(self.members, default=0) + 1)
 
     # ------------------------------------------------------------------
     # Normal-execution path
@@ -243,6 +311,111 @@ class Protocol(abc.ABC):
         raise NotImplementedError(
             f"{self.name} received a compressed piggyback it cannot decode"
         )
+
+    # ------------------------------------------------------------------
+    # Dynamic membership
+    # ------------------------------------------------------------------
+    def _grow_to(self, horizon: int) -> None:
+        """Grow horizon-sized structures (depend-interval vectors and
+        their delta encoders) to ``horizon`` entries.  Default: nothing
+        is horizon-sized — the index vectors are capacity-sized."""
+
+    def grow_membership(self, rank: int) -> None:
+        """Admit ``rank`` into this instance's membership view (frame
+        from an unknown rank, JOIN announcement, or a rejoiner's
+        ROLLBACK) and grow any horizon-sized structures to cover it."""
+        self.members.add(rank)
+        if rank >= self.horizon:
+            self.horizon = rank + 1
+            self._grow_to(self.horizon)
+
+    def sync_membership(self, members: set[int], horizon: int) -> None:
+        """Adopt the cluster's live membership view (incarnation startup:
+        the checkpointed view may predate joins and leaves)."""
+        self.members = set(members) | {self.rank}
+        if horizon > self.horizon:
+            self.horizon = horizon
+            self._grow_to(self.horizon)
+
+    def membership_snapshot(self) -> dict[str, Any]:
+        """Checkpointable membership view."""
+        return {"members": sorted(self.members), "horizon": self.horizon}
+
+    def restore_membership(self, state: dict[str, Any] | None) -> None:
+        """Adopt a checkpointed membership view.  Legacy fixed-n
+        checkpoints carry none; they mean "everyone, capacity-sized"."""
+        if state is None:
+            self.members = set(range(self.nprocs))
+            self.horizon = max(self.nprocs, self.rank + 1)
+            return
+        self.members = set(state["members"]) | {self.rank}
+        horizon = max(int(state["horizon"]), self.rank + 1)
+        if horizon > self.horizon:
+            self.horizon = horizon
+            self._grow_to(self.horizon)
+        else:
+            self.horizon = horizon
+
+    def announce_join(self) -> None:
+        """Broadcast this rank's establishment JOIN: a fresh epoch-0
+        incarnation nobody has ever depended on.  The ``ldi`` payload
+        (all zeros on a first-ever join) tells each peer how much of its
+        logged traffic to this rank is already covered, exactly like a
+        ROLLBACK's — peers re-send everything beyond it, which also
+        unblocks senders that were waiting on acks from the deferred
+        slot."""
+        vectors = getattr(self, "vectors", None)
+        ldi = list(vectors.last_deliver_index) if vectors is not None else []
+        payload = {"epoch": self.epoch, "ldi": ldi}
+        self.services.broadcast_control(
+            MEMBER_JOIN, payload, size_bytes=4 * (len(ldi) + 2))
+        self.trace.emit("proto.join_bcast", self.rank, epoch=self.epoch)
+
+    def announce_leave(self) -> None:
+        """Broadcast this rank's graceful departure."""
+        self.services.broadcast_control(
+            MEMBER_LEAVE, {"epoch": self.epoch}, size_bytes=8)
+        self.trace.emit("proto.leave_bcast", self.rank, epoch=self.epoch)
+
+    def handle_membership(self, ctl: str, src: int, payload: Any) -> bool:
+        """Apply a JOIN/LEAVE control frame; returns False for other
+        control kinds (the caller dispatches those itself)."""
+        if ctl == MEMBER_JOIN:
+            self.grow_membership(src)
+            epoch = payload.get("epoch", 0) if isinstance(payload, dict) else 0
+            vectors = getattr(self, "vectors", None)
+            if vectors is not None:
+                prior = vectors.peer_epoch[src]
+                if vectors.observe_peer_epoch(src, epoch) and epoch > prior:
+                    self._on_peer_epoch_advance(src)
+            # Re-cover the joiner: resend everything logged for it beyond
+            # what its announced state already delivered.  Receiver FIFO
+            # dedup makes over-resending safe, and the resends' acks
+            # unblock any sender parked on the formerly-absent rank.
+            log = getattr(self, "log", None)
+            if log is not None:
+                covered = 0
+                if isinstance(payload, dict):
+                    ldi = payload.get("ldi") or ()
+                    if self.rank < len(ldi):
+                        covered = ldi[self.rank]
+                items = list(log.items_for(src, after_index=covered))
+                for item in items:
+                    self.services.resend_logged(item)
+                self.metrics.resends += len(items)
+            self.trace.emit("proto.member_join", self.rank, src=src,
+                            epoch=epoch)
+            return True
+        if ctl == MEMBER_LEAVE:
+            self.members.discard(src)
+            awaiting = getattr(self, "_awaiting_response", None)
+            if awaiting is not None and src in awaiting:
+                # a departed rank will never respond; don't wedge recovery
+                awaiting.discard(src)
+                self.services.wake_delivery()
+            self.trace.emit("proto.member_leave", self.rank, src=src)
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # Shared helpers

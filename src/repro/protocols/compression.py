@@ -87,6 +87,14 @@ class VectorDeltaEncoder:
         gone, so the next send must carry a full record."""
         self._channels.pop(dest, None)
 
+    def grow(self) -> None:
+        """The vector grew (dynamic membership: a rank joined).  Every
+        channel's watermark refers to the shorter vector and every
+        receiver's base is short, so drop all channels — the next record
+        per destination is a counted FULL at the new length, which
+        resets the decoder base to the grown width."""
+        self._channels.clear()
+
     def encode(self, dest: int, piggyback: TaggedPiggyback,
                send_index: int) -> tuple[bytes, bool]:
         """Encode one transmitted piggyback for ``dest``.
@@ -160,6 +168,13 @@ class VectorDeltaDecoder:
         chan[0] += 1
         values, epochs = chan[1], chan[2]
         for index, value, epoch in rec.changes:
+            if index >= len(values):
+                # base established before the sender's vector grew (the
+                # encoder re-establishes on growth, but a delta encoded
+                # just before can arrive after): absent entries are zero
+                pad = index + 1 - len(values)
+                values.extend([0] * pad)
+                epochs.extend([0] * pad)
             values[index] = value
             epochs[index] = epoch
         return TaggedPiggyback(values, epochs), rec.send_index

@@ -114,6 +114,8 @@ class PwdCausalProtocol(Protocol):
     # Sending (PWD version of Algorithm 1 lines 8-12)
     # ------------------------------------------------------------------
     def prepare_send(self, dest: int, tag: int, payload: Any, size_bytes: int) -> PreparedSend:
+        if dest >= self.horizon:
+            self.grow_membership(dest)
         self.vectors.last_send_index[dest] += 1
         send_index = self.vectors.last_send_index[dest]
         piggyback, identifiers, extra_cost = self._build_piggyback(dest)
@@ -227,6 +229,7 @@ class PwdCausalProtocol(Protocol):
             "deliver_total": self.deliver_total,
             "rollback_last_send_index": list(self.rollback_last_send_index),
             "log": self.log.snapshot(),
+            "membership": self.membership_snapshot(),
         }
         state.update(self._extra_checkpoint_state())
         return state
@@ -258,11 +261,12 @@ class PwdCausalProtocol(Protocol):
         self.log = SenderLog.from_snapshot(
             self.nprocs, copy.copy(state["log"]), trace=self.trace, owner=self.rank
         )
+        self.restore_membership(state.get("membership"))
         self._restore_extra(state)
 
     def begin_recovery(self) -> None:
         self.metrics.recovery_count += 1
-        self._awaiting_response = {r for r in range(self.nprocs) if r != self.rank}
+        self._awaiting_response = {r for r in self.members if r != self.rank}
         self._request_history()
         self._broadcast_rollback(self._awaiting_response)
 
@@ -286,7 +290,7 @@ class PwdCausalProtocol(Protocol):
         if self._history_pending:
             self._request_history()
         self._broadcast_rollback(
-            {r for r in range(self.nprocs) if r != self.rank})
+            {r for r in self.members if r != self.rank})
 
     def _broadcast_rollback(self, targets: set[int]) -> None:
         payload = {
@@ -330,6 +334,8 @@ class PwdCausalProtocol(Protocol):
         return piggyback
 
     def handle_control(self, ctl: str, src: int, payload: Any) -> None:
+        if self.handle_membership(ctl, src, payload):
+            return
         if ctl == CHECKPOINT_ADVANCE:
             released = self.log.release_upto(src, payload["from_counts"][self.rank])
             self.metrics.log_items_released += released
@@ -342,6 +348,8 @@ class PwdCausalProtocol(Protocol):
             raise ValueError(f"{self.name} got unknown control frame {ctl!r}")
 
     def _handle_rollback(self, src: int, payload: dict[str, Any]) -> None:
+        # a ROLLBACK from a rank that had left and rejoined re-admits it
+        self.grow_membership(src)
         epoch = payload.get("epoch")
         if epoch is not None:
             prior = self.vectors.peer_epoch[src]

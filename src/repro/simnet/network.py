@@ -230,6 +230,11 @@ class Network:
         #: enabling the reliable transport never perturbs the draws (and
         #: hence the arrival order) of the frames the protocols exchange
         self._rt_jitter = rng.stream("net.jitter.rt")
+        #: membership control frames (JOIN/LEAVE) likewise ride a
+        #: dedicated lane: a run whose joins all land before the first
+        #: send must leave the main jitter draws — and so every data
+        #: frame's arrival time — identical to the same run at fixed n
+        self._mship_jitter = rng.stream("net.jitter.mship")
         #: impairment draws live on a dedicated stream for the same reason
         self._impair = rng.stream("net.impair") if config.impaired else None
         self.trace = trace or Trace(enabled=False)
@@ -307,12 +312,20 @@ class Network:
                 self._corrupt(frame)
 
         rt_lane = frame.kind == "rt-ack"
-        jitter_stream = self._rt_jitter if rt_lane else self._jitter
+        mship_lane = (frame.kind == "ctl"
+                      and frame.meta.get("ctl") in ("JOIN", "LEAVE"))
+        if rt_lane:
+            jitter_stream = self._rt_jitter
+            channel: tuple = (frame.src, frame.dst, "rt")
+        elif mship_lane:
+            jitter_stream = self._mship_jitter
+            channel = (frame.src, frame.dst, "mship")
+        else:
+            jitter_stream = self._jitter
+            channel = (frame.src, frame.dst)
         delay = self.delay_for(frame.size_bytes)
         if cfg.jitter_fraction > 0:
             delay += float(jitter_stream.uniform(0.0, cfg.jitter_fraction * cfg.base_latency))
-        channel: tuple = (frame.src, frame.dst, "rt") if rt_lane \
-            else (frame.src, frame.dst)
         if cfg.shared_medium:
             # one collision domain: the frame's wire time starts when the
             # medium frees up, so concurrent senders queue behind each

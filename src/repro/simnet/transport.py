@@ -352,6 +352,23 @@ class ReliableTransport:
         self.network.detach(rank)
         self._clear_recv(rank)
 
+    def forget_peer(self, rank: int) -> None:
+        """A rank left the computation (dynamic membership): drop every
+        peer's send channel *to* it — with its timers, so nobody
+        heartbeats a permanently absent destination — and its volatile
+        receive state.  In-flight frames are discarded: a leaver's
+        durable checkpoint plus the logging protocols' rejoin-time
+        resend machinery own cross-departure redelivery, exactly as they
+        own cross-failure redelivery on an incarnation's re-attach."""
+        for key in [k for k in self._send if k[1] == rank]:
+            old = self._send.pop(key)
+            if old.timer is not None:
+                self.engine.cancel(old.timer)
+            if old.unacked:
+                self.trace.emit("rt.forget", key[0], dst=rank,
+                                discarded=len(old.unacked))
+        self._clear_recv(rank)
+
     def transmit(self, frame: Frame) -> None:
         """Send ``frame`` reliably: sequence, checksum, buffer, piggyback."""
         ch = self._send_channel(frame.src, frame.dst)

@@ -174,9 +174,14 @@ class CausalOracle:
             self._count(CAUSAL_GATE)
             epoch = self._rank_epoch[rank]
             pb_epochs = getattr(pb, "epochs", None)
+            # a piggyback from a sender with a smaller membership
+            # horizon places no requirement on ranks beyond its length
+            in_range = rank < len(pb)
+            required = pb[rank] if in_range else 0
             # an untagged piggyback gates at face value (classify() does
             # the same), so its own-entry epoch is taken as current
-            entry_epoch = pb_epochs[rank] if pb_epochs is not None else epoch
+            entry_epoch = (pb_epochs[rank]
+                           if pb_epochs is not None and in_range else epoch)
             if entry_epoch > epoch:
                 self._report(
                     ev.time, CAUSAL_GATE, rank,
@@ -185,16 +190,16 @@ class CausalOracle:
                     f"(currently in epoch {epoch})",
                     src=src, send_index=send_index,
                     entry_epoch=entry_epoch, epoch=epoch)
-            elif entry_epoch == epoch and pb[rank] > shadow.hb[rank]:
+            elif entry_epoch == epoch and required > shadow.hb[rank]:
                 self._report(
                     ev.time, CAUSAL_GATE, rank,
                     f"message {src}->{rank} #{send_index} delivered with "
                     f"unsatisfied dependency: piggyback requires interval "
-                    f"{pb[rank]}, receiver has made {shadow.hb[rank]} "
+                    f"{required}, receiver has made {shadow.hb[rank]} "
                     f"deliveries",
                     src=src, send_index=send_index,
-                    required=pb[rank], have=shadow.hb[rank])
-            elif (entry_epoch < epoch and pb[rank] > shadow.hb[rank]
+                    required=required, have=shadow.hb[rank])
+            elif (entry_epoch < epoch and required > shadow.hb[rank]
                   and not self._rank_degraded[rank]):
                 # A dead incarnation's counts still gate — replay
                 # re-reaches them position-for-position — unless the
@@ -205,11 +210,11 @@ class CausalOracle:
                     ev.time, CAUSAL_GATE, rank,
                     f"message {src}->{rank} #{send_index} delivered with "
                     f"unsatisfied stale-epoch dependency: piggyback "
-                    f"requires interval {pb[rank]} of epoch {entry_epoch}, "
+                    f"requires interval {required} of epoch {entry_epoch}, "
                     f"receiver has made {shadow.hb[rank]} deliveries and "
                     f"no escalation degraded its gate",
                     src=src, send_index=send_index,
-                    required=pb[rank], have=shadow.hb[rank],
+                    required=required, have=shadow.hb[rank],
                     entry_epoch=entry_epoch, epoch=epoch)
             for k, entry in enumerate(pb):
                 if k == rank:
@@ -240,11 +245,16 @@ class CausalOracle:
             self._count(PIGGYBACK_COMPLETENESS)
             shadow = self._shadow[rank]
             hb, hb_epochs = shadow.hb, shadow.hb_epochs
-            pb_epochs = getattr(pb, "epochs", None) or (0,) * self.nprocs
+            pb_epochs = getattr(pb, "epochs", None) or (0,) * len(pb)
             # lexicographic (epoch, value): an entry re-tagged to a newer
-            # epoch with a smaller count still carries the full knowledge
+            # epoch with a smaller count still carries the full knowledge.
+            # Entries beyond a short piggyback's horizon count as (0, 0)
+            # — a sender that has causal knowledge of a rank it does not
+            # cover is under-reporting just the same.
+            m = len(pb)
             lagging = [k for k in range(self.nprocs)
-                       if (pb_epochs[k], pb[k]) < (hb_epochs[k], hb[k])]
+                       if ((pb_epochs[k] if k < m else 0),
+                           (pb[k] if k < m else 0)) < (hb_epochs[k], hb[k])]
             if lagging:
                 self._report(
                     ev.time, PIGGYBACK_COMPLETENESS, rank,
@@ -372,8 +382,13 @@ class CausalOracle:
     # Helpers
     # ------------------------------------------------------------------
     def _is_depend_vector(self, pb: Any) -> bool:
-        """True for TDI-style piggybacks: one integer per process."""
-        return (isinstance(pb, (list, tuple)) and len(pb) == self.nprocs
+        """True for TDI-style piggybacks: one integer per joined rank.
+
+        Under dynamic membership a sender's vector spans its own
+        membership horizon, so anything from one entry up to full
+        capacity qualifies.
+        """
+        return (isinstance(pb, (list, tuple)) and 1 <= len(pb) <= self.nprocs
                 and all(isinstance(x, int) and not isinstance(x, bool)
                         for x in pb))
 

@@ -81,3 +81,77 @@ class TestFailureDetector:
         det = FailureDetector()
         assert det.downtime_windows(0) == []
         assert det.total_downtime(0) == 0.0
+
+
+class TestMembershipValidation:
+    """The injector's static replay of join/leave schedules."""
+
+    def _inject(self, events):
+        from repro.faults.injector import JoinSpec, LeaveSpec  # noqa: F401
+        inj = FaultInjector(_StubCluster())
+        inj.schedule(events)
+        return inj
+
+    def test_leave_of_joined_rank_allowed(self):
+        from repro.faults.injector import LeaveSpec, JoinSpec
+        inj = self._inject([LeaveSpec(rank=1, at_time=0.5),
+                            JoinSpec(rank=1, at_time=0.9)])
+        assert inj.deferred == set()
+
+    def test_deferred_rank_detected(self):
+        from repro.faults.injector import JoinSpec
+        inj = self._inject([JoinSpec(rank=2, at_time=0.001)])
+        assert inj.deferred == {2}
+
+    def test_leave_before_join_means_initially_joined(self):
+        # a rank whose earliest event is a leave started the run joined:
+        # leave at 0.2 then rejoin at 0.5 is a valid cycle, not deferred
+        from repro.faults.injector import JoinSpec, LeaveSpec
+        inj = self._inject([JoinSpec(rank=1, at_time=0.5),
+                            LeaveSpec(rank=1, at_time=0.2)])
+        assert inj.deferred == set()
+
+    def test_deferred_rank_double_leave_rejected(self):
+        from repro.faults.injector import JoinSpec, LeaveSpec
+        with pytest.raises(ValueError, match="not joined"):
+            self._inject([JoinSpec(rank=1, at_time=0.2),
+                          LeaveSpec(rank=1, at_time=0.3),
+                          LeaveSpec(rank=1, at_time=0.4)])
+
+    def test_double_leave_rejected(self):
+        from repro.faults.injector import LeaveSpec
+        with pytest.raises(ValueError, match="not joined"):
+            self._inject([LeaveSpec(rank=1, at_time=0.2),
+                          LeaveSpec(rank=1, at_time=0.5)])
+
+    def test_join_of_joined_rank_rejected(self):
+        from repro.faults.injector import JoinSpec, LeaveSpec
+        with pytest.raises(ValueError, match="already joined"):
+            self._inject([LeaveSpec(rank=1, at_time=0.2),
+                          JoinSpec(rank=1, at_time=0.5),
+                          JoinSpec(rank=1, at_time=0.9)])
+
+    def test_join_and_leave_at_same_instant_rejected(self):
+        from repro.faults.injector import JoinSpec, LeaveSpec
+        with pytest.raises(ValueError, match="conflicting membership"):
+            self._inject([LeaveSpec(rank=1, at_time=0.5),
+                          JoinSpec(rank=1, at_time=0.5)])
+
+    def test_membership_rank_out_of_range_rejected(self):
+        from repro.faults.injector import JoinSpec
+        with pytest.raises(ValueError, match="out of range"):
+            self._inject([JoinSpec(rank=9, at_time=0.5)])
+
+    def test_negative_membership_times_rejected(self):
+        from repro.faults.injector import JoinSpec, LeaveSpec
+        with pytest.raises(ValueError):
+            JoinSpec(rank=0, at_time=-0.1)
+        with pytest.raises(ValueError):
+            LeaveSpec(rank=0, at_time=-0.1)
+
+    def test_crash_overlapping_churn_allowed(self):
+        from repro.faults.injector import JoinSpec, LeaveSpec
+        inj = self._inject([LeaveSpec(rank=1, at_time=0.5),
+                            FaultSpec(rank=1, at_time=0.5),
+                            JoinSpec(rank=1, at_time=0.9)])
+        assert len(inj.cluster.engine.scheduled) == 3

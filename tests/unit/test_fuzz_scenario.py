@@ -388,3 +388,121 @@ def test_describe_mentions_key_dimensions(seed):
     assert scenario.workload in text
     assert f"nprocs={scenario.nprocs}" in text
     assert scenario.fault_kind in text
+
+
+# ----------------------------------------------------------------------
+# Churn band
+# ----------------------------------------------------------------------
+
+class TestChurnBias:
+    def test_churn_bias_is_deterministic_and_distinct(self):
+        assert generate_scenario(7, "churn") == generate_scenario(7, "churn")
+        assert generate_scenario(7, "churn") != generate_scenario(7)
+        assert generate_scenario(7, "churn").name.endswith("-churn")
+
+    def test_unbiased_band_is_untouched_by_the_churn_salt(self):
+        # adding "churn" to the bias vocabulary must not reshuffle any
+        # existing band: the unbiased draws stay byte-identical
+        for seed in range(40):
+            assert generate_scenario(seed).joins == ()
+            assert generate_scenario(seed).leaves == ()
+            assert generate_scenario(seed, "overlap").joins == ()
+
+    def test_every_churn_scenario_schedules_churn(self):
+        for seed in range(80):
+            scenario = generate_scenario(seed, "churn")
+            assert scenario.churned, scenario.describe()
+            assert scenario.validate() is None, scenario.describe()
+
+    def test_every_leave_pairs_with_a_later_rejoin(self):
+        for seed in range(120):
+            scenario = generate_scenario(seed, "churn")
+            for rank, at_time in scenario.leaves:
+                rejoins = [t for r, t in scenario.joins
+                           if r == rank and t > at_time]
+                assert rejoins, scenario.describe()
+
+    def test_churn_never_empties_the_cluster(self):
+        for seed in range(120):
+            scenario = generate_scenario(seed, "churn")
+            churned = {r for r, _ in (*scenario.joins, *scenario.leaves)}
+            assert len(churned) < scenario.nprocs
+
+    def test_churn_composes_with_lossy_band(self):
+        scenario = generate_scenario(7, "churn", net_bias="lossy")
+        assert scenario.churned and scenario.impaired
+        assert scenario.name.endswith("-churn-net-lossy")
+
+    def test_churn_json_round_trip(self):
+        scenario = generate_scenario(11, "churn")
+        assert Scenario.from_json_dict(scenario.to_json_dict()) == scenario
+
+    def test_pre_churn_corpus_entries_still_load(self):
+        data = generate_scenario(3).to_json_dict()
+        del data["joins"], data["leaves"]
+        assert Scenario.from_json_dict(data) == generate_scenario(3)
+
+    def test_validate_rejects_conflicting_membership(self):
+        bad = generate_scenario(3).with_(joins=((1, 0.5),), leaves=((1, 0.5),))
+        assert "conflicting" in bad.validate()
+
+    def test_validate_rejects_double_join(self):
+        bad = generate_scenario(3).with_(joins=((1, 0.2), (1, 0.4)))
+        assert "already joined" in bad.validate()
+
+    def test_validate_rejects_out_of_range_churn_rank(self):
+        scenario = generate_scenario(3)
+        bad = scenario.with_(joins=((scenario.nprocs, 0.2),))
+        assert "out of range" in bad.validate()
+
+    def test_event_specs_cover_crashes_and_churn(self):
+        from repro.faults.injector import FaultSpec, JoinSpec, LeaveSpec
+        scenario = generate_scenario(3).with_(
+            faults=((0, 0.001),), joins=((1, 0.004),), leaves=((1, 0.002),))
+        specs = scenario.event_specs()
+        assert [type(s) for s in specs] == [FaultSpec, JoinSpec, LeaveSpec]
+
+    def test_churn_rides_only_the_faulted_legs(self):
+        from repro.fuzz.differential import scenario_requests
+        scenario = generate_scenario(3).with_(
+            faults=(), leaves=((1, 0.002),), joins=((1, 0.005),))
+        requests = scenario_requests(scenario)
+        by_key = {r.key[2]: r for r in requests}
+        assert by_key["ff"].faults == ()
+        assert len(by_key["faulted"].faults) == 2
+
+    def test_cli_accepts_churn_bias(self):
+        from repro.fuzz.__main__ import _parse_args
+        assert _parse_args(["--fault-bias", "churn"]).fault_bias == "churn"
+
+
+class TestChurnShrinking:
+    def test_drop_churn_shrinks_to_nothing_when_findings_persist(self):
+        scenario = generate_scenario(3).with_(
+            joins=((1, 0.004), (2, 0.001)), leaves=((1, 0.002),))
+        result = shrink_scenario(scenario, lambda s: True)
+        assert result.scenario.joins == ()
+        assert result.scenario.leaves == ()
+
+    def test_drop_churn_candidates_never_orphan_a_leave(self):
+        from repro.fuzz.shrink import _drop_churn
+        scenario = generate_scenario(3).with_(
+            joins=((1, 0.004), (2, 0.001)), leaves=((1, 0.002),))
+        for candidate in _drop_churn(scenario):
+            assert candidate.validate() is None
+            for rank, at_time in candidate.leaves:
+                assert any(r == rank and t > at_time
+                           for r, t in candidate.joins)
+
+    def test_fewer_procs_drops_out_of_range_churn(self):
+        from repro.fuzz.shrink import _fewer_procs
+        scenario = generate_scenario(3).with_(
+            nprocs=4, faults=(),
+            joins=((3, 0.004),), leaves=((3, 0.002),))
+        for candidate in _fewer_procs(scenario):
+            assert candidate.validate() is None
+
+    def test_churn_counts_into_scenario_size(self):
+        scenario = generate_scenario(3)
+        with_churn = scenario.with_(joins=((1, 0.004),))
+        assert scenario_size(with_churn) > scenario_size(scenario)

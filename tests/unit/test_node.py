@@ -63,3 +63,52 @@ class TestNodeSet:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             NodeSet(0)
+
+
+class TestMembershipStates:
+    def test_defer_then_join(self):
+        node = Node(rank=2)
+        node.defer()
+        assert node.state is NodeState.UNJOINED and not node.alive
+        node.join(now=0.5)
+        assert node.alive and node.epoch == 0
+        assert node.recovery_times == [0.5]
+
+    def test_defer_requires_fresh_node(self):
+        node = Node(rank=0)
+        node.kill(now=1.0)
+        node.revive(now=2.0)
+        with pytest.raises(RuntimeError):
+            node.defer()
+
+    def test_join_requires_unjoined(self):
+        node = Node(rank=0)
+        with pytest.raises(RuntimeError):
+            node.join(now=1.0)
+
+    def test_leave_is_not_a_failure(self):
+        node = Node(rank=1)
+        node.leave(now=2.0)
+        assert node.state is NodeState.LEFT and not node.alive
+        assert node.failures == 0
+        assert node.death_times == [2.0]
+
+    def test_left_node_cannot_be_killed_or_leave_again(self):
+        node = Node(rank=1)
+        node.leave(now=1.0)
+        with pytest.raises(RuntimeError):
+            node.kill(now=2.0)
+        with pytest.raises(RuntimeError):
+            node.leave(now=2.0)
+
+    def test_rejoin_via_revive_bumps_epoch(self):
+        node = Node(rank=1)
+        node.leave(now=1.0)
+        assert node.revive(now=2.0) == 1
+        assert node.alive and node.epoch == 1
+
+    def test_unjoined_node_cannot_revive(self):
+        node = Node(rank=1)
+        node.defer()
+        with pytest.raises(RuntimeError):
+            node.revive(now=1.0)

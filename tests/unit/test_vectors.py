@@ -48,10 +48,20 @@ class TestAdvanceAndMerge:
         v.merge((0, 1, 1))
         assert list(v) == [0, 7, 7]
 
-    def test_merge_length_mismatch(self):
+    def test_merge_shorter_piggyback_is_prefix_merge(self):
+        # a sender with a smaller membership horizon legitimately
+        # piggybacks a shorter vector; it merges into the prefix
+        v = DependIntervalVector(3, owner=2, values=[0, 1, 4])
+        changed = v.merge((3, 0))
+        assert list(v) == [3, 1, 4]
+        assert changed == 1
+
+    def test_merge_longer_piggyback_raises(self):
+        # the receiver must grow_to() the sender's horizon *before*
+        # merging; a longer piggyback reaching merge() is a bug
         v = DependIntervalVector(3, owner=0)
         with pytest.raises(ValueError):
-            v.merge((1, 2))
+            v.merge((1, 2, 3, 4))
 
 
 class TestHelpers:

@@ -184,7 +184,9 @@ class TestVectorRecordCodec:
             if with_epochs:
                 sparse += wire.uvarint_len(e)
             prev = k
-        overhead = 1 + wire.uvarint_len(1) + wire.uvarint_len(7)
+        # header + counted vector length + seq + send_index
+        overhead = (1 + wire.uvarint_len(nprocs) + wire.uvarint_len(1)
+                    + wire.uvarint_len(7))
         assert len(blob) == overhead + min(dense, sparse)
         if rec.mode == wire.FULL_SPARSE:
             assert sparse < dense
