@@ -20,7 +20,7 @@ from typing import Any, Sequence
 
 from repro.config import SimulationConfig
 from repro.faults.injector import (EventSpec, FaultSpec, JoinSpec, LeaveSpec,
-                                   simultaneous, staggered)
+                                   StorageFaultSpec, simultaneous, staggered)
 from repro.mpi.cluster import AppFactory, Cluster, RunResult, run_simulation
 from repro.protocols.registry import available_protocols
 from repro.workloads.presets import WORKLOADS, workload_factory
@@ -32,6 +32,7 @@ __all__ = [
     "FaultSpec",
     "JoinSpec",
     "LeaveSpec",
+    "StorageFaultSpec",
     "simultaneous",
     "staggered",
     "SimulationConfig",

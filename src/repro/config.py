@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.metrics.costs import CostModel
+from repro.protocols.checkpoint import StorageConfig
 from repro.simnet.network import NetworkConfig
 from repro.simnet.transport import TransportConfig
 
@@ -63,6 +64,14 @@ class SimulationConfig:
     #: verdicts and recovery outcomes; frame sizes and hence timings
     #: differ)
     compress_piggybacks: bool = False
+    #: checkpoint generations retained per rank on stable storage —
+    #: the fallback depth when the newest generation turns out torn or
+    #: corrupt under a hostile device (>= 1)
+    ckpt_history: int = 2
+    #: stable-storage impairment model (write failures, torn writes,
+    #: latent corruption, stalls); all off by default — the perfect
+    #: device the paper assumes
+    storage: StorageConfig = field(default_factory=StorageConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
     #: reliable-transport layer under the protocols; must be enabled
     #: whenever the network is impaired (nobody else retransmits)
@@ -101,6 +110,8 @@ class SimulationConfig:
             raise ValueError(
                 "recovery_abort_after must exceed recovery_escalate_after"
             )
+        if self.ckpt_history < 1:
+            raise ValueError("ckpt_history must be >= 1")
         if self.network.impaired and not self.transport.enabled:
             raise ValueError(
                 "network impairments (drop/dup/corrupt/partitions) require "

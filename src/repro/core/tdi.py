@@ -67,6 +67,12 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
         #: from — the clamp target for stale-epoch dependencies (startup
         #: state is checkpoint zero)
         self._ckpt_own_interval = 0
+        #: delivery-cover snapshots queued per checkpoint; GC advances
+        #: go out lagged by services.checkpoint_gc_lag() checkpoints so
+        #: a hostile store's fallback recovery still finds its logs.
+        #: Not checkpointed: a restored incarnation starts empty, which
+        #: only delays GC (always safe).
+        self._ckpt_advance_queue: list[list[int]] = []
         # compressed wire layer: per-destination delta chains out, and
         # per-source reconstruction state in (repro.protocols.compression)
         self._pb_encoder = VectorDeltaEncoder(self.depend_interval) \
@@ -277,11 +283,26 @@ class TdiProtocol(TdiRecoveryMixin, Protocol):
 
     def after_checkpoint(self) -> None:
         """Lines 34-37: tell each sender how far our checkpoint covers its
-        messages, so it can garbage-collect its log."""
+        messages, so it can garbage-collect its log.
+
+        Under hostile storage the advance advertises the cover of the
+        checkpoint ``gc_lag`` generations back (the oldest the fallback
+        read path can land on), so peers never release an item a
+        fallback recovery would replay.  With lag 0 the snapshot just
+        pushed is popped straight back — today's eager GC, byte for
+        byte.
+        """
+        self._ckpt_advance_queue.append(list(self.vectors.last_deliver_index))
+        lag_fn = getattr(self.services, "checkpoint_gc_lag", None)
+        lag = lag_fn() if lag_fn is not None else 0
+        if len(self._ckpt_advance_queue) <= lag:
+            return
+        cover = self._ckpt_advance_queue.pop(0)
         for k in sorted(self.members):
             if k == self.rank:
                 continue
-            delivered = self.vectors.last_deliver_index[k]
+            # a lagged cover may predate a joiner: it covers nothing
+            delivered = cover[k] if k < len(cover) else 0
             if delivered > self.last_ckpt_deliver_index[k]:
                 self.services.send_control(
                     k, CHECKPOINT_ADVANCE, delivered, self.costs.identifier_bytes

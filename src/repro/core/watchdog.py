@@ -54,6 +54,19 @@ class RecoveryStallError(SimulationError):
     """
 
 
+class StorageLossError(SimulationError):
+    """No readable checkpoint generation remains for a recovering rank.
+
+    The stable-storage fallback chain (newest generation first, then
+    each older retained generation) was walked to exhaustion: every
+    committed generation failed its checksum and any in-flight write was
+    torn by the failure itself.  Like :class:`RecoveryStallError` this
+    subclasses :class:`SimulationError` so the fuzzer, corpus replay and
+    CLI treat it as a diagnosed simulation failure; the message lists
+    each retained generation and why it was unreadable.
+    """
+
+
 class RecoveryWatchdog:
     """Monitors one incarnation's recovery for progress (see module doc)."""
 

@@ -31,6 +31,10 @@ class FailureDetector:
 
     failures: list[FailureEvent] = field(default_factory=list)
     recoveries: list[RecoveryEvent] = field(default_factory=list)
+    #: simulated time the run ended (set by the cluster when the engine
+    #: drains); closes the downtime window of a rank that dies and
+    #: never comes back
+    run_ended_at: float | None = None
 
     def observe_failure(self, rank: int, now: float) -> None:
         """Record a kill at simulated time ``now``."""
@@ -40,6 +44,10 @@ class FailureDetector:
         """Record an incarnation coming up."""
         self.recoveries.append(RecoveryEvent(rank, now, epoch))
 
+    def observe_run_end(self, now: float) -> None:
+        """Record when the run ended (closes any open windows)."""
+        self.run_ended_at = now
+
     # ------------------------------------------------------------------
     def failure_count(self, rank: int | None = None) -> int:
         """Failures observed, overall or for one rank."""
@@ -47,12 +55,40 @@ class FailureDetector:
             return len(self.failures)
         return sum(1 for e in self.failures if e.rank == rank)
 
-    def downtime_windows(self, rank: int) -> list[tuple[float, float]]:
-        """(failed_at, recovered_at) pairs for ``rank``, in order."""
-        fails = [e.failed_at for e in self.failures if e.rank == rank]
-        recs = [e.recovered_at for e in self.recoveries if e.rank == rank]
-        return list(zip(fails, recs))
+    def downtime_windows(self, rank: int) -> list[tuple[float, float | None]]:
+        """(failed_at, recovered_at) pairs for ``rank``, in order.
+
+        Each failure pairs with the first recovery *after* it — a plain
+        ``zip`` would both drop the open window of a rank that is still
+        dead at end-of-run and mispair when a recovery has no matching
+        failure (a leave-then-rejoin records a recovery alone).  A rank
+        dead at run end yields a final open window ``(failed_at, None)``.
+        """
+        fails = sorted(e.failed_at for e in self.failures if e.rank == rank)
+        recs = sorted(e.recovered_at for e in self.recoveries if e.rank == rank)
+        windows: list[tuple[float, float | None]] = []
+        ri = 0
+        for failed_at in fails:
+            while ri < len(recs) and recs[ri] < failed_at:
+                ri += 1
+            if ri < len(recs):
+                windows.append((failed_at, recs[ri]))
+                ri += 1
+            else:
+                windows.append((failed_at, None))
+        return windows
 
     def total_downtime(self, rank: int) -> float:
-        """Seconds ``rank`` spent dead across all windows."""
-        return sum(end - start for start, end in self.downtime_windows(rank))
+        """Seconds ``rank`` spent dead across all windows.
+
+        An open window (dead at exit) is charged up to ``run_ended_at``;
+        before the run end is known it contributes nothing.
+        """
+        total = 0.0
+        for start, end in self.downtime_windows(rank):
+            if end is None:
+                if self.run_ended_at is None:
+                    continue
+                end = max(self.run_ended_at, start)
+            total += end - start
+        return total

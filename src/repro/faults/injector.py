@@ -14,6 +14,12 @@ left), and a :class:`LeaveSpec` makes a rank depart gracefully.  A rank
 whose *earliest* scheduled membership event is a join starts the run
 deferred — its node sits in ``UNJOINED`` and no process runs on it until
 the join fires.
+
+Stable storage rides it too: a :class:`StorageFaultSpec` forces the
+checkpoint device to misbehave against one rank — a failed, torn or
+stalled write, or immediate bit rot on a committed generation.  Merely
+*scheduling* one marks the store hostile before the run starts, which
+is what arms the lagged sender-log GC the fallback read path depends on.
 """
 
 from __future__ import annotations
@@ -67,8 +73,54 @@ class LeaveSpec:
             raise ValueError("leave time must be >= 0")
 
 
+#: forced stable-storage misbehaviours a StorageFaultSpec can inject
+STORAGE_FAULT_KINDS = ("write_fail", "torn", "corrupt", "stall")
+
+
+@dataclass(frozen=True)
+class StorageFaultSpec:
+    """Force stable-storage misbehaviour against ``rank`` at ``at_time``.
+
+    ``kind`` selects what fires (see :data:`STORAGE_FAULT_KINDS`):
+
+    * ``"write_fail"`` — the rank's next ``count`` checkpoint write
+      attempts fail visibly (retried with backoff, then skipped);
+    * ``"torn"`` — the next ``count`` commits leave torn images,
+      detected only when a recovery reads them back;
+    * ``"corrupt"`` — bit rot strikes the newest ``count`` readable
+      committed generations immediately at ``at_time``;
+    * ``"stall"`` — the next ``count`` write attempts stretch by
+      ``duration`` simulated seconds each.
+
+    Scheduling any storage fault marks the device hostile *before the
+    run starts*, so sender-log GC lags from the first checkpoint and a
+    later fallback recovery always finds the log suffix it replays.
+    """
+
+    rank: int
+    at_time: float
+    kind: str
+    count: int = 1
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at_time < 0:
+            raise ValueError("storage fault time must be >= 0")
+        if self.kind not in STORAGE_FAULT_KINDS:
+            raise ValueError(
+                f"unknown storage fault kind {self.kind!r}; pick one of "
+                f"{', '.join(STORAGE_FAULT_KINDS)}"
+            )
+        if self.count < 1:
+            raise ValueError("storage fault count must be >= 1")
+        if self.duration < 0:
+            raise ValueError("storage fault duration must be >= 0")
+        if self.kind == "stall" and self.duration == 0:
+            raise ValueError("a stall storage fault needs duration > 0")
+
+
 #: anything the injector can schedule
-EventSpec = Union[FaultSpec, JoinSpec, LeaveSpec]
+EventSpec = Union[FaultSpec, JoinSpec, LeaveSpec, StorageFaultSpec]
 
 
 def simultaneous(ranks: Iterable[int], at_time: float) -> list[FaultSpec]:
@@ -115,6 +167,11 @@ class FaultInjector:
                         f"the caller, not a simultaneous-failure scenario"
                     )
                 self._scheduled.add(key)
+            elif isinstance(spec, StorageFaultSpec):
+                # arming happens now, at schedule time: GC must lag from
+                # the very first checkpoint for a later fallback to be
+                # replayable, not from when the fault fires
+                self.cluster.checkpoints.arm_hostile()
             else:
                 membership.setdefault(spec.rank, []).append(spec)
         self._validate_membership(membership)
@@ -122,6 +179,9 @@ class FaultInjector:
             if isinstance(spec, FaultSpec):
                 self.cluster.engine.schedule_at(
                     spec.at_time, lambda s=spec: self._kill(s))
+            elif isinstance(spec, StorageFaultSpec):
+                self.cluster.engine.schedule_at(
+                    spec.at_time, lambda s=spec: self._storage_fault(s))
             elif isinstance(spec, JoinSpec):
                 self.cluster.engine.schedule_at(
                     spec.at_time, lambda s=spec: self._join(s))
@@ -203,6 +263,16 @@ class FaultInjector:
         else:
             # the static replay validated the schedule, but a crash can
             # race a rejoin at runtime; skip rather than fight the state
+            self.skipped.append(spec)
+
+    def _storage_fault(self, spec: StorageFaultSpec) -> None:
+        applied = self.cluster.checkpoints.inject(
+            spec.rank, spec.kind, spec.count, spec.duration
+        )
+        if applied:
+            self.injected.append(spec)
+        else:
+            # a corrupt strike that found nothing readable to damage
             self.skipped.append(spec)
 
     def _leave(self, spec: LeaveSpec) -> None:

@@ -6,6 +6,7 @@ Examples::
     python -m repro.fuzz --seed-range 0:500 --budget 100 --jobs 2
     python -m repro.fuzz --seed-range 0:20 --no-shrink --no-cache
     python -m repro.fuzz --seed-range 0:200 --net-bias lossy   # impaired wire
+    python -m repro.fuzz --seed-range 0:200 --storage-bias hostile  # bad disk
     python -m repro.fuzz --seed-range 0:200 --compress   # compressed piggybacks
     python -m repro.fuzz --replay tests/corpus/high-water-regeneration.json
 
@@ -29,7 +30,7 @@ from repro.harness.cli import default_cache_dir
 from repro.fuzz.campaign import run_campaign
 from repro.fuzz.corpus import CorpusEntry, load_corpus, replay_entry
 from repro.fuzz.differential import DEFAULT_PROTOCOLS, GROUND_TRUTH, Finding
-from repro.fuzz.scenario import FAULT_BIASES, NET_BIASES
+from repro.fuzz.scenario import FAULT_BIASES, NET_BIASES, STORAGE_BIASES
 from repro.protocols.registry import validate_protocols
 
 
@@ -92,6 +93,13 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
                         "drop/dup/corruption up to 5%%, occasional partition "
                         "windows) with the reliable transport enabled under "
                         "the protocol runs (default: clean)")
+    parser.add_argument("--storage-bias", choices=STORAGE_BIASES,
+                        default="clean",
+                        help="reshape the stable-storage substrate; "
+                        "'hostile' points every scenario's protocol legs at "
+                        "a faulty checkpoint device (write failures, torn "
+                        "writes, latent corruption, stalls) with short "
+                        "checkpoint intervals (default: clean)")
     parser.add_argument("--compress", action="store_true",
                         help="run the protocol legs with the compressed "
                         "piggyback wire formats (SimulationConfig."
@@ -176,6 +184,8 @@ def main(argv: list[str] | None = None) -> int:
         fault_bias=None if args.fault_bias == "none" else args.fault_bias,
         net_bias=None if args.net_bias == "clean" else args.net_bias,
         compress=args.compress,
+        storage_bias=(None if args.storage_bias == "clean"
+                      else args.storage_bias),
         log=None if args.quiet else print,
     )
     elapsed = time.perf_counter() - t0

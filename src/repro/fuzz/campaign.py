@@ -79,6 +79,7 @@ def run_campaign(
     fault_bias: str | None = None,
     net_bias: str | None = None,
     compress: bool = False,
+    storage_bias: str | None = None,
     log: Callable[[str], None] | None = None,
 ) -> CampaignResult:
     """Fuzz every seed in ``seeds`` (up to ``budget`` scenarios).
@@ -90,8 +91,10 @@ def run_campaign(
     on closely-staggered multi-victim kills that exercise overlapping
     recoveries); ``net_bias`` does the same for the network substrate
     (``"lossy"`` runs every scenario over a drop/dup/corrupt-impaired
-    wire with the reliable transport under the protocol runs); biased
-    bands draw from a salted seed stream so they
+    wire with the reliable transport under the protocol runs);
+    ``storage_bias`` does it for stable storage (``"hostile"`` points
+    every scenario's protocol legs at a faulty checkpoint device);
+    biased bands draw from a salted seed stream so they
     never retread the unbiased band's scenarios.  ``compress`` turns the
     compressed piggyback wire formats on for the protocol legs; it is
     *not* salted, so a compressed band retreads its uncompressed
@@ -110,7 +113,8 @@ def run_campaign(
             emit(f"budget of {budget} scenarios exhausted")
             break
         scenario = generate_scenario(seed, fault_bias=fault_bias,
-                                     net_bias=net_bias, compress=compress)
+                                     net_bias=net_bias, compress=compress,
+                                     storage_bias=storage_bias)
         verdict = run_scenario(scenario, protocols, jobs=jobs, cache=cache)
         result.scenarios_run += 1
         result.runs_executed += verdict.runs

@@ -122,6 +122,13 @@ def _request(scenario: Scenario, protocol: str, *, faulted: bool,
         # apply to the protocol legs only, so an encoding/decoding bug
         # diverges from the pristine reference instead of cancelling out
         overrides.append(("compress_piggybacks", True))
+    if scenario.storage_impaired and protocol != GROUND_TRUTH:
+        # and again for stable storage: the protocol legs write to the
+        # faulty device while the ground truth keeps a perfect one, so a
+        # mishandled torn generation or skipped checkpoint that leaks
+        # into application answers is a differential finding
+        overrides.append(("storage", scenario.storage_config()))
+        overrides.append(("ckpt_history", scenario.ckpt_history))
     return RunRequest(
         key=(scenario.name, protocol, "faulted" if faulted else "ff"),
         cell=Cell(scenario.workload, scenario.nprocs, protocol,

@@ -29,6 +29,7 @@ from typing import Any
 
 from repro.config import SimulationConfig
 from repro.faults.injector import EventSpec, FaultSpec, JoinSpec, LeaveSpec
+from repro.protocols.checkpoint import StorageConfig
 from repro.simnet.network import NetworkConfig, PartitionWindow
 from repro.simnet.transport import TransportConfig
 from repro.workloads.presets import workload_factory
@@ -100,6 +101,35 @@ NET_BIASES = ("clean", "lossy")
 #: least one of drop/dup/corrupt always lands nonzero)
 LOSSY_PROBS = (0.0, 0.005, 0.01, 0.03, 0.05)
 
+#: recognised values for the generator's ``storage_bias`` parameter:
+#: ``"hostile"`` runs every scenario's protocol legs against a faulty
+#: checkpoint device (write failures, torn writes, latent corruption,
+#: stalls) with short checkpoint intervals so writes actually happen
+STORAGE_BIASES = ("clean", "hostile")
+
+#: per-attempt write-failure probabilities (visible failures: retried
+#: with backoff, then the checkpoint is skipped) — the band's workhorse
+STORAGE_FAIL_PROBS = (0.0, 0.02, 0.05, 0.12)
+
+#: torn-write / latent-corruption probabilities, kept low: damage is
+#: detected only at recovery read time, and damaging *every* retained
+#: generation is genuine state loss (a diagnosed StorageLossError), not
+#: a protocol bug for the band to find
+STORAGE_DAMAGE_PROBS = (0.0, 0.004, 0.01)
+
+#: device-stall probabilities (stalls stretch the write, nothing else)
+STORAGE_STALL_PROBS = (0.0, 0.05, 0.15)
+
+#: the storage band's fault-kind reshape: recoveries are what exercise
+#: the read/fallback path, so faultless scenarios are rare
+STORAGE_BAND_FAULT_KINDS = (
+    ("none", 0.10),
+    ("single", 0.45),
+    ("staggered", 0.25),
+    ("simultaneous", 0.10),
+    ("nasty", 0.10),
+)
+
 #: engine backstop for fuzz runs: far above any legal fast-preset run
 #: (~10^4–10^5 events), far below the engine default, so a mutant that
 #: livelocks recovery fails fast instead of spinning for minutes
@@ -150,6 +180,16 @@ class Scenario:
     #: (``SimulationConfig.compress_piggybacks``); the ground truth is
     #: unaffected, so any decode bug shows up as a differential finding
     compress: bool = False
+    #: stable-storage impairment knobs for the protocol legs (the
+    #: ground truth keeps a perfect device, like the network knobs)
+    ckpt_write_fail_prob: float = 0.0
+    ckpt_torn_prob: float = 0.0
+    ckpt_corrupt_prob: float = 0.0
+    ckpt_stall_prob: float = 0.0
+    #: checkpoint generations retained per rank (fallback depth)
+    ckpt_history: int = 2
+    #: how the storage profile was generated (documentation only)
+    storage_kind: str = "clean"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "faults", tuple(
@@ -203,6 +243,21 @@ class Scenario:
                 for start, end, side_a, side_b in self.partitions),
         )
 
+    @property
+    def storage_impaired(self) -> bool:
+        """Whether the checkpoint device misbehaves in this scenario."""
+        return bool(self.ckpt_write_fail_prob or self.ckpt_torn_prob
+                    or self.ckpt_corrupt_prob or self.ckpt_stall_prob)
+
+    def storage_config(self) -> StorageConfig:
+        """The scenario's storage profile as a :class:`StorageConfig`."""
+        return StorageConfig(
+            write_fail_prob=self.ckpt_write_fail_prob,
+            torn_write_prob=self.ckpt_torn_prob,
+            latent_corrupt_prob=self.ckpt_corrupt_prob,
+            stall_prob=self.ckpt_stall_prob,
+        )
+
     def horizon_kwarg(self) -> tuple[str, int] | None:
         """The ``(name, value)`` kernel parameter bounding this run."""
         name = LENGTH_KWARG.get(self.workload)
@@ -229,6 +284,8 @@ class Scenario:
                 seed=self.seed,
                 network=self.network_config(),
                 transport=TransportConfig(enabled=self.impaired),
+                ckpt_history=self.ckpt_history,
+                storage=self.storage_config(),
             )
             factory = workload_factory(self.workload, scale=self.preset,
                                        **dict(self.workload_kwargs))
@@ -302,6 +359,12 @@ class Scenario:
                            for start, end, side_a, side_b in self.partitions],
             "net_kind": self.net_kind,
             "compress": self.compress,
+            "ckpt_write_fail_prob": self.ckpt_write_fail_prob,
+            "ckpt_torn_prob": self.ckpt_torn_prob,
+            "ckpt_corrupt_prob": self.ckpt_corrupt_prob,
+            "ckpt_stall_prob": self.ckpt_stall_prob,
+            "ckpt_history": self.ckpt_history,
+            "storage_kind": self.storage_kind,
         }
 
     @classmethod
@@ -329,6 +392,12 @@ class Scenario:
                 for start, end, side_a, side_b in data.get("partitions", [])),
             net_kind=data.get("net_kind", "clean"),
             compress=bool(data.get("compress", False)),
+            ckpt_write_fail_prob=float(data.get("ckpt_write_fail_prob", 0.0)),
+            ckpt_torn_prob=float(data.get("ckpt_torn_prob", 0.0)),
+            ckpt_corrupt_prob=float(data.get("ckpt_corrupt_prob", 0.0)),
+            ckpt_stall_prob=float(data.get("ckpt_stall_prob", 0.0)),
+            ckpt_history=int(data.get("ckpt_history", 2)),
+            storage_kind=data.get("storage_kind", "clean"),
         )
 
     def describe(self) -> str:
@@ -341,6 +410,13 @@ class Scenario:
             net = (f" net[{self.net_kind}]=drop {self.drop_prob:g}/dup "
                    f"{self.dup_prob:g}/corrupt {self.corrupt_prob:g}{parts}")
         compress = " compressed-pb" if self.compress else ""
+        storage = ""
+        if self.storage_impaired:
+            storage = (f" storage[{self.storage_kind}]=fail "
+                       f"{self.ckpt_write_fail_prob:g}/torn "
+                       f"{self.ckpt_torn_prob:g}/rot "
+                       f"{self.ckpt_corrupt_prob:g}/stall "
+                       f"{self.ckpt_stall_prob:g} hist={self.ckpt_history}")
         churn = ""
         if self.churned:
             moves = sorted(
@@ -351,7 +427,8 @@ class Scenario:
         return (f"{self.name}: {self.workload}({kwargs}) nprocs={self.nprocs} "
                 f"{self.comm_mode} ckpt={self.checkpoint_interval:g}s "
                 f"eager={self.eager_threshold_bytes} seed={self.seed} "
-                f"faults[{self.fault_kind}]={faults}{churn}{net}{compress}")
+                f"faults[{self.fault_kind}]={faults}{churn}{net}{storage}"
+                f"{compress}")
 
 
 # ----------------------------------------------------------------------
@@ -402,9 +479,31 @@ def _lossy_network(rng: random.Random, nprocs: int) -> dict[str, Any]:
     return {**probs, "partitions": partitions, "net_kind": net_kind}
 
 
+def _hostile_storage(rng: random.Random) -> dict[str, Any]:
+    """Draw one impairment profile for the ``hostile`` storage band.
+
+    At least the write-failure probability always lands nonzero (it is
+    the band's workhorse: visible failures exercise the retry/skip
+    machinery every run, while torn/latent damage only matters once a
+    recovery reads the chain back).
+    """
+    storage = {
+        "ckpt_write_fail_prob": rng.choice(STORAGE_FAIL_PROBS),
+        "ckpt_torn_prob": rng.choice(STORAGE_DAMAGE_PROBS),
+        "ckpt_corrupt_prob": rng.choice(STORAGE_DAMAGE_PROBS),
+        "ckpt_stall_prob": rng.choice(STORAGE_STALL_PROBS),
+    }
+    if not any(storage.values()):
+        storage["ckpt_write_fail_prob"] = rng.choice(STORAGE_FAIL_PROBS[1:])
+    storage["ckpt_history"] = rng.choice((2, 3))
+    storage["storage_kind"] = "hostile"
+    return storage
+
+
 def generate_scenario(seed: int, fault_bias: str | None = None,
                       net_bias: str | None = None,
-                      compress: bool = False) -> Scenario:
+                      compress: bool = False,
+                      storage_bias: str | None = None) -> Scenario:
     """Deterministically map ``seed`` to a random scenario.
 
     ``fault_bias="overlap"`` reshapes the fault-schedule distribution
@@ -416,9 +515,14 @@ def generate_scenario(seed: int, fault_bias: str | None = None,
     drawn from :data:`CHURN_FAULT_KINDS` free to overlap them.  ``net_bias="lossy"`` gives every scenario an impaired
     network (loss/dup/corruption up to 5% per frame, occasional
     partition windows) with the reliable transport restoring delivery
-    under the protocol runs.  Both biases are part of the RNG salt, so
-    ``(seed, fault_bias, net_bias)`` triples are reproducible and no two
-    bands ever retread each other's scenarios.
+    under the protocol runs.  ``storage_bias="hostile"`` gives every
+    scenario a faulty checkpoint device (write failures, torn writes,
+    latent corruption, stalls — see the ``STORAGE_*`` tables) with short
+    checkpoint intervals so writes actually happen, and reshapes the
+    fault-kind table toward crashes (recoveries are what read storage
+    back).  All biases are part of the RNG salt, so ``(seed,
+    fault_bias, net_bias, storage_bias)`` tuples are reproducible and no
+    two bands ever retread each other's scenarios.
 
     ``compress=True`` turns the compressed piggyback wire formats on for
     the protocol legs.  It is deliberately *not* part of the RNG salt:
@@ -436,8 +540,15 @@ def generate_scenario(seed: int, fault_bias: str | None = None,
     elif net_bias not in NET_BIASES:
         raise ValueError(f"unknown net_bias {net_bias!r}; "
                          f"expected one of {NET_BIASES}")
+    if storage_bias in (None, "clean"):
+        storage_bias = None
+    elif storage_bias not in STORAGE_BIASES:
+        raise ValueError(f"unknown storage_bias {storage_bias!r}; "
+                         f"expected one of {STORAGE_BIASES}")
     tags = [tag for tag in (fault_bias,
-                            f"net-{net_bias}" if net_bias else None) if tag]
+                            f"net-{net_bias}" if net_bias else None,
+                            f"storage-{storage_bias}" if storage_bias
+                            else None) if tag]
     salt = ":".join(["repro.fuzz", *tags, str(seed)])
     rng = random.Random(salt)
 
@@ -468,8 +579,9 @@ def generate_scenario(seed: int, fault_bias: str | None = None,
         eager = max(eager, largest + 1)
     sim_seed = rng.randrange(1 << 20)
 
+    default_kinds = STORAGE_BAND_FAULT_KINDS if storage_bias else FAULT_KINDS
     kind_table = {"overlap": OVERLAP_FAULT_KINDS,
-                  "churn": CHURN_FAULT_KINDS}.get(fault_bias, FAULT_KINDS)
+                  "churn": CHURN_FAULT_KINDS}.get(fault_bias, default_kinds)
     kind = _weighted(rng, kind_table)
     faults: list[tuple[int, float]] = []
     if kind == "single":
@@ -525,6 +637,13 @@ def generate_scenario(seed: int, fault_bias: str | None = None,
     if net_bias == "lossy":
         network = _lossy_network(rng, nprocs)
 
+    storage: dict[str, Any] = {}
+    if storage_bias == "hostile":
+        storage = _hostile_storage(rng)
+        # a hostile device only matters if checkpoints get written:
+        # redraw the interval from the short end of the table
+        checkpoint_interval = rng.choice((0.001, 0.002, 0.005))
+
     suffix = "".join(f"-{tag}" for tag in tags)
     if compress:
         suffix += "-compress"
@@ -543,6 +662,7 @@ def generate_scenario(seed: int, fault_bias: str | None = None,
         workload_kwargs=tuple(sorted(kwargs.items())),
         fault_kind=kind,
         **network,
+        **storage,
     )
 
 

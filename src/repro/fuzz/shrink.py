@@ -43,6 +43,9 @@ def scenario_size(scenario: Scenario) -> tuple:
         # a calmer network = fewer interleavings to reason about
         len(scenario.partitions),
         scenario.drop_prob + scenario.dup_prob + scenario.corrupt_prob,
+        # a calmer checkpoint device = fewer storage timelines
+        (scenario.ckpt_write_fail_prob + scenario.ckpt_torn_prob
+         + scenario.ckpt_corrupt_prob + scenario.ckpt_stall_prob),
         # fewer checkpoints = simpler trace
         -scenario.checkpoint_interval,
     )
@@ -170,6 +173,19 @@ def _calmer_network(s: Scenario) -> Iterator[Scenario]:
             yield s.with_(**{knob: 0.0})
 
 
+def _calmer_storage(s: Scenario) -> Iterator[Scenario]:
+    """Strip checkpoint-device impairments: a repro that survives on a
+    perfect device is a protocol bug, not a storage interaction."""
+    if not s.storage_impaired:
+        return
+    yield s.with_(ckpt_write_fail_prob=0.0, ckpt_torn_prob=0.0,
+                  ckpt_corrupt_prob=0.0, ckpt_stall_prob=0.0)
+    for knob in ("ckpt_write_fail_prob", "ckpt_torn_prob",
+                 "ckpt_corrupt_prob", "ckpt_stall_prob"):
+        if getattr(s, knob):
+            yield s.with_(**{knob: 0.0})
+
+
 #: pass order: cheapest wins first (dropping faults and ranks shrinks the
 #: scenario the most per evaluation)
 _PASSES: tuple[tuple[str, Callable[[Scenario], Iterable[Scenario]]], ...] = (
@@ -181,6 +197,7 @@ _PASSES: tuple[tuple[str, Callable[[Scenario], Iterable[Scenario]]], ...] = (
     ("coarser-checkpoints", _coarser_checkpoints),
     ("plainer-comm", _plainer_comm),
     ("calmer-network", _calmer_network),
+    ("calmer-storage", _calmer_storage),
 )
 
 

@@ -47,6 +47,18 @@ class RankMetrics:
     checkpoints_taken: int = 0
     checkpoint_bytes: int = 0
     checkpoint_time: float = 0.0
+    # --- stable storage (hostile-device model; all zero on a clean
+    # device, and the read-side counters only move on incarnation)
+    ckpt_read_time: float = 0.0      # simulated seconds reading generations back
+    ckpt_read_bytes: int = 0         # bytes read back (incl. failed candidates)
+    ckpt_write_failures: int = 0     # visible write-attempt failures
+    ckpt_write_retries: int = 0      # backoff retries of failed attempts
+    ckpt_skipped: int = 0            # checkpoints abandoned after retry cap
+    ckpt_stall_time: float = 0.0     # device stall windows endured
+    ckpt_torn_writes: int = 0        # commits that left a torn image
+    ckpt_corrupt_generations: int = 0  # images hit by latent bit rot
+    storage_fallbacks: int = 0       # recoveries served by an older generation
+    storage_exposure_time: float = 0.0  # uncovered span at each skipped ckpt
     # --- blocking / recovery (Fig. 8)
     blocked_time: float = 0.0        # app time spent blocked in sends
     recv_wait_time: float = 0.0      # app time spent waiting in recvs

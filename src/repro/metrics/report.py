@@ -91,7 +91,10 @@ def summarize(result: "RunResult") -> str:
         f"  tracking time:         {_fmt_time(stats.tracking_time_total)} "
         f"across ranks (max rank {_fmt_time(stats.tracking_time_max_rank)})",
         f"  checkpoints:           {result.checkpoint_writes} writes, "
-        f"{_fmt_bytes(stats.total('checkpoint_bytes'))}",
+        f"{_fmt_bytes(stats.total('checkpoint_bytes'))} "
+        f"({_fmt_time(stats.total('checkpoint_time'))} writing, "
+        f"{_fmt_time(stats.total('ckpt_read_time'))} reading "
+        f"{_fmt_bytes(stats.total('ckpt_read_bytes'))} back)",
         f"  network:               {result.network.frames_sent} frames, "
         f"{_fmt_bytes(result.network.bytes_sent)} "
         f"({_describe_drops(result.network)})",
@@ -125,6 +128,31 @@ def summarize(result: "RunResult") -> str:
             f"{int(stats.total('rt_channel_resets'))} channel resets"
             + _transport_rate(stats, result.wall_time_s)
         )
+    storage_events = (
+        int(stats.total("ckpt_write_failures"))
+        + int(stats.total("ckpt_torn_writes"))
+        + int(stats.total("ckpt_corrupt_generations"))
+        + int(stats.total("ckpt_skipped"))
+        + int(stats.total("storage_fallbacks"))
+        + (1 if stats.total("ckpt_stall_time") > 0 else 0)
+    )
+    if storage_events:
+        lines.append(
+            f"  storage:               "
+            f"{int(stats.total('ckpt_write_failures'))} write failures "
+            f"({int(stats.total('ckpt_write_retries'))} retries, "
+            f"{int(stats.total('ckpt_skipped'))} checkpoints skipped), "
+            f"{int(stats.total('ckpt_torn_writes'))} torn, "
+            f"{int(stats.total('ckpt_corrupt_generations'))} corrupted, "
+            f"{int(stats.total('storage_fallbacks'))} generation fallbacks, "
+            f"stalled {_fmt_time(stats.total('ckpt_stall_time'))}"
+        )
+        exposure = stats.total("storage_exposure_time")
+        if exposure > 0:
+            lines.append(
+                f"  rollback exposure:     {_fmt_time(exposure)} of state ran "
+                f"uncovered past skipped checkpoints"
+            )
     failures = result.detector.failure_count()
     if failures:
         lines.append(
@@ -157,6 +185,8 @@ def per_rank_table(result: "RunResult") -> str:
             "pb ids": m.piggyback_identifiers,
             "tracking ms": m.tracking_time * 1e3,
             "ckpts": m.checkpoints_taken,
+            "ckpt w ms": m.checkpoint_time * 1e3,
+            "ckpt r ms": m.ckpt_read_time * 1e3,
             "log peak KiB": m.log_bytes_peak / 1024,
             "recoveries": m.recovery_count,
             "blocked ms": m.blocked_time * 1e3,

@@ -82,9 +82,16 @@ class Cluster:
         needs_logger = config.protocol in ("tel", "pess", "part")
         self.nodes = NodeSet(config.nprocs + (1 if needs_logger else 0))
         self.network = Network(self.engine, self.nodes, config.network, self.rng, self.trace)
-        self.checkpoints = CheckpointStore(config.costs)
         self.detector = FailureDetector()
         self.metrics = [RankMetrics(rank=r) for r in range(config.nprocs)]
+        self.checkpoints = CheckpointStore(
+            config.costs,
+            history=config.ckpt_history,
+            config=config.storage,
+            rng=self.rng,
+            trace=self.trace,
+            metrics=self.metrics,
+        )
         #: what endpoints and services actually talk to: the reliable
         #: transport when enabled, else the raw network (same surface)
         self.fabric: Any = self.network
@@ -161,6 +168,7 @@ class Cluster:
             else:
                 endpoint.start()
         self.engine.run(until=self.config.max_sim_time, max_events=self.config.max_events)
+        self.detector.observe_run_end(self.engine.now)
 
         errors = [
             (ep.rank, ep.app_error) for ep in self.endpoints if ep.app_error is not None

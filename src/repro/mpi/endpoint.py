@@ -37,7 +37,7 @@ from repro.core.nonblocking import SendPump, SendRequest
 from repro.core.watchdog import RecoveryWatchdog
 from repro.mpi.context import ProcContext
 from repro.protocols.base import LoggedMessage, PreparedSend, Protocol
-from repro.protocols.checkpoint import Checkpoint
+from repro.protocols.checkpoint import Checkpoint, Generation
 from repro.protocols.queue import ReceivingQueue
 from repro.protocols.registry import create_protocol
 from repro.simnet.network import Frame
@@ -103,6 +103,9 @@ class Endpoint:
         self._parked_send: tuple[SendOp, PreparedSend, float] | None = None
         self._last_ckpt_end = 0.0
         self._ckpt_seq = 0
+        #: when the last checkpoint *committed* on stable storage — the
+        #: base of the rollback-exposure span a skipped checkpoint widens
+        self._ckpt_commit_time = 0.0
         self.result: Any = None
         self.app_done = False
         self.done_at: float | None = None
@@ -222,6 +225,12 @@ class Endpoint:
     def wake_delivery(self) -> None:
         """Re-run the delivery scan after protocol state changed."""
         self._try_deliver()
+
+    def checkpoint_gc_lag(self) -> int:
+        """Checkpoints to lag sender-log GC by (EndpointServices): 0 on
+        a clean device, ``history - 1`` when storage is hostile so a
+        fallback recovery still finds the log suffix it replays."""
+        return self.cluster.checkpoints.gc_lag
 
     # ==================================================================
     # Effect interpretation
@@ -534,14 +543,6 @@ class Endpoint:
             self.engine.schedule(2e-5, wait_for_pump)
             return
         duration = self._write_checkpoint()
-        epoch = self.node.epoch
-
-        def finish() -> None:
-            if self.node.epoch != epoch or not self.node.alive:
-                return
-            self.protocol.after_checkpoint()
-
-        self.engine.schedule(duration, finish)
         task.resume(None, delay=duration)
 
     def _write_checkpoint(self, initial: bool = False) -> float:
@@ -562,15 +563,71 @@ class Endpoint:
             size_bytes=size,
             last_deliver_index=list(self.protocol.vectors.last_deliver_index),
         )
-        duration = self.cluster.checkpoints.write(ckpt)
         if initial:
-            duration = 0.0
+            # checkpoint zero is written as part of process launch,
+            # before the rank computes or communicates: atomic and free
+            self.cluster.checkpoints.write(ckpt)
+            self.metrics.checkpoints_taken += 1
+            self.metrics.checkpoint_bytes += size
+            self._last_ckpt_end = self.engine.now
+            self._ckpt_commit_time = self.engine.now
+            self.trace.emit("ckpt.write", self.rank, seq=self._ckpt_seq, size=size)
+            return 0.0
+        # periodic checkpoint: an in-flight write.  The generation opens
+        # uncommitted now and seals after `duration`; a kill in between
+        # leaves it torn and the previous generation untouched.
+        gen, duration = self.cluster.checkpoints.begin_write(ckpt)
+        epoch = self.node.epoch
+        self.engine.schedule(
+            duration, lambda: self._finish_checkpoint_write(gen, epoch, attempt=1)
+        )
         self.metrics.checkpoints_taken += 1
         self.metrics.checkpoint_bytes += size
         self.metrics.checkpoint_time += duration
         self._last_ckpt_end = self.engine.now + duration
         self.trace.emit("ckpt.write", self.rank, seq=self._ckpt_seq, size=size)
         return duration
+
+    def _finish_checkpoint_write(self, gen: Generation, epoch: int,
+                                 attempt: int) -> None:
+        """Commit an in-flight checkpoint write; on a visible failure,
+        retry the same snapshot in the background with capped backoff,
+        and past the retry cap skip the checkpoint (degraded mode: keep
+        running on the previous generation, recording the widened
+        rollback exposure)."""
+        if self.node.epoch != epoch or not self.node.alive:
+            return  # killed mid-write: the generation stays torn
+        store = self.cluster.checkpoints
+        if store.commit(gen):
+            self._ckpt_commit_time = self.engine.now
+            self.protocol.after_checkpoint()
+            return
+        self.metrics.ckpt_write_failures += 1
+        scfg = store.config
+        if attempt > scfg.max_write_retries:
+            self.metrics.ckpt_skipped += 1
+            self.metrics.storage_exposure_time += (
+                self.engine.now - self._ckpt_commit_time
+            )
+            self.trace.emit("storage.ckpt_skipped", self.rank,
+                            seq=gen.ckpt.seq, attempts=attempt)
+            return
+        backoff = min(scfg.retry_backoff * (2 ** (attempt - 1)),
+                      scfg.retry_backoff_max)
+        self.metrics.ckpt_write_retries += 1
+        self.trace.emit("storage.ckpt_retry", self.rank, seq=gen.ckpt.seq,
+                        attempt=attempt, backoff=backoff)
+
+        def retry() -> None:
+            if self.node.epoch != epoch or not self.node.alive:
+                return
+            new_gen, duration = store.begin_write(gen.ckpt)
+            self.engine.schedule(
+                duration,
+                lambda: self._finish_checkpoint_write(new_gen, epoch, attempt + 1),
+            )
+
+        self.engine.schedule(backoff, retry)
 
     # ==================================================================
     # Failure and incarnation
@@ -643,15 +700,23 @@ class Endpoint:
 
     def incarnate(self) -> None:
         """Start the incarnation (called ``restart_delay`` after the
-        fault): read the checkpoint from stable storage, restore protocol
-        and application state, announce the rollback, re-execute."""
+        fault): read the newest *readable* checkpoint generation from
+        stable storage — falling back through the retained chain past
+        torn or corrupt images, which only deepens log replay — then
+        restore protocol and application state, announce the rollback,
+        re-execute.  Raises a diagnosed
+        :class:`~repro.core.watchdog.StorageLossError` when no readable
+        generation remains."""
         if self.node.alive:
             raise RuntimeError(f"rank {self.rank} is not dead")
-        ckpt = self.cluster.checkpoints.latest(self.rank)
-        if ckpt is None:  # start() always writes checkpoint zero
-            raise RuntimeError(f"rank {self.rank} has no checkpoint to recover from")
-        read_time = self.cluster.checkpoints.read_time(self.rank)
-        self.engine.schedule(read_time, lambda: self._finish_incarnation(ckpt))
+        result = self.cluster.checkpoints.read(self.rank)
+        self.metrics.ckpt_read_time += result.read_time
+        self.metrics.ckpt_read_bytes += result.bytes_read
+        if result.fallbacks:
+            self.metrics.storage_fallbacks += result.fallbacks
+        self.engine.schedule(
+            result.read_time, lambda: self._finish_incarnation(result.ckpt)
+        )
 
     def _finish_incarnation(self, ckpt: Checkpoint) -> None:
         epoch = self.node.revive(self.engine.now)

@@ -161,6 +161,11 @@ class EndpointServices(TypingProtocol):
     def wake_delivery(self) -> None:
         """Ask the endpoint to re-run its delivery scan."""
 
+    def checkpoint_gc_lag(self) -> int:
+        """Checkpoints to lag sender-log GC by: 0 on a clean stable
+        store, ``history - 1`` under hostile storage (a fallback
+        recovery must still find the log suffix it replays)."""
+
 
 class Protocol(abc.ABC):
     """Base class for rollback-recovery message-logging protocols."""

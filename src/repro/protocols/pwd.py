@@ -79,6 +79,12 @@ class PwdCausalProtocol(Protocol):
         self.required_order: dict[int, tuple[int, int]] = {}
         self._awaiting_response: set[int] = set()
         self._history_pending = False  # TEL: event-logger query in flight
+        #: advance payloads queued per checkpoint, broadcast lagged by
+        #: services.checkpoint_gc_lag() so fallback recoveries under
+        #: hostile storage still find logs and determinants (lag 0 =
+        #: eager, byte-identical).  Not checkpointed: an empty queue
+        #: after restore only delays GC, which is always safe.
+        self._ckpt_advance_queue: list[dict[str, Any]] = []
 
     # ------------------------------------------------------------------
     # Hooks the concrete protocols implement
@@ -241,15 +247,26 @@ class PwdCausalProtocol(Protocol):
         """Determinants for our pre-checkpoint deliveries are dead weight
         everywhere; senders can also GC their payload logs.  One broadcast
         carries both facts (TDI can target individual senders instead —
-        a structural saving the comparison keeps honest)."""
-        payload = {
+        a structural saving the comparison keeps honest).
+
+        Under hostile storage the broadcast payload is the one from
+        ``gc_lag`` checkpoints back — both the log release and the
+        determinant pruning lag together, so a fallback recovery still
+        finds everything it replays (lag 0 pops what was just pushed:
+        today's eager GC unchanged)."""
+        self._ckpt_advance_queue.append({
             "from_counts": list(self.vectors.last_deliver_index),
             "stable_upto": self.deliver_total,
-        }
+        })
+        lag_fn = getattr(self.services, "checkpoint_gc_lag", None)
+        lag = lag_fn() if lag_fn is not None else 0
+        if len(self._ckpt_advance_queue) <= lag:
+            return
+        payload = self._ckpt_advance_queue.pop(0)
         size = (self.nprocs + 1) * self.costs.identifier_bytes
         self.services.broadcast_control(CHECKPOINT_ADVANCE, payload, size)
         # our own pre-checkpoint deliveries can be pruned locally as well
-        self._on_checkpoint_advance(self.rank, self.deliver_total)
+        self._on_checkpoint_advance(self.rank, payload["stable_upto"])
 
     # ------------------------------------------------------------------
     # Recovery
@@ -337,7 +354,11 @@ class PwdCausalProtocol(Protocol):
         if self.handle_membership(ctl, src, payload):
             return
         if ctl == CHECKPOINT_ADVANCE:
-            released = self.log.release_upto(src, payload["from_counts"][self.rank])
+            counts = payload["from_counts"]
+            # a lagged payload may predate this rank's join: it covers
+            # nothing of ours
+            upto = counts[self.rank] if self.rank < len(counts) else 0
+            released = self.log.release_upto(src, upto)
             self.metrics.log_items_released += released
             self._on_checkpoint_advance(src, payload["stable_upto"])
         elif ctl == ROLLBACK:

@@ -82,6 +82,86 @@ class TestFailureDetector:
         assert det.downtime_windows(0) == []
         assert det.total_downtime(0) == 0.0
 
+    def test_dead_at_exit_keeps_open_window(self):
+        # a plain zip of failures with recoveries silently dropped the
+        # final window of a rank still dead when the run ended
+        det = FailureDetector()
+        det.observe_failure(1, 1.0)
+        det.observe_recovery(1, 1.5, epoch=1)
+        det.observe_failure(1, 3.0)
+        assert det.downtime_windows(1) == [(1.0, 1.5), (3.0, None)]
+        # before the run end is known the open window charges nothing
+        assert det.total_downtime(1) == pytest.approx(0.5)
+        det.observe_run_end(4.0)
+        assert det.total_downtime(1) == pytest.approx(0.5 + 1.0)
+
+    def test_stray_recovery_does_not_mispair(self):
+        # a leave-then-rejoin records a recovery with no failure; it
+        # must not consume the pairing slot of a later real crash
+        det = FailureDetector()
+        det.observe_recovery(2, 0.5, epoch=1)
+        det.observe_failure(2, 1.0)
+        det.observe_recovery(2, 1.25, epoch=2)
+        assert det.downtime_windows(2) == [(1.0, 1.25)]
+
+
+class _StubStore:
+    def __init__(self):
+        self.hostile = False
+        self.injections = []
+
+    def arm_hostile(self):
+        self.hostile = True
+
+    def inject(self, rank, kind, count, duration):
+        self.injections.append((rank, kind, count, duration))
+        return kind != "corrupt"  # model a corrupt strike finding nothing
+
+
+class TestStorageFaultSpec:
+    def test_validation(self):
+        from repro.faults.injector import StorageFaultSpec
+        with pytest.raises(ValueError, match=">= 0"):
+            StorageFaultSpec(rank=0, at_time=-1.0, kind="torn")
+        with pytest.raises(ValueError, match="unknown storage fault kind"):
+            StorageFaultSpec(rank=0, at_time=0.0, kind="melt")
+        with pytest.raises(ValueError, match="count"):
+            StorageFaultSpec(rank=0, at_time=0.0, kind="torn", count=0)
+        with pytest.raises(ValueError, match="duration"):
+            StorageFaultSpec(rank=0, at_time=0.0, kind="stall")
+
+    def test_scheduling_arms_the_store_immediately(self):
+        from repro.faults.injector import StorageFaultSpec
+        cluster = _StubCluster()
+        cluster.checkpoints = _StubStore()
+        inj = FaultInjector(cluster)
+        inj.schedule([StorageFaultSpec(rank=1, at_time=0.5, kind="torn")])
+        # hostile before any event fires: GC must lag from checkpoint 1
+        assert cluster.checkpoints.hostile
+        assert len(cluster.engine.scheduled) == 1
+
+    def test_firing_records_injection(self):
+        from repro.faults.injector import StorageFaultSpec
+        cluster = _StubCluster()
+        cluster.checkpoints = _StubStore()
+        inj = FaultInjector(cluster)
+        spec = StorageFaultSpec(rank=2, at_time=0.5, kind="write_fail",
+                                count=3)
+        miss = StorageFaultSpec(rank=2, at_time=0.6, kind="corrupt")
+        inj.schedule([spec, miss])
+        for _, action in cluster.engine.scheduled:
+            action()
+        assert cluster.checkpoints.injections == [
+            (2, "write_fail", 3, 0.0), (2, "corrupt", 1, 0.0)]
+        assert inj.injected == [spec]
+        assert inj.skipped == [miss]
+
+    def test_rank_out_of_range_rejected(self):
+        from repro.faults.injector import StorageFaultSpec
+        inj = FaultInjector(_StubCluster())
+        with pytest.raises(ValueError, match="out of range"):
+            inj.schedule([StorageFaultSpec(rank=9, at_time=0.5, kind="torn")])
+
 
 class TestMembershipValidation:
     """The injector's static replay of join/leave schedules."""

@@ -138,6 +138,49 @@ class TestGeneration:
         assert args.net_bias == "lossy"
         assert _parse_args([]).net_bias == "clean"
 
+    def test_storage_bias_is_deterministic_and_distinct(self):
+        assert (generate_scenario(7, storage_bias="hostile")
+                == generate_scenario(7, storage_bias="hostile"))
+        assert (generate_scenario(7, storage_bias="hostile")
+                != generate_scenario(7))
+        assert generate_scenario(
+            7, storage_bias="hostile").name.endswith("-storage-hostile")
+
+    def test_clean_storage_bias_is_the_default_band(self):
+        assert generate_scenario(7, storage_bias="clean") == generate_scenario(7)
+        assert generate_scenario(7, storage_bias=None) == generate_scenario(7)
+        assert not generate_scenario(7).storage_impaired
+
+    def test_unknown_storage_bias_rejected(self):
+        with pytest.raises(ValueError):
+            generate_scenario(0, storage_bias="bogus")
+
+    def test_hostile_scenarios_always_impaired_and_valid(self):
+        for seed in range(60):
+            scenario = generate_scenario(seed, storage_bias="hostile")
+            assert scenario.storage_impaired, scenario.describe()
+            assert scenario.validate() is None, scenario.describe()
+            # short intervals so the faulty device actually sees writes
+            assert scenario.checkpoint_interval <= 0.005
+            # the profile must assemble into a real StorageConfig
+            assert scenario.storage_config().impaired
+            assert "storage[hostile]" in scenario.describe()
+
+    def test_hostile_json_round_trip(self):
+        import json
+
+        for seed in range(30):
+            scenario = generate_scenario(seed, storage_bias="hostile")
+            data = json.loads(json.dumps(scenario.to_json_dict()))
+            assert Scenario.from_json_dict(data) == scenario
+
+    def test_cli_accepts_storage_bias(self):
+        from repro.fuzz.__main__ import _parse_args
+
+        args = _parse_args(["--storage-bias", "hostile"])
+        assert args.storage_bias == "hostile"
+        assert _parse_args([]).storage_bias == "clean"
+
     def test_compress_band_retreads_identical_scenarios(self):
         """``compress`` is deliberately NOT in the RNG salt: the band
         walks the same scenarios, so a compressed-only finding indicts
@@ -341,6 +384,25 @@ class TestShrinking:
         result = shrink_scenario(scenario, fails_only_when_impaired,
                                  max_attempts=120)
         assert result.scenario.impaired
+
+    def test_calmer_storage_strips_impairments_when_possible(self):
+        scenario = generate_scenario(35, storage_bias="hostile")
+        assert scenario.storage_impaired
+        result = shrink_scenario(scenario, lambda candidate: True,
+                                 max_attempts=150)
+        # a repro that persists on a perfect device sheds the hostility
+        assert not result.scenario.storage_impaired
+
+    def test_calmer_storage_kept_when_failure_needs_the_device(self):
+        scenario = generate_scenario(35, storage_bias="hostile")
+        assert scenario.storage_impaired
+
+        def fails_only_when_hostile(candidate):
+            return candidate.storage_impaired
+
+        result = shrink_scenario(scenario, fails_only_when_hostile,
+                                 max_attempts=150)
+        assert result.scenario.storage_impaired
 
 
 # ----------------------------------------------------------------------

@@ -6,6 +6,7 @@ import pytest
 
 from repro.harness.cache import ResultCache, cache_key, request_fingerprint
 from repro.harness.runner import Cell, RunRequest, RunSummary, summarize
+from repro.protocols.checkpoint import StorageConfig
 
 
 def request(**overrides) -> RunRequest:
@@ -47,6 +48,9 @@ class TestCacheKey:
         dict(config_overrides=(("eager_threshold_bytes", 4096),)),
         dict(config_overrides=(("max_events", 10_000),)),
         dict(config_overrides=(("record", True),)),
+        dict(config_overrides=(("ckpt_history", 3),)),
+        dict(config_overrides=(("storage",
+                                StorageConfig(write_fail_prob=0.1)),)),
         dict(strict_verify=False),
     ])
     def test_key_covers_every_outcome_affecting_knob(self, changed):
