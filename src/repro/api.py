@@ -19,8 +19,10 @@ from __future__ import annotations
 from typing import Any, Sequence
 
 from repro.config import SimulationConfig
-from repro.faults.injector import (EventSpec, FaultSpec, JoinSpec, LeaveSpec,
-                                   StorageFaultSpec, simultaneous, staggered)
+from repro.faults.detector import DetectorConfig
+from repro.faults.injector import (EventSpec, FaultSpec, GrayFaultSpec,
+                                   JoinSpec, LeaveSpec, StorageFaultSpec,
+                                   simultaneous, staggered)
 from repro.mpi.cluster import AppFactory, Cluster, RunResult, run_simulation
 from repro.protocols.registry import available_protocols
 from repro.workloads.presets import WORKLOADS, workload_factory
@@ -30,9 +32,11 @@ __all__ = [
     "run_app",
     "EventSpec",
     "FaultSpec",
+    "GrayFaultSpec",
     "JoinSpec",
     "LeaveSpec",
     "StorageFaultSpec",
+    "DetectorConfig",
     "simultaneous",
     "staggered",
     "SimulationConfig",

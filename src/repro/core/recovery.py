@@ -169,6 +169,13 @@ class TdiRecoveryMixin:
         covered = lost_deliver_index[self.rank]
         if self.rollback_last_send_index[src] > covered:
             self.rollback_last_send_index[src] = covered
+        # Sends the peer's checkpoint already covers will never be acked
+        # again (any in-flight copies and their acks died with the old
+        # incarnation): drop them from the eager window before a parked
+        # sender waits on them forever.  Duck-typed for test doubles.
+        watermark = getattr(self.services, "peer_watermark", None)
+        if callable(watermark):
+            watermark(src, covered)
         resent = 0
         for item in self.log.items_for(src, after_index=covered):
             self.services.resend_logged(item)

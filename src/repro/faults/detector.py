@@ -1,15 +1,134 @@
-"""Failure detection bookkeeping.
+"""Failure detection: timeline ledger and live accrual suspicion.
 
 The paper assumes fail-stop processes with external detection (the
-incarnation is simply "created in a spare normal node").  The detector
-records the failure/recovery timeline that the injector and endpoints
-produce, so experiments and tests can reason about downtime windows
-without scraping the trace.
+incarnation is simply "created in a spare normal node").  The detector's
+original role — recording the failure/recovery timeline the injector and
+endpoints produce, so experiments can reason about downtime windows
+without scraping the trace — is preserved unchanged below.
+
+Armed (``DetectorConfig.enabled``), it additionally becomes the live
+in-band detection subsystem: every member endpoint emits periodic
+heartbeats on a dedicated RNG substream and FIFO lane, and every member
+runs a phi-accrual-style suspicion estimator (Hayashibara et al.) over
+the observed inter-arrival gaps of each peer.  Suspicion is a per-rank
+state machine::
+
+    ALIVE --(phi >= suspect_phi)--> SUSPECT --(phi >= condemn_phi)--> CONDEMNED
+      ^            |
+      +--(fresh heartbeat)--+
+
+Condemnation — not the injector — initiates recovery: the cluster's
+``on_condemn`` callback restarts a genuinely dead rank (so
+``detection_delay`` becomes a *measured* quantity, MTTD) or fences and
+force-restarts a zombie (a condemned-but-actually-alive rank).  A
+``CONDEMNED`` verdict is sticky for the incarnation: it only resets when
+the rank's replacement comes up (``observe_recovery``) or the rank
+departs.  Estimators are windowed (``window`` recent gaps) with a
+variance floor (``floor``) so a silent wire cannot divide by zero and a
+regular heartbeat cannot condemn on microscopic jitter.
 """
 
 from __future__ import annotations
 
+import math
+from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable
+
+#: suspicion states, in escalation order
+ALIVE = "alive"
+SUSPECT = "suspect"
+CONDEMNED = "condemned"
+
+#: floor for the survival probability before taking ``-log10``; erfc
+#: underflows to exactly 0.0 around z ~ 39, and phi must stay finite
+#: (and monotone) for arbitrarily long silences
+_P_FLOOR = 1e-300
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Tuning knobs for the heartbeat accrual detector.
+
+    Disabled by default: legacy runs keep the paper's perfect external
+    detection (the injector schedules the incarnation itself after a
+    constant ``detection_delay + restart_delay``).
+    """
+
+    enabled: bool = False
+    #: period of each member's heartbeat broadcast; also the estimator's
+    #: bootstrap mean before any gap has been observed
+    heartbeat_interval: float = 5e-4
+    #: phi at which a peer becomes SUSPECT (informational; a fresh
+    #: heartbeat clears it)
+    suspect_phi: float = 2.0
+    #: phi at which a peer is CONDEMNED and recovery is initiated
+    condemn_phi: float = 8.0
+    #: lower bound on the gap standard deviation — a perfectly regular
+    #: heartbeat must not make the estimator infinitely confident
+    floor: float = 1e-4
+    #: number of recent inter-arrival gaps the estimator keeps
+    window: int = 20
+    #: a condemned-but-alive (zombie) rank is force-killed this long
+    #: after its fence; the window models the runtime reaching the node
+    fence_delay: float = 2e-4
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be > 0")
+        if self.suspect_phi <= 0:
+            raise ValueError("suspect_phi must be > 0")
+        if self.condemn_phi < self.suspect_phi:
+            raise ValueError("condemn_phi must be >= suspect_phi")
+        if self.floor <= 0:
+            raise ValueError("floor must be > 0")
+        if self.window < 2:
+            raise ValueError("window must be >= 2")
+        if self.fence_delay < 0:
+            raise ValueError("fence_delay must be >= 0")
+
+
+class AccrualEstimator:
+    """Phi-accrual suspicion over one observer's view of one subject.
+
+    ``phi(now) = -log10(P[gap > silence])`` under a normal model fit to
+    the last ``window`` inter-arrival gaps; monotone in the current
+    silence, so longer quiet can only raise suspicion.
+    """
+
+    __slots__ = ("last_arrival", "_gaps", "_bootstrap_mean", "_floor")
+
+    def __init__(self, now: float, *, window: int, bootstrap_mean: float,
+                 floor: float) -> None:
+        #: monitoring starts now: silence accrues from the first
+        #: evaluation, not from t=0
+        self.last_arrival = now
+        self._gaps: deque = deque(maxlen=window)
+        self._bootstrap_mean = bootstrap_mean
+        self._floor = floor
+
+    def heartbeat(self, now: float) -> None:
+        """Record an arrival; the gap since the last one becomes a sample."""
+        gap = now - self.last_arrival
+        if gap > 0:
+            self._gaps.append(gap)
+        self.last_arrival = now
+
+    def phi(self, now: float) -> float:
+        """Suspicion level for the silence ``now - last_arrival``."""
+        silence = now - self.last_arrival
+        if self._gaps:
+            mean = sum(self._gaps) / len(self._gaps)
+            var = sum((g - mean) ** 2 for g in self._gaps) / len(self._gaps)
+            sigma = max(math.sqrt(var), self._floor)
+        else:
+            mean = self._bootstrap_mean
+            sigma = self._floor
+        z = (silence - mean) / sigma
+        if z <= 0:
+            return 0.0
+        p_later = 0.5 * math.erfc(z / math.sqrt(2.0))
+        return -math.log10(max(p_later, _P_FLOOR))
 
 
 @dataclass(frozen=True)
@@ -25,17 +144,74 @@ class RecoveryEvent:
     epoch: int
 
 
+@dataclass(frozen=True)
+class Condemnation:
+    """One CONDEMNED verdict: ``observer`` gave up on ``rank``.
+
+    ``was_alive`` is the ground truth at the instant of condemnation —
+    ``True`` marks a false suspicion (the victim was a zombie: frozen,
+    muted or merely slow) that fencing then turns into a real kill.
+    """
+
+    rank: int
+    condemned_at: float
+    observer: int
+    was_alive: bool
+
+
+@dataclass(frozen=True)
+class FenceEvent:
+    """A zombie was fenced: peers bumped ``rank``'s epoch at ``fenced_at``."""
+
+    rank: int
+    fenced_at: float
+    epoch: int
+
+
 @dataclass
 class FailureDetector:
-    """Timeline of failures and incarnations."""
+    """Timeline of failures and incarnations, plus live accrual suspicion."""
 
     failures: list[FailureEvent] = field(default_factory=list)
     recoveries: list[RecoveryEvent] = field(default_factory=list)
+    condemnations: list[Condemnation] = field(default_factory=list)
+    fences: list[FenceEvent] = field(default_factory=list)
     #: simulated time the run ended (set by the cluster when the engine
     #: drains); closes the downtime window of a rank that dies and
     #: never comes back
     run_ended_at: float | None = None
 
+    def __post_init__(self) -> None:
+        self.config: DetectorConfig | None = None
+        self._is_alive: Callable[[int], bool] | None = None
+        self._on_condemn: Callable[[int, int, float], None] | None = None
+        #: per-(observer, subject) gap estimators, created lazily the
+        #: first time an observer monitors (or hears) a subject
+        self._estimators: dict[tuple[int, int], AccrualEstimator] = {}
+        #: global per-subject suspicion state (any observer can escalate;
+        #: any fresh heartbeat de-escalates SUSPECT)
+        self.suspicion: dict[int, str] = {}
+
+    @property
+    def armed(self) -> bool:
+        return self.config is not None
+
+    def arm(self, config: DetectorConfig,
+            is_alive: Callable[[int], bool],
+            on_condemn: Callable[[int, int, float], None]) -> None:
+        """Switch on live suspicion tracking.
+
+        ``is_alive(rank)`` is consulted at condemnation time to record
+        ground truth (a false suspicion vs. a detected death);
+        ``on_condemn(rank, observer, now)`` initiates recovery.
+        """
+        self.config = config
+        self._is_alive = is_alive
+        self._on_condemn = on_condemn
+
+    # ------------------------------------------------------------------
+    # Timeline ledger (always on; the original API)
+    # ------------------------------------------------------------------
     def observe_failure(self, rank: int, now: float) -> None:
         """Record a kill at simulated time ``now``."""
         self.failures.append(FailureEvent(rank, now))
@@ -43,17 +219,129 @@ class FailureDetector:
     def observe_recovery(self, rank: int, now: float, epoch: int) -> None:
         """Record an incarnation coming up."""
         self.recoveries.append(RecoveryEvent(rank, now, epoch))
+        # the replacement incarnation starts with a clean slate: its
+        # predecessor's verdict and every gap history touching the rank
+        # (in both directions — the rank's own view of its peers is
+        # equally stale after the death window) are discarded
+        self.clear(rank)
 
     def observe_run_end(self, now: float) -> None:
         """Record when the run ended (closes any open windows)."""
         self.run_ended_at = now
 
     # ------------------------------------------------------------------
+    # Live suspicion (armed only)
+    # ------------------------------------------------------------------
+    def observe_heartbeat(self, observer: int, subject: int,
+                          now: float) -> None:
+        """``observer`` heard ``subject``'s heartbeat at ``now``."""
+        self._estimator(observer, subject, now).heartbeat(now)
+        if self.suspicion.get(subject) == SUSPECT:
+            # fresh evidence of life clears suspicion; CONDEMNED is
+            # sticky — the verdict already triggered recovery and only
+            # the replacement incarnation resets it
+            self.suspicion[subject] = ALIVE
+
+    def evaluate(self, observer: int, now: float, subjects) -> None:
+        """One suspicion sweep: ``observer`` judges each of ``subjects``."""
+        config = self.config
+        if config is None:
+            return
+        for subject in subjects:
+            if subject == observer:
+                continue
+            if self.suspicion.get(subject) == CONDEMNED:
+                continue
+            phi = self._estimator(observer, subject, now).phi(now)
+            if phi >= config.condemn_phi:
+                self._condemn(subject, observer, now)
+            elif phi >= config.suspect_phi:
+                self.suspicion[subject] = SUSPECT
+
+    def phi(self, observer: int, subject: int, now: float) -> float:
+        """Current suspicion level (0.0 before any monitoring)."""
+        est = self._estimators.get((observer, subject))
+        return est.phi(now) if est is not None else 0.0
+
+    def suspicion_state(self, rank: int) -> str:
+        """Current per-rank state: ``alive``, ``suspect`` or ``condemned``."""
+        return self.suspicion.get(rank, ALIVE)
+
+    def clear(self, rank: int) -> None:
+        """Forget every estimator touching ``rank`` and reset its state.
+
+        Called when the rank's incarnation turns over (recovery, join,
+        leave): gap history spanning the turnover would instantly
+        condemn — the silence it saw was a different incarnation's.
+        """
+        for key in [k for k in self._estimators if rank in k]:
+            del self._estimators[key]
+        self.suspicion.pop(rank, None)
+
+    def observe_fence(self, rank: int, now: float, epoch: int) -> None:
+        """Record that peers fenced ``rank``'s incarnation ``epoch``."""
+        self.fences.append(FenceEvent(rank, now, epoch))
+
+    def _estimator(self, observer: int, subject: int,
+                   now: float) -> AccrualEstimator:
+        est = self._estimators.get((observer, subject))
+        if est is None:
+            config = self.config
+            est = AccrualEstimator(
+                now,
+                window=config.window if config else 20,
+                bootstrap_mean=(config.heartbeat_interval
+                                if config else 5e-4),
+                floor=config.floor if config else 1e-4,
+            )
+            self._estimators[(observer, subject)] = est
+        return est
+
+    def _condemn(self, rank: int, observer: int, now: float) -> None:
+        self.suspicion[rank] = CONDEMNED
+        was_alive = bool(self._is_alive(rank)) if self._is_alive else False
+        self.condemnations.append(
+            Condemnation(rank, now, observer, was_alive=was_alive))
+        if self._on_condemn is not None:
+            self._on_condemn(rank, observer, now)
+
+    # ------------------------------------------------------------------
+    # Derived figures
+    # ------------------------------------------------------------------
     def failure_count(self, rank: int | None = None) -> int:
         """Failures observed, overall or for one rank."""
         if rank is None:
             return len(self.failures)
         return sum(1 for e in self.failures if e.rank == rank)
+
+    def detection_delays(self) -> list[float]:
+        """Kill -> condemnation delay for each *detected real death*.
+
+        False suspicions (``was_alive``) are excluded: there is no kill
+        to measure from — they are counted separately.
+        """
+        delays = []
+        for c in self.condemnations:
+            if c.was_alive:
+                continue
+            prior = [e.failed_at for e in self.failures
+                     if e.rank == c.rank and e.failed_at <= c.condemned_at]
+            if prior:
+                delays.append(c.condemned_at - max(prior))
+        return delays
+
+    def mean_time_to_detect(self) -> float | None:
+        """Mean kill -> condemnation delay (None: nothing detected)."""
+        delays = self.detection_delays()
+        return sum(delays) / len(delays) if delays else None
+
+    def false_suspicion_count(self) -> int:
+        """Condemnations whose victim was actually alive (zombies)."""
+        return sum(1 for c in self.condemnations if c.was_alive)
+
+    def fence_count(self) -> int:
+        """How many zombie incarnations were fenced this run."""
+        return len(self.fences)
 
     def downtime_windows(self, rank: int) -> list[tuple[float, float | None]]:
         """(failed_at, recovered_at) pairs for ``rank``, in order.
@@ -82,7 +370,10 @@ class FailureDetector:
         """Seconds ``rank`` spent dead across all windows.
 
         An open window (dead at exit) is charged up to ``run_ended_at``;
-        before the run end is known it contributes nothing.
+        before the run end is known it contributes nothing.  When the
+        accrual detector fenced a zombie, the fence instant opened the
+        window (``observe_failure`` fires at the fence, not the later
+        force-kill), so the fencing window is charged as unavailability.
         """
         total = 0.0
         for start, end in self.downtime_windows(rank):

@@ -1,11 +1,23 @@
 """Fault injection and membership events.
 
 A :class:`FaultSpec` kills one rank at one simulated time; the injector
-schedules the kill and the subsequent incarnation (detection + restart
-lead time comes from ``config.restart_delay``).  Multiple specs with the
-same ``at_time`` model the paper's §III.D multiple-simultaneous-failures
+schedules the kill and — under the paper's perfect-detection assumption
+— the subsequent incarnation (detection + restart lead time comes from
+``config.detection_delay + config.restart_delay``).  When the accrual
+detector is armed (``config.detector.enabled``) the injector only
+kills: *condemnation* by the surviving peers initiates the restart, so
+detection delay is measured, not assumed.  Multiple specs with the same
+``at_time`` model the paper's §III.D multiple-simultaneous-failures
 scenario — every killed process loses its volatile log and the logs are
 rebuilt during rolling forward.
+
+Gray failures ride the same scheduler: a :class:`GrayFaultSpec` makes a
+rank misbehave without dying — ``freeze`` (stops executing, wire state
+survives), ``stutter`` (seeded intermittent freezes), ``slow`` (compute
+latency multiplier) or ``mute`` (sends asymmetrically delayed/dropped
+toward a subset of peers).  A gray rank is exactly what imperfect
+detection gets wrong: armed runs may condemn it (a false suspicion) and
+must then fence and force-restart the zombie.
 
 Dynamic membership rides the same scheduler: a :class:`JoinSpec` brings
 a rank into the computation at ``at_time`` (either the first-ever join
@@ -119,8 +131,71 @@ class StorageFaultSpec:
             raise ValueError("a stall storage fault needs duration > 0")
 
 
+#: gray-failure modes a GrayFaultSpec can inject
+GRAY_FAULT_KINDS = ("freeze", "stutter", "slow", "mute")
+
+
+@dataclass(frozen=True)
+class GrayFaultSpec:
+    """Make ``rank`` misbehave without dying, starting at ``at_time``.
+
+    ``kind`` selects the misbehaviour (see :data:`GRAY_FAULT_KINDS`):
+
+    * ``"freeze"`` — the rank stops executing for ``duration`` seconds:
+      no compute, no sends, no heartbeats; inbound frames buffer and its
+      wire state survives (in-flight frames it already sent deliver);
+    * ``"stutter"`` — seeded intermittent freezes: alternating frozen
+      and running sub-windows drawn from the ``faults.gray`` substream,
+      clipped to ``duration``;
+    * ``"slow"`` — compute effects stretch by ``factor`` for
+      ``duration`` seconds (the rank keeps talking, just late);
+    * ``"mute"`` — for ``duration`` seconds the rank's sends toward
+      ``targets`` (every other rank when empty) are delayed by
+      ``delay`` seconds — or silently dropped when ``drop`` (requires
+      the reliable transport: nobody else retransmits).
+
+    All parameters draw from a dedicated RNG substream, so a scheduled
+    gray fault against a rank that never reaches ``at_time`` alive
+    leaves the run byte-identical to one never scheduled.
+    """
+
+    rank: int
+    at_time: float
+    kind: str
+    duration: float = 2e-3
+    #: slow only: compute latency multiplier
+    factor: float = 4.0
+    #: mute only: destination ranks affected (empty = all peers)
+    targets: tuple = ()
+    #: mute only: extra one-way delay applied to affected sends
+    delay: float = 2e-3
+    #: mute only: drop affected sends instead of delaying them
+    drop: bool = False
+
+    def __post_init__(self) -> None:
+        if self.at_time < 0:
+            raise ValueError("gray fault time must be >= 0")
+        if self.kind not in GRAY_FAULT_KINDS:
+            raise ValueError(
+                f"unknown gray fault kind {self.kind!r}; pick one of "
+                f"{', '.join(GRAY_FAULT_KINDS)}"
+            )
+        if self.duration <= 0:
+            raise ValueError("gray fault duration must be > 0")
+        if self.factor < 1.0:
+            raise ValueError("slow factor must be >= 1")
+        if self.delay < 0:
+            raise ValueError("mute delay must be >= 0")
+        object.__setattr__(self, "targets", tuple(self.targets))
+        if self.drop and self.kind != "mute":
+            raise ValueError("drop is a mute-only knob")
+        if self.targets and self.kind != "mute":
+            raise ValueError("targets is a mute-only knob")
+
+
 #: anything the injector can schedule
-EventSpec = Union[FaultSpec, JoinSpec, LeaveSpec, StorageFaultSpec]
+EventSpec = Union[FaultSpec, JoinSpec, LeaveSpec, StorageFaultSpec,
+                  GrayFaultSpec]
 
 
 def simultaneous(ranks: Iterable[int], at_time: float) -> list[FaultSpec]:
@@ -141,6 +216,7 @@ class FaultInjector:
         self.injected: list[EventSpec] = []
         self.skipped: list[EventSpec] = []
         self._scheduled: set[tuple[int, float]] = set()
+        self._gray_scheduled: set[tuple[int, float]] = set()
         #: ranks whose earliest scheduled event is a join: they start the
         #: run deferred (node UNJOINED, no process) until the join fires
         self.deferred: set[int] = set()
@@ -166,7 +242,38 @@ class FaultInjector:
                         f"the same rank twice at the same instant is a bug in "
                         f"the caller, not a simultaneous-failure scenario"
                     )
+                if key in self._gray_scheduled:
+                    raise ValueError(
+                        f"conflicting fault: rank {spec.rank} already has a "
+                        f"gray fault at t={spec.at_time:g} — whether the rank "
+                        f"dies or merely misbehaves at that instant would be "
+                        f"undefined; stagger the schedule"
+                    )
                 self._scheduled.add(key)
+            elif isinstance(spec, GrayFaultSpec):
+                key = (spec.rank, spec.at_time)
+                if key in self._scheduled:
+                    raise ValueError(
+                        f"conflicting fault: rank {spec.rank} is already "
+                        f"scheduled to die at t={spec.at_time:g} — a "
+                        f"{spec.kind} gray fault against it at the same "
+                        f"instant would leave dead-or-misbehaving undefined; "
+                        f"stagger the schedule"
+                    )
+                if key in self._gray_scheduled:
+                    raise ValueError(
+                        f"duplicate gray fault: rank {spec.rank} already has "
+                        f"a gray fault at t={spec.at_time:g}; their order "
+                        f"would be undefined"
+                    )
+                if spec.drop and not config.transport.enabled:
+                    raise ValueError(
+                        "a mute gray fault with drop=True requires "
+                        "transport.enabled — the raw network does not "
+                        "retransmit, so dropped sends would be lost frames "
+                        "the protocols assume delivered"
+                    )
+                self._gray_scheduled.add(key)
             elif isinstance(spec, StorageFaultSpec):
                 # arming happens now, at schedule time: GC must lag from
                 # the very first checkpoint for a later fallback to be
@@ -179,6 +286,9 @@ class FaultInjector:
             if isinstance(spec, FaultSpec):
                 self.cluster.engine.schedule_at(
                     spec.at_time, lambda s=spec: self._kill(s))
+            elif isinstance(spec, GrayFaultSpec):
+                self.cluster.engine.schedule_at(
+                    spec.at_time, lambda s=spec: self._gray(s))
             elif isinstance(spec, StorageFaultSpec):
                 self.cluster.engine.schedule_at(
                     spec.at_time, lambda s=spec: self._storage_fault(s))
@@ -241,9 +351,26 @@ class FaultInjector:
         self.injected.append(spec)
         self.cluster.detector.observe_failure(spec.rank, self.cluster.engine.now)
         endpoint.fail()
+        if self.cluster.config.detector.enabled:
+            # in-band detection: the surviving peers must *notice* the
+            # silence and condemn before anyone schedules an incarnation
+            # (see Cluster._on_condemned) — MTTD is measured, not assumed
+            return
         self.cluster.engine.schedule(
-            self.cluster.config.restart_delay, endpoint.incarnate
+            self.cluster.config.detection_delay
+            + self.cluster.config.restart_delay,
+            endpoint.incarnate,
         )
+
+    def _gray(self, spec: GrayFaultSpec) -> None:
+        endpoint = self.cluster.endpoints[spec.rank]
+        if not endpoint.node.alive:
+            # rank down (or departed) when the gray window opens; a gray
+            # fault needs a live victim — record and move on
+            self.skipped.append(spec)
+            return
+        self.injected.append(spec)
+        endpoint.begin_gray(spec)
 
     def _join(self, spec: JoinSpec) -> None:
         from repro.simnet.node import NodeState

@@ -86,7 +86,10 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
                         help="reshape the fault-schedule distribution; "
                         "'overlap' concentrates on closely-staggered "
                         "multi-victim kills that force overlapping "
-                        "recoveries (default: none)")
+                        "recoveries, 'churn' adds membership join/leave "
+                        "cycles, 'gray' arms the accrual failure detector "
+                        "and injects non-fail-stop faults (freeze/stutter/"
+                        "slow/mute) (default: none)")
     parser.add_argument("--net-bias", choices=NET_BIASES, default="clean",
                         help="reshape the network substrate; 'lossy' runs "
                         "every scenario over an impaired wire (per-frame "

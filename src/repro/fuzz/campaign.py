@@ -89,7 +89,9 @@ def run_campaign(
     detection without paying for the rest of the range.  ``fault_bias``
     reshapes the fault-schedule distribution (``"overlap"`` concentrates
     on closely-staggered multi-victim kills that exercise overlapping
-    recoveries); ``net_bias`` does the same for the network substrate
+    recoveries; ``"gray"`` arms the accrual failure detector and draws
+    non-fail-stop gray faults); ``net_bias`` does the same for the
+    network substrate
     (``"lossy"`` runs every scenario over a drop/dup/corrupt-impaired
     wire with the reliable transport under the protocol runs);
     ``storage_bias`` does it for stable storage (``"hostile"`` points

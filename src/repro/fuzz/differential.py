@@ -31,6 +31,7 @@ import re
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+from repro.faults.detector import DetectorConfig
 from repro.harness.cache import ResultCache
 from repro.harness.executor import run_batch
 from repro.harness.runner import Cell, RunRequest, RunSummary
@@ -122,6 +123,12 @@ def _request(scenario: Scenario, protocol: str, *, faulted: bool,
         # apply to the protocol legs only, so an encoding/decoding bug
         # diverges from the pristine reference instead of cancelling out
         overrides.append(("compress_piggybacks", True))
+    if scenario.detect and faulted:
+        # the gray band's faulted legs run with the accrual failure
+        # detector armed: kills are recovered by condemnation (measured
+        # MTTD) and gray zombies by fencing + force-restart — answers
+        # must still match the pristine, detector-less ground truth
+        overrides.append(("detector", DetectorConfig(enabled=True)))
     if scenario.storage_impaired and protocol != GROUND_TRUTH:
         # and again for stable storage: the protocol legs write to the
         # faulty device while the ground truth keeps a perfect one, so a
@@ -154,8 +161,8 @@ def scenario_requests(scenario: Scenario,
     """The full run matrix for one scenario.
 
     One ground-truth run, one recorded failure-free run per protocol,
-    and — when the scenario schedules faults — one verified faulted run
-    per protocol.
+    and — when the scenario schedules faults, gray faults or membership
+    churn — one verified faulted run per protocol.
     """
     requests = [
         _request(scenario, GROUND_TRUTH, faulted=False, record=True,
@@ -164,7 +171,7 @@ def scenario_requests(scenario: Scenario,
     for protocol in protocols:
         requests.append(_request(scenario, protocol, faulted=False,
                                  record=True, verify=True))
-    if scenario.faults or scenario.churned:
+    if scenario.faults or scenario.churned or scenario.grayed:
         for protocol in protocols:
             requests.append(_request(scenario, protocol, faulted=True,
                                      record=False, verify=True))

@@ -28,7 +28,8 @@ from pathlib import Path
 from typing import Any
 
 from repro.config import SimulationConfig
-from repro.faults.injector import EventSpec, FaultSpec, JoinSpec, LeaveSpec
+from repro.faults.injector import (EventSpec, FaultSpec, GrayFaultSpec,
+                                   JoinSpec, LeaveSpec)
 from repro.protocols.checkpoint import StorageConfig
 from repro.simnet.network import NetworkConfig, PartitionWindow
 from repro.simnet.transport import TransportConfig
@@ -88,8 +89,31 @@ CHURN_FAULT_KINDS = (
     ("nasty", 0.0),
 )
 
+#: ``--fault-bias gray``: every scenario arms the accrual failure
+#: detector and draws gray (non-fail-stop) faults — freezes, stutters,
+#: slowdowns, mutes — alongside a reduced crash schedule.  Mass-kill
+#: shapes are dropped and victims stay below ``nprocs`` because with the
+#: detector armed recovery is condemnation-initiated: some observer must
+#: stay alive to condemn the dead.
+GRAY_BAND_FAULT_KINDS = (
+    ("none", 0.55),
+    ("single", 0.30),
+    ("staggered", 0.15),
+    ("simultaneous", 0.0),
+    ("nasty", 0.0),
+)
+
+#: gray-fault kind weights for the ``gray`` band (mute is the nastiest —
+#: the rank looks alive to itself while peers hear silence)
+GRAY_KIND_WEIGHTS = (
+    ("freeze", 0.35),
+    ("stutter", 0.20),
+    ("slow", 0.20),
+    ("mute", 0.25),
+)
+
 #: recognised values for the generator's ``fault_bias`` parameter
-FAULT_BIASES = ("none", "overlap", "churn")
+FAULT_BIASES = ("none", "overlap", "churn", "gray")
 
 #: recognised values for the generator's ``net_bias`` parameter:
 #: ``"lossy"`` runs every scenario over an impaired network (loss, dup,
@@ -153,6 +177,14 @@ class Scenario:
     eager_threshold_bytes: int = 8192
     #: ``(rank, at_time)`` pairs, in schedule order
     faults: tuple = ()
+    #: gray (non-fail-stop) faults as normalised tuples
+    #: ``(rank, at_time, kind, duration, factor, targets, delay, drop)``
+    #: — see :class:`~repro.faults.injector.GrayFaultSpec`
+    grays: tuple = ()
+    #: arm the accrual failure detector on the protocol legs (the gray
+    #: band always sets this; kill-only scenarios may too, exercising
+    #: condemnation-initiated restart instead of scheduled incarnation)
+    detect: bool = False
     #: membership churn as ``(rank, at_time)`` pairs: a join whose rank
     #: has no earlier event is a deferred start; one after a leave is a
     #: rejoin.  The generator always pairs every leave with a later
@@ -194,6 +226,10 @@ class Scenario:
     def __post_init__(self) -> None:
         object.__setattr__(self, "faults", tuple(
             (int(r), float(t)) for r, t in self.faults))
+        object.__setattr__(self, "grays", tuple(
+            (int(r), float(t), str(k), float(d), float(f),
+             tuple(int(x) for x in targets), float(delay), bool(drop))
+            for r, t, k, d, f, targets, delay, drop in self.grays))
         object.__setattr__(self, "joins", tuple(
             (int(r), float(t)) for r, t in self.joins))
         object.__setattr__(self, "leaves", tuple(
@@ -210,9 +246,17 @@ class Scenario:
         """The schedule as injector-ready :class:`FaultSpec` objects."""
         return tuple(FaultSpec(rank=r, at_time=t) for r, t in self.faults)
 
+    def gray_specs(self) -> tuple[GrayFaultSpec, ...]:
+        """The gray schedule as injector-ready :class:`GrayFaultSpec`\\ s."""
+        return tuple(
+            GrayFaultSpec(rank=r, at_time=t, kind=k, duration=d, factor=f,
+                          targets=targets, delay=delay, drop=drop)
+            for r, t, k, d, f, targets, delay, drop in self.grays)
+
     def event_specs(self) -> tuple[EventSpec, ...]:
-        """Crashes plus membership churn, injector-ready."""
+        """Crashes plus gray faults plus membership churn, injector-ready."""
         return (self.fault_specs()
+                + self.gray_specs()
                 + tuple(JoinSpec(rank=r, at_time=t) for r, t in self.joins)
                 + tuple(LeaveSpec(rank=r, at_time=t) for r, t in self.leaves))
 
@@ -220,6 +264,11 @@ class Scenario:
     def churned(self) -> bool:
         """Whether any membership churn is scheduled."""
         return bool(self.joins or self.leaves)
+
+    @property
+    def grayed(self) -> bool:
+        """Whether any gray fault is scheduled."""
+        return bool(self.grays)
 
     def with_(self, **changes: Any) -> "Scenario":
         """Functional update (shrinker convenience)."""
@@ -298,6 +347,19 @@ class Scenario:
                 if (rank, at_time) in seen:
                     return f"duplicate fault (rank {rank}, t={at_time:g})"
                 seen.add((rank, at_time))
+            for r, t, k, d, f, targets, delay, drop in self.grays:
+                # mirrors the injector's schedule-time conflict checks
+                GrayFaultSpec(rank=r, at_time=t, kind=k, duration=d,
+                              factor=f, targets=targets, delay=delay,
+                              drop=drop)
+                if not (0 <= r < self.nprocs):
+                    return f"gray rank {r} out of range for nprocs={self.nprocs}"
+                if (r, t) in seen:
+                    return f"conflicting fault (rank {r}, t={t:g})"
+                seen.add((r, t))
+                if drop and not self.impaired:
+                    return ("mute drop=True needs the reliable transport "
+                            "(impaired network) to recover the loss")
             churn: dict[int, list[tuple[float, str]]] = {}
             for rank, at_time in self.joins:
                 churn.setdefault(rank, []).append((at_time, "join"))
@@ -347,6 +409,9 @@ class Scenario:
             "checkpoint_interval": self.checkpoint_interval,
             "eager_threshold_bytes": self.eager_threshold_bytes,
             "faults": [list(f) for f in self.faults],
+            "grays": [[r, t, k, d, f, list(targets), delay, drop]
+                      for r, t, k, d, f, targets, delay, drop in self.grays],
+            "detect": self.detect,
             "joins": [list(f) for f in self.joins],
             "leaves": [list(f) for f in self.leaves],
             "workload_kwargs": {k: v for k, v in self.workload_kwargs},
@@ -379,6 +444,12 @@ class Scenario:
             checkpoint_interval=float(data.get("checkpoint_interval", 0.005)),
             eager_threshold_bytes=int(data.get("eager_threshold_bytes", 8192)),
             faults=tuple((int(r), float(t)) for r, t in data.get("faults", [])),
+            grays=tuple(
+                (int(r), float(t), str(k), float(d), float(f),
+                 tuple(int(x) for x in targets), float(delay), bool(drop))
+                for r, t, k, d, f, targets, delay, drop
+                in data.get("grays", [])),
+            detect=bool(data.get("detect", False)),
             joins=tuple((int(r), float(t)) for r, t in data.get("joins", [])),
             leaves=tuple((int(r), float(t)) for r, t in data.get("leaves", [])),
             workload_kwargs=tuple(sorted(data.get("workload_kwargs", {}).items())),
@@ -417,6 +488,12 @@ class Scenario:
                        f"{self.ckpt_torn_prob:g}/rot "
                        f"{self.ckpt_corrupt_prob:g}/stall "
                        f"{self.ckpt_stall_prob:g} hist={self.ckpt_history}")
+        gray = ""
+        if self.grayed:
+            gray = " gray=" + "; ".join(
+                f"{k} {r}@{t:g}s for {d:g}s" + (" drop" if drop else "")
+                for r, t, k, d, f, targets, delay, drop in self.grays)
+        detect = " detector" if self.detect else ""
         churn = ""
         if self.churned:
             moves = sorted(
@@ -427,8 +504,8 @@ class Scenario:
         return (f"{self.name}: {self.workload}({kwargs}) nprocs={self.nprocs} "
                 f"{self.comm_mode} ckpt={self.checkpoint_interval:g}s "
                 f"eager={self.eager_threshold_bytes} seed={self.seed} "
-                f"faults[{self.fault_kind}]={faults}{churn}{net}{storage}"
-                f"{compress}")
+                f"faults[{self.fault_kind}]={faults}{gray}{detect}{churn}"
+                f"{net}{storage}{compress}")
 
 
 # ----------------------------------------------------------------------
@@ -512,7 +589,16 @@ def generate_scenario(seed: int, fault_bias: str | None = None,
     die while earlier ones are mid-recovery, and victims are always
     distinct.  ``fault_bias="churn"`` gives every scenario membership
     churn — deferred starts and leave-then-rejoin cycles, with crashes
-    drawn from :data:`CHURN_FAULT_KINDS` free to overlap them.  ``net_bias="lossy"`` gives every scenario an impaired
+    drawn from :data:`CHURN_FAULT_KINDS` free to overlap them.
+    ``fault_bias="gray"`` arms the accrual failure detector on every
+    scenario and draws 1–2 gray faults (freeze/stutter/slow/mute, see
+    :data:`GRAY_KIND_WEIGHTS`) with durations mixed below and above the
+    condemnation threshold — short windows must thaw back with *no*
+    recovery, long ones must be condemned, fenced and force-restarted.
+    Crashes come from :data:`GRAY_BAND_FAULT_KINDS` (reduced, victims
+    always below ``nprocs``: condemnation-initiated recovery needs a
+    live observer), and ``nprocs`` starts at 3 so a fenced zombie always
+    leaves two live witnesses.  ``net_bias="lossy"`` gives every scenario an impaired
     network (loss/dup/corruption up to 5% per frame, occasional
     partition windows) with the reliable transport restoring delivery
     under the protocol runs.  ``storage_bias="hostile"`` gives every
@@ -553,7 +639,7 @@ def generate_scenario(seed: int, fault_bias: str | None = None,
     rng = random.Random(salt)
 
     workload = _weighted(rng, WORKLOAD_WEIGHTS)
-    nprocs = rng.randint(2, 8)
+    nprocs = rng.randint(3, 8) if fault_bias == "gray" else rng.randint(2, 8)
     kwargs: dict[str, Any] = {}
     if workload == "synthetic":
         kwargs["rounds"] = rng.randint(4, 8)
@@ -581,7 +667,8 @@ def generate_scenario(seed: int, fault_bias: str | None = None,
 
     default_kinds = STORAGE_BAND_FAULT_KINDS if storage_bias else FAULT_KINDS
     kind_table = {"overlap": OVERLAP_FAULT_KINDS,
-                  "churn": CHURN_FAULT_KINDS}.get(fault_bias, default_kinds)
+                  "churn": CHURN_FAULT_KINDS,
+                  "gray": GRAY_BAND_FAULT_KINDS}.get(fault_bias, default_kinds)
     kind = _weighted(rng, kind_table)
     faults: list[tuple[int, float]] = []
     if kind == "single":
@@ -594,6 +681,12 @@ def generate_scenario(seed: int, fault_bias: str | None = None,
             # checkpoint or rolling forward — the deadlock's regime
             gap = rng.uniform(2e-4, 2.5e-3)
             victims = rng.sample(range(nprocs), min(rng.randint(2, 3), nprocs))
+        elif fault_bias == "gray":
+            # armed-detector runs restart the dead only when a live
+            # peer condemns them: victims distinct and capped at
+            # nprocs-1 so an observer survives every instant
+            gap = rng.uniform(5e-4, 3e-3)
+            victims = rng.sample(range(nprocs), min(2, nprocs - 1))
         else:
             gap = rng.uniform(5e-4, 3e-3)
             victims = [rng.randrange(nprocs) for _ in range(rng.randint(2, 3))]
@@ -644,6 +737,34 @@ def generate_scenario(seed: int, fault_bias: str | None = None,
         # redraw the interval from the short end of the table
         checkpoint_interval = rng.choice((0.001, 0.002, 0.005))
 
+    grays: list[tuple] = []
+    detect = False
+    if fault_bias == "gray":
+        detect = True
+        taken = set(faults)
+        for _ in range(rng.randint(1, 2)):
+            rank = rng.randrange(nprocs)
+            at = rng.uniform(2e-4, 8e-3)
+            if (rank, at) in taken:  # vanishingly unlikely, but the
+                continue             # injector would reject the conflict
+            taken.add((rank, at))
+            gkind = _weighted(rng, GRAY_KIND_WEIGHTS)
+            # mix durations below and above the condemnation silence
+            # (~1.1 ms at the defaults): short windows must thaw back
+            # with no recovery, long ones must be fenced and restarted
+            if rng.random() < 0.45:
+                duration = rng.uniform(2e-4, 9e-4)
+            else:
+                duration = rng.uniform(1.5e-3, 6e-3)
+            factor = rng.choice((2.0, 4.0, 8.0)) if gkind == "slow" else 4.0
+            delay = rng.choice((1e-3, 2e-3, 4e-3)) if gkind == "mute" else 2e-3
+            # dropping muted frames outright loses them forever unless
+            # the reliable transport is there to retransmit — only the
+            # lossy band runs with it enabled
+            drop = (gkind == "mute" and bool(network)
+                    and rng.random() < 0.5)
+            grays.append((rank, at, gkind, duration, factor, (), delay, drop))
+
     suffix = "".join(f"-{tag}" for tag in tags)
     if compress:
         suffix += "-compress"
@@ -657,6 +778,8 @@ def generate_scenario(seed: int, fault_bias: str | None = None,
         checkpoint_interval=checkpoint_interval,
         eager_threshold_bytes=eager,
         faults=tuple(faults),
+        grays=tuple(grays),
+        detect=detect,
         joins=tuple(joins),
         leaves=tuple(leaves),
         workload_kwargs=tuple(sorted(kwargs.items())),

@@ -34,6 +34,11 @@ def scenario_size(scenario: Scenario) -> tuple:
         workload_rank = len(_SIMPLICITY_ORDER)
     return (
         len(scenario.faults),
+        # gray faults and the armed detector shrink away before anything
+        # else (the calmer-gray pass); dropping a gray's drop flag alone
+        # is also progress — it unties the repro from the transport
+        len(scenario.grays) + (1 if scenario.detect else 0),
+        sum(1 for g in scenario.grays if g[7]),
         len(scenario.joins) + len(scenario.leaves),
         scenario.nprocs,
         workload_rank,
@@ -66,6 +71,25 @@ class ShrinkResult:
 # ----------------------------------------------------------------------
 # Candidate passes (each yields candidates strictly smaller than input)
 # ----------------------------------------------------------------------
+
+def _calmer_gray(s: Scenario) -> Iterator[Scenario]:
+    """Strip gray faults before anything else: a finding that survives
+    with no freeze/stutter/slow/mute window indicts the protocols (or
+    the armed detector itself), not the gray machinery.  Once the grays
+    are gone, try disarming the detector too."""
+    if s.grays:
+        n = len(s.grays)
+        yield s.with_(grays=())
+        if n > 1:
+            yield s.with_(grays=s.grays[: n // 2])
+            yield s.with_(grays=s.grays[n // 2:])
+            for i in range(n):
+                yield s.with_(grays=s.grays[:i] + s.grays[i + 1:])
+        if any(g[7] for g in s.grays):
+            yield s.with_(grays=tuple(g[:7] + (False,) for g in s.grays))
+    elif s.detect:
+        yield s.with_(detect=False)
+
 
 def _drop_faults(s: Scenario) -> Iterator[Scenario]:
     n = len(s.faults)
@@ -103,13 +127,26 @@ def _fewer_procs(s: Scenario) -> Iterator[Scenario]:
     for nprocs in range(2, s.nprocs):
         faults = tuple(dict.fromkeys(
             (min(rank, nprocs - 1), at) for rank, at in s.faults))
+        # gray ranks collapse the same way; colliding (rank, at) keys —
+        # against faults or each other — drop the gray (the injector
+        # rejects such conflicts), and mute targets narrow to the
+        # surviving ranks
+        seen = set(faults)
+        grays = []
+        for g in s.grays:
+            key = (min(g[0], nprocs - 1), g[1])
+            if key in seen:
+                continue
+            seen.add(key)
+            targets = tuple(t for t in g[5] if t < nprocs)
+            grays.append(key + g[2:5] + (targets,) + g[6:])
         # collapsing churned ranks the way faults collapse could alias
         # two membership schedules onto one rank; dropping a rank's
         # churn wholesale keeps every candidate structurally valid
         joins = tuple(p for p in s.joins if p[0] < nprocs)
         leaves = tuple(p for p in s.leaves if p[0] < nprocs)
-        yield s.with_(nprocs=nprocs, faults=faults, joins=joins,
-                      leaves=leaves)
+        yield s.with_(nprocs=nprocs, faults=faults, grays=tuple(grays),
+                      joins=joins, leaves=leaves)
 
 
 def _simpler_workload(s: Scenario) -> Iterator[Scenario]:
@@ -164,8 +201,12 @@ def _calmer_network(s: Scenario) -> Iterator[Scenario]:
     protocol bug, not a transport interaction."""
     if not s.impaired:
         return
+    # dropping muted frames needs the transport, which rides the
+    # impairments — clear the drop flags alongside so the candidate
+    # stays structurally valid
     yield s.with_(drop_prob=0.0, dup_prob=0.0, corrupt_prob=0.0,
-                  partitions=())
+                  partitions=(),
+                  grays=tuple(g[:7] + (False,) for g in s.grays))
     if s.partitions:
         yield s.with_(partitions=())
     for knob in ("drop_prob", "dup_prob", "corrupt_prob"):
@@ -189,6 +230,7 @@ def _calmer_storage(s: Scenario) -> Iterator[Scenario]:
 #: pass order: cheapest wins first (dropping faults and ranks shrinks the
 #: scenario the most per evaluation)
 _PASSES: tuple[tuple[str, Callable[[Scenario], Iterable[Scenario]]], ...] = (
+    ("calmer-gray", _calmer_gray),
     ("drop-faults", _drop_faults),
     ("drop-churn", _drop_churn),
     ("fewer-procs", _fewer_procs),

@@ -33,6 +33,14 @@ class AvailabilityReport:
     #: rank-seconds the application was blocked in sends
     blocked_time: float
     failures: int
+    #: mean kill -> condemnation delay of the armed accrual detector
+    #: (None: detector unarmed, or no real death was detected by it)
+    mttd: float | None = None
+    #: condemnations whose victim was actually alive (zombies)
+    false_suspicions: int = 0
+    #: zombie incarnations fenced and force-restarted; each fencing
+    #: window is charged to ``downtime`` from the fence instant
+    fenced: int = 0
 
     @property
     def availability(self) -> float:
@@ -60,7 +68,7 @@ class AvailabilityReport:
 
     def summary(self) -> str:
         """One-paragraph human-readable decomposition."""
-        return (
+        text = (
             f"{self.nprocs} ranks over {self.wall_time * 1e3:.2f} ms: "
             f"availability {self.availability * 100:.2f}%, "
             f"efficiency {self.efficiency * 100:.1f}%, "
@@ -68,6 +76,12 @@ class AvailabilityReport:
             f"rework {self.rework_fraction * 100:.2f}% "
             f"({self.failures} failure(s))"
         )
+        if self.mttd is not None:
+            text += f"; MTTD {self.mttd * 1e3:.2f} ms"
+        if self.false_suspicions or self.fenced:
+            text += (f"; {self.false_suspicions} false suspicion(s), "
+                     f"{self.fenced} fenced")
+        return text
 
 
 def analyze(result: "RunResult") -> AvailabilityReport:
@@ -88,4 +102,7 @@ def analyze(result: "RunResult") -> AvailabilityReport:
         rework_time=rework,
         blocked_time=stats.total("blocked_time"),
         failures=result.detector.failure_count(),
+        mttd=result.detector.mean_time_to_detect(),
+        false_suspicions=result.detector.false_suspicion_count(),
+        fenced=result.detector.fence_count(),
     )

@@ -69,6 +69,8 @@ class RankMetrics:
     rollback_retries: int = 0        # ROLLBACK re-broadcasts to silent peers
     recovery_stalls: int = 0         # no-progress episodes the watchdog saw
     recovery_escalations: int = 0    # stalls that hit the escalation deadline
+    # --- failure detection / zombie fencing (armed accrual detector)
+    zombie_frames_dropped: int = 0   # sends discarded at this rank's fence gate
     # --- reliable transport (repro.simnet.transport), zero when disabled
     rt_retransmits: int = 0          # frames re-sent on timeout or nack
     rt_dup_discards: int = 0         # replayed sequence numbers discarded

@@ -47,6 +47,7 @@ def _describe_drops(net) -> str:
         (net.frames_dropped_impaired, "lost"),
         (net.frames_dropped_partition, "partitioned"),
         (net.frames_dropped_corrupt, "corrupt-rejected"),
+        (net.frames_dropped_gray, "muted"),
     ]
     parts = [f"{n} {label}" for n, label in causes if n]
     return f"{total} dropped: " + ", ".join(parts)
@@ -167,6 +168,18 @@ def summarize(result: "RunResult") -> str:
                 f"  recovery watchdog:     {retries} rollback retries, "
                 f"{stalls} stalls detected, {escalations} escalations"
             )
+    detector = result.detector
+    if detector.armed:
+        mttd = detector.mean_time_to_detect()
+        mttd_text = _fmt_time(mttd) if mttd is not None else "n/a"
+        lines.append(
+            f"  failure detection:     MTTD {mttd_text}, "
+            f"{len(detector.condemnations)} condemnation(s), "
+            f"{detector.false_suspicion_count()} false suspicion(s), "
+            f"{detector.fence_count()} fenced "
+            f"({int(stats.total('zombie_frames_dropped'))} zombie frames "
+            f"dropped)"
+        )
     if stats.total("blocked_time") > 0:
         lines.append(
             f"  send blocking:         {_fmt_time(stats.total('blocked_time'))} total"

@@ -21,7 +21,7 @@ from repro.protocols.base import MembershipView
 from repro.protocols.checkpoint import CheckpointStore
 from repro.simnet.engine import Engine, SimulationError
 from repro.simnet.network import Network, NetworkStats
-from repro.simnet.node import NodeSet
+from repro.simnet.node import NodeSet, NodeState
 from repro.simnet.rng import RngStreams
 from repro.simnet.trace import Trace
 
@@ -143,6 +143,135 @@ class Cluster:
         ]
         self.injector = FaultInjector(self)
         self._started = False
+        #: fenced zombie incarnations: (rank, epoch) pairs condemned
+        #: while actually alive — the transmit gate discards their sends
+        self._fenced: set[tuple[int, int]] = set()
+        #: armed-run liveness guard state: the last progress signature
+        #: and when it changed (see :meth:`check_liveness`)
+        self._progress_sig: tuple | None = None
+        self._progress_at = 0.0
+
+    # ------------------------------------------------------------------
+    # Failure detection (armed runs only)
+    # ------------------------------------------------------------------
+    def fenced(self, rank: int, epoch: int) -> bool:
+        """Whether ``rank``'s incarnation ``epoch`` has been fenced."""
+        return (rank, epoch) in self._fenced
+
+    def heartbeats_live(self) -> bool:
+        """Whether any member application is still unfinished — while one
+        is, heartbeat chains keep ticking (a finished rank must keep
+        beating or its unfinished peers would condemn it); once none is,
+        the chains end and the engine can drain."""
+        return any(
+            not ep.app_done and ep.node.state is not NodeState.LEFT
+            for ep in self.endpoints
+        )
+
+    #: heartbeat intervals of zero application progress before an armed
+    #: run is declared deadlocked.  Recovery quiet periods in this
+    #: simulator span a few milliseconds; 100 intervals (50 ms at the
+    #: default 0.5 ms heartbeat) is far past any legitimate stall.
+    LIVENESS_STALL_INTERVALS = 100
+
+    def check_liveness(self, now: float) -> None:
+        """Armed-detection deadlock tripwire.  Heartbeat chains keep the
+        engine alive while any application is unfinished, so a genuinely
+        deadlocked run would otherwise tick heartbeats until it burns
+        through ``max_events`` with no diagnosis.  Each tick folds the
+        cluster's progress into a signature; if it stops changing for
+        :data:`LIVENESS_STALL_INTERVALS` heartbeat intervals while no
+        fault machinery is mid-flight, fail fast and name what every
+        rank is blocked on."""
+        sig = (
+            sum(m.app_delivers for m in self.metrics),
+            sum(m.app_sends for m in self.metrics),
+            sum(m.recovery_count for m in self.metrics),
+            sum(m.checkpoints_taken for m in self.metrics),
+            sum(ep.node.epoch for ep in self.endpoints),
+            sum(ep.app_done for ep in self.endpoints),
+        )
+        if sig != self._progress_sig:
+            self._progress_sig = sig
+            self._progress_at = now
+            return
+        if any(ep.frozen or ep._incarnating or not ep.node.alive
+               for ep in self.endpoints):
+            # a freeze, restart or kill is mid-flight: progress resumes
+            # (or a condemnation fires) once it lands
+            self._progress_at = now
+            return
+        stall = now - self._progress_at
+        limit = (self.LIVENESS_STALL_INTERVALS
+                 * self.config.detector.heartbeat_interval)
+        if stall < limit:
+            return
+        waits = "; ".join(
+            f"rank {ep.rank}: {ep.describe_wait()}"
+            for ep in self.endpoints
+            if not ep.app_done and ep.node.state is not NodeState.LEFT
+        )
+        raise SimulationError(
+            f"no application progress for {stall:.4f}s under armed "
+            f"detection; likely a deadlock in the simulated system "
+            f"({waits})"
+        )
+
+    def wake_heartbeats(self) -> None:
+        """(Re)start every live endpoint's heartbeat chain.  Cluster-wide
+        on purpose: a restart or late join must also revive chains that
+        ended while their rank was down."""
+        if not self.detector.armed:
+            return
+        for endpoint in self.endpoints:
+            if endpoint.node.alive:
+                endpoint.ensure_heartbeats()
+
+    def _on_condemned(self, rank: int, observer: int, now: float) -> None:
+        """A peer's accrual estimator gave up on ``rank`` — the recovery
+        entry point of armed runs (the injector never schedules
+        incarnations when the detector is on)."""
+        endpoint = self.endpoints[rank]
+        node = endpoint.node
+        self.trace.emit("detect.condemn", rank, observer=observer,
+                        state=node.state.name)
+
+        def restart() -> None:
+            # the guard covers a rejoin (or another path) racing the
+            # condemnation-initiated restart
+            if endpoint.node.alive or endpoint._incarnating:
+                return
+            endpoint.incarnate()
+
+        if node.alive:
+            # false suspicion: the rank is a zombie (frozen, muted,
+            # slow).  Fence its incarnation — peers treat it as dead,
+            # its own sends are discarded at the gate — then enforce
+            # fail-stop: force-kill and restart it.  Downtime is charged
+            # from the fence instant (the rank stops being useful here).
+            epoch = node.epoch
+            self._fenced.add((rank, epoch))
+            self.detector.observe_fence(rank, now, epoch)
+            self.detector.observe_failure(rank, now)
+            for peer in self.endpoints:
+                if peer.rank != rank and peer.node.alive:
+                    peer.protocol.fence_peer(rank, epoch)
+            self.trace.emit("fence.raise", rank, epoch=epoch,
+                            observer=observer)
+
+            def force_kill() -> None:
+                if node.epoch != epoch or not node.alive:
+                    return  # died on its own inside the fence window
+                endpoint.fail()
+                self.engine.schedule(self.config.restart_delay, restart)
+
+            self.engine.schedule(self.config.detector.fence_delay, force_kill)
+        elif node.state is NodeState.DEAD:
+            # detected a real death: MTTD already recorded by the
+            # detector; allocation + process restart remain
+            self.engine.schedule(self.config.restart_delay, restart)
+        # a LEFT rank needs nothing: the condemnation was a stale-history
+        # artifact and membership already excludes it
 
     # ------------------------------------------------------------------
     def run(self, faults: Sequence[EventSpec] | None = None) -> RunResult:
@@ -151,6 +280,12 @@ class Cluster:
             raise SimulationError("a Cluster instance runs exactly once")
         self._started = True
         wall0 = time.perf_counter()
+        if self.config.detector.enabled:
+            self.detector.arm(
+                self.config.detector,
+                lambda rank: self.nodes[rank].alive,
+                self._on_condemned,
+            )
         if faults:
             self.injector.schedule(list(faults))
         if self.injector.deferred:
@@ -167,6 +302,7 @@ class Cluster:
                 endpoint.defer_start()
             else:
                 endpoint.start()
+        self.wake_heartbeats()
         self.engine.run(until=self.config.max_sim_time, max_events=self.config.max_events)
         self.detector.observe_run_end(self.engine.now)
 

@@ -53,10 +53,13 @@ from repro.simnet.primitives import (
 from repro.simnet.proc import Task
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import GrayFaultSpec
     from repro.mpi.cluster import Cluster
     from repro.workloads.base import Application
 
 _ACK_FRAME_BYTES = 16
+#: a heartbeat carries only the sender's incarnation epoch
+_HB_FRAME_BYTES = 8
 
 
 @dataclass
@@ -114,6 +117,34 @@ class Endpoint:
         self.recovering = False
         self._kill_time = 0.0
         self._rollforward_target = 0
+        #: an incarnation is in flight (checkpoint read scheduled); keeps
+        #: a condemnation-initiated restart from double-incarnating a
+        #: rank that is already coming back (e.g. a rejoin in progress)
+        self._incarnating = False
+
+        # ---- gray-failure state (the accrual detector's adversary) ----
+        #: frozen until this simulated time (0.0 = running); while frozen
+        #: the rank executes nothing and emits nothing, but its wire
+        #: state survives: in-flight frames it already sent deliver
+        self._freeze_until = 0.0
+        #: application effects deferred while frozen, replayed at thaw
+        self._frozen_effects: list[tuple[Task, Any]] = []
+        #: inbound frames buffered while frozen (the NIC keeps receiving)
+        self._frozen_in: list[Frame] = []
+        #: outbound frames gated while frozen, flushed at thaw (through
+        #: the fence gate: a thaw inside the fence window drops them)
+        self._frozen_out: list[tuple[Frame, bool]] = []
+        #: compute effects stretch by _slow_factor until _slow_until
+        self._slow_until = 0.0
+        self._slow_factor = 1.0
+        #: mute window: sends toward _mute_targets are delayed (or
+        #: dropped) until _mute_until
+        self._mute_until = 0.0
+        self._mute_targets: frozenset = frozenset()
+        self._mute_delay = 0.0
+        self._mute_drop = False
+        #: a heartbeat tick chain is scheduled (prevents duplicates)
+        self._hb_armed = False
 
         self.fabric.attach(rank, self._on_frame)
 
@@ -186,7 +217,7 @@ class Endpoint:
     def send_control(self, dst: int, ctl: str, payload: Any, size_bytes: int) -> None:
         """Transmit a protocol control frame (EndpointServices)."""
         frame = Frame("ctl", self.rank, dst, payload, size_bytes, {"ctl": ctl})
-        self.fabric.transmit(frame)
+        self._transmit(frame)
 
     def broadcast_control(self, ctl: str, payload: Any, size_bytes: int) -> None:
         """Control frame to every other member rank."""
@@ -236,9 +267,19 @@ class Endpoint:
     # Effect interpretation
     # ==================================================================
     def _handle_effect(self, task: Task, effect: Any) -> None:
+        if self.engine.now < self._freeze_until:
+            # frozen: the process is descheduled — its next step waits
+            # for the thaw (or dies with the incarnation on a force-kill)
+            self._frozen_effects.append((task, effect))
+            return
         if isinstance(effect, Compute):
-            self.metrics.compute_time += effect.duration
-            task.resume(None, delay=effect.duration)
+            duration = effect.duration
+            if self.engine.now < self._slow_until and self._slow_factor > 1.0:
+                # gray slowdown: the rank computes, just late — charge
+                # the stretched time, it is really spent
+                duration *= self._slow_factor
+            self.metrics.compute_time += duration
+            task.resume(None, delay=duration)
         elif isinstance(effect, SendOp):
             self._handle_send(task, effect)
         elif isinstance(effect, RecvOp):
@@ -380,18 +421,196 @@ class Endpoint:
         self.trace.emit("verify.send", self.rank, dest=dest, tag=tag,
                         send_index=send_index, pb=piggyback, resend=resend)
         frame = Frame("app", self.rank, dest, payload, app_size + pb_bytes, meta)
-        self.fabric.transmit(frame)
+        self._transmit(frame)
+
+    # ------------------------------------------------------------------
+    # Transmit gate (freeze / fence / mute), heartbeats, gray failures
+    # ------------------------------------------------------------------
+    def _transmit(self, frame: Frame, *, via_network: bool = False) -> None:
+        """Every outbound frame passes here.
+
+        A frozen rank's sends buffer until the thaw; a fenced (condemned
+        zombie) incarnation's sends are discarded and counted — the wire
+        behaves as if the rank died at the fence instant; a muted rank's
+        sends toward the affected peers are stamped for asymmetric delay
+        or omission.  ``via_network`` routes directly over the raw
+        network, bypassing the reliable transport: heartbeats use it so
+        arming the detector never perturbs transport sequencing.
+        """
+        now = self.engine.now
+        if now < self._freeze_until:
+            self._frozen_out.append((frame, via_network))
+            return
+        if self.cluster.fenced(self.rank, self.node.epoch):
+            self.metrics.zombie_frames_dropped += 1
+            self.trace.emit("fence.drop", self.rank, dst=frame.dst,
+                            frame_kind=frame.kind)
+            return
+        if now < self._mute_until and frame.dst in self._mute_targets:
+            if self._mute_drop:
+                frame.meta["gray_drop"] = True
+            else:
+                frame.meta["gray_delay"] = self._mute_delay
+        if via_network:
+            self.cluster.network.transmit(frame)
+        else:
+            self.fabric.transmit(frame)
+
+    @property
+    def frozen(self) -> bool:
+        return self.engine.now < self._freeze_until
+
+    def begin_gray(self, spec: "GrayFaultSpec") -> None:
+        """A gray fault window opens against this (live) rank."""
+        now = self.engine.now
+        self.trace.emit("gray.begin", self.rank, gray=spec.kind,
+                        duration=spec.duration)
+        if spec.kind == "freeze":
+            self._freeze(now + spec.duration)
+        elif spec.kind == "stutter":
+            self._begin_stutter(spec)
+        elif spec.kind == "slow":
+            self._slow_until = max(self._slow_until, now + spec.duration)
+            self._slow_factor = max(self._slow_factor, spec.factor)
+        else:  # mute
+            self._mute_until = max(self._mute_until, now + spec.duration)
+            targets = spec.targets or tuple(
+                r for r in range(self.nprocs) if r != self.rank)
+            self._mute_targets = frozenset(
+                t for t in targets if t != self.rank)
+            self._mute_delay = spec.delay
+            self._mute_drop = spec.drop
+
+    def _begin_stutter(self, spec: "GrayFaultSpec") -> None:
+        """Seeded intermittent freezes: alternating frozen/running
+        sub-windows drawn from the dedicated ``faults.gray`` substream
+        (drawn *at fire time*, so a stutter that never fires leaves the
+        run byte-identical to one never scheduled)."""
+        rng = self.cluster.rng.stream("faults.gray")
+        now = self.engine.now
+        end = now + spec.duration
+        epoch = self.node.epoch
+        t = now
+        while t < end:
+            freeze_len = float(rng.uniform(1e-4, 6e-4))
+            gap = float(rng.uniform(2e-4, 1e-3))
+            until = min(t + freeze_len, end)
+            if t <= now:
+                self._freeze(until)
+            else:
+                self.engine.schedule_at(
+                    t, lambda u=until: self._freeze_if(epoch, u))
+            t = until + gap
+
+    def _freeze_if(self, epoch: int, until: float) -> None:
+        if self.node.epoch != epoch or not self.node.alive:
+            return
+        self._freeze(until)
+
+    def _freeze(self, until: float) -> None:
+        until = max(until, self._freeze_until)
+        if until <= self.engine.now:
+            return
+        self._freeze_until = until
+        epoch = self.node.epoch
+        self.trace.emit("gray.freeze", self.rank, until=until)
+        self.engine.schedule_at(until, lambda: self._thaw(epoch))
+
+    def _thaw(self, epoch: int) -> None:
+        if self.node.epoch != epoch or not self.node.alive:
+            return  # force-killed (or died) mid-freeze: buffers died too
+        if self.engine.now < self._freeze_until:
+            return  # the freeze was extended; a later thaw is scheduled
+        self._freeze_until = 0.0
+        out, self._frozen_out = self._frozen_out, []
+        inbound, self._frozen_in = self._frozen_in, []
+        effects, self._frozen_effects = self._frozen_effects, []
+        self.trace.emit("gray.thaw", self.rank, sends=len(out),
+                        frames=len(inbound))
+        for frame, via_network in out:
+            # through the gate again: a thaw *inside* the fence window
+            # drops these — the zombie was already condemned
+            self._transmit(frame, via_network=via_network)
+        for frame in inbound:
+            self._on_frame(frame)
+        for task, effect in effects:
+            self._handle_effect(task, effect)
+
+    def _clear_gray(self) -> None:
+        """Volatile gray state dies with the incarnation."""
+        self._freeze_until = 0.0
+        self._frozen_effects.clear()
+        self._frozen_in.clear()
+        self._frozen_out.clear()
+        self._slow_until = 0.0
+        self._slow_factor = 1.0
+        self._mute_until = 0.0
+        self._mute_targets = frozenset()
+        self._mute_drop = False
+
+    # ------------------------------------------------------------------
+    # Heartbeats (accrual failure detection)
+    # ------------------------------------------------------------------
+    def ensure_heartbeats(self) -> None:
+        """Start this rank's heartbeat tick chain if the detector is
+        armed and no chain is already scheduled."""
+        if not self.cluster.detector.armed or self._hb_armed:
+            return
+        self._hb_armed = True
+        self.engine.schedule(
+            self.config.detector.heartbeat_interval, self._hb_tick)
+
+    def _hb_tick(self) -> None:
+        if not self.cluster.heartbeats_live():
+            # every member application finished: stop ticking so the
+            # engine can drain (armed detection must not keep a finished
+            # run alive)
+            self._hb_armed = False
+            return
+        if not self.node.alive:
+            # dead, departed or deferred: the chain ends here and the
+            # next incarnation re-arms it (cluster.wake_heartbeats)
+            self._hb_armed = False
+            return
+        now = self.engine.now
+        if now >= self._freeze_until:
+            # a frozen rank neither beats nor judges — exactly the
+            # silence the accrual estimators turn into suspicion
+            members = self.cluster.membership.current_members()
+            if self.rank in members:
+                peers = [r for r in sorted(members) if r != self.rank]
+                epoch = self.node.epoch
+                for dst in peers:
+                    self._transmit(
+                        Frame("hb", self.rank, dst, None, _HB_FRAME_BYTES,
+                              {"epoch": epoch}),
+                        via_network=True)
+                self.cluster.detector.evaluate(self.rank, now, peers)
+        # deadlock tripwire: heartbeats keep the engine alive, so a
+        # wedged run must be detected here rather than at max_events
+        self.cluster.check_liveness(now)
+        self.engine.schedule(
+            self.config.detector.heartbeat_interval, self._hb_tick)
 
     # ------------------------------------------------------------------
     # Receiving / delivery
     # ------------------------------------------------------------------
     def _on_frame(self, frame: Frame) -> None:
+        if self.engine.now < self._freeze_until:
+            # the NIC keeps receiving while the process is frozen; the
+            # buffered frames are consumed at thaw (or lost at force-kill
+            # like any volatile receive state of a crash victim)
+            self._frozen_in.append(frame)
+            return
         if frame.kind == "app":
             self._on_app_frame(frame)
         elif frame.kind == "ack":
             self._on_ack(frame)
         elif frame.kind == "ctl":
             self.protocol.handle_control(frame.meta["ctl"], frame.src, frame.payload)
+        elif frame.kind == "hb":
+            self.cluster.detector.observe_heartbeat(
+                self.rank, frame.src, self.engine.now)
         else:  # pragma: no cover - the network only carries these kinds
             raise ValueError(f"unknown frame kind {frame.kind!r}")
 
@@ -444,7 +663,7 @@ class Endpoint:
             _ACK_FRAME_BYTES,
             {"send_index": frame.meta["send_index"]},
         )
-        self.fabric.transmit(ack)
+        self._transmit(ack)
 
     def _on_ack(self, frame: Frame) -> None:
         idx = frame.meta["send_index"]
@@ -460,16 +679,40 @@ class Endpoint:
         if window is None or idx not in window:
             return  # duplicate ack (original + resent copy both acked)
         window.discard(idx)
+        self._unpark_send(frame.src)
+
+    def _unpark_send(self, peer: int) -> None:
+        """Release a send parked on ``peer``'s window if room opened."""
         parked = self._parked_send
-        if parked is not None and parked[0].dest == frame.src:
-            op, prepared, parked_since = parked
-            if len(window) < self.config.send_window:
-                self._parked_send = None
-                self.metrics.blocked_time += self.engine.now - parked_since
-                window.add(prepared.send_index)
-                self._transmit_prepared(op, prepared)
-                assert self.task is not None
-                self.task.resume(None)
+        if parked is None or parked[0].dest != peer:
+            return
+        window = self._window.setdefault(peer, set())
+        if len(window) >= self.config.send_window:
+            return
+        op, prepared, parked_since = parked
+        self._parked_send = None
+        self.metrics.blocked_time += self.engine.now - parked_since
+        window.add(prepared.send_index)
+        self._transmit_prepared(op, prepared)
+        assert self.task is not None
+        self.task.resume(None)
+
+    def peer_watermark(self, peer: int, delivered_upto: int) -> None:
+        """A restarted or rejoined ``peer`` announced durable state that
+        already covers our sends up to ``delivered_upto``.  Unacked
+        eager-window entries at or below that index can never be acked
+        again — the acks (or the frames themselves) died with the peer's
+        previous incarnation, and the peer will neither re-deliver nor
+        re-ack sends its checkpoint predates.  Drop them, or a sender
+        parked on the full window deadlocks the whole computation."""
+        window = self._window.get(peer)
+        if not window:
+            return
+        stale = {idx for idx in window if idx <= delivered_upto}
+        if not stale:
+            return
+        window -= stale
+        self._unpark_send(peer)
 
     def _try_deliver(self) -> None:
         req = self._pending_recv
@@ -648,6 +891,7 @@ class Endpoint:
         self._window.clear()
         self._parked_send = None
         self._pending_recv = None
+        self._clear_gray()
         self.fabric.detach(self.rank)
         self.trace.emit("fault.kill", self.rank)
 
@@ -674,6 +918,7 @@ class Endpoint:
         self.protocol.announce_join()
         self.trace.emit("member.join", self.rank)
         self._spawn_task()
+        self.cluster.wake_heartbeats()
 
     def leave(self) -> None:
         """Graceful departure: announce it while still attached, then
@@ -692,6 +937,7 @@ class Endpoint:
         self._window.clear()
         self._parked_send = None
         self._pending_recv = None
+        self._clear_gray()
         forget = getattr(self.fabric, "forget_peer", None)
         if forget is not None:
             forget(self.rank)
@@ -709,6 +955,7 @@ class Endpoint:
         generation remains."""
         if self.node.alive:
             raise RuntimeError(f"rank {self.rank} is not dead")
+        self._incarnating = True
         result = self.cluster.checkpoints.read(self.rank)
         self.metrics.ckpt_read_time += result.read_time
         self.metrics.ckpt_read_bytes += result.bytes_read
@@ -719,6 +966,7 @@ class Endpoint:
         )
 
     def _finish_incarnation(self, ckpt: Checkpoint) -> None:
+        self._incarnating = False
         epoch = self.node.revive(self.engine.now)
         self.protocol = self._new_protocol()
         self.protocol.restore(copy.deepcopy(ckpt.protocol_state))
@@ -748,6 +996,7 @@ class Endpoint:
         self.protocol.begin_recovery()
         RecoveryWatchdog(self, epoch).arm()
         self._spawn_task()
+        self.cluster.wake_heartbeats()
         self._check_rollforward_complete()
 
     # ==================================================================

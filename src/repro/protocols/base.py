@@ -155,6 +155,11 @@ class EndpointServices(TypingProtocol):
     def resend_logged(self, item: "LoggedMessage") -> None:
         """Retransmit a logged message (middleware level, non-blocking)."""
 
+    def peer_watermark(self, peer: int, delivered_upto: int) -> None:
+        """A restarted/rejoined peer's durable state covers our sends up
+        to ``delivered_upto``: unacked window entries at or below it
+        will never be acked and must be dropped."""
+
     def schedule(self, delay: float, fn: Any) -> Any:
         """Schedule deferred protocol work on the simulation engine."""
 
@@ -382,6 +387,24 @@ class Protocol(abc.ABC):
             MEMBER_LEAVE, {"epoch": self.epoch}, size_bytes=8)
         self.trace.emit("proto.leave_bcast", self.rank, epoch=self.epoch)
 
+    # ------------------------------------------------------------------
+    # Zombie fencing (accrual failure detection)
+    # ------------------------------------------------------------------
+    def fence_peer(self, rank: int, epoch: int) -> None:
+        """Condemnation fencing: treat ``rank``'s incarnation ``epoch``
+        as dead right now.  Advancing the locally-known peer epoch past
+        the condemned one primes this instance for the replacement
+        (whose ROLLBACK arrives tagged ``epoch + 1`` and must not look
+        stale) and invalidates any per-channel reconstruction state the
+        condemned incarnation owned — the same bookkeeping a JOIN or
+        ROLLBACK with a newer epoch performs."""
+        vectors = getattr(self, "vectors", None)
+        if vectors is None or rank >= len(vectors.peer_epoch):
+            return
+        prior = vectors.peer_epoch[rank]
+        if vectors.observe_peer_epoch(rank, epoch + 1) and epoch + 1 > prior:
+            self._on_peer_epoch_advance(rank)
+
     def handle_membership(self, ctl: str, src: int, payload: Any) -> bool:
         """Apply a JOIN/LEAVE control frame; returns False for other
         control kinds (the caller dispatches those itself)."""
@@ -404,6 +427,11 @@ class Protocol(abc.ABC):
                     ldi = payload.get("ldi") or ()
                     if self.rank < len(ldi):
                         covered = ldi[self.rank]
+                # window entries the joiner's state already covers will
+                # never be acked — drop them before resending the rest
+                watermark = getattr(self.services, "peer_watermark", None)
+                if callable(watermark):
+                    watermark(src, covered)
                 items = list(log.items_for(src, after_index=covered))
                 for item in items:
                     self.services.resend_logged(item)

@@ -192,6 +192,8 @@ class NetworkStats:
     frames_dropped_partition: int = 0
     #: frames rejected by the transport's checksum check
     frames_dropped_corrupt: int = 0
+    #: frames swallowed by a mute gray fault (asymmetric omission)
+    frames_dropped_gray: int = 0
     #: extra deliveries injected by the duplication impairment
     frames_duplicated: int = 0
     #: frames damaged in transit by the corruption impairment
@@ -205,6 +207,7 @@ class NetworkStats:
             + self.frames_dropped_impaired
             + self.frames_dropped_partition
             + self.frames_dropped_corrupt
+            + self.frames_dropped_gray
         )
 
 
@@ -235,6 +238,10 @@ class Network:
         #: send must leave the main jitter draws — and so every data
         #: frame's arrival time — identical to the same run at fixed n
         self._mship_jitter = rng.stream("net.jitter.mship")
+        #: heartbeats too: arming the accrual failure detector must be
+        #: trace-invisible on a clean run, so its periodic beats draw
+        #: jitter from their own substream and ride their own FIFO lane
+        self._hb_jitter = rng.stream("net.jitter.hb")
         #: impairment draws live on a dedicated stream for the same reason
         self._impair = rng.stream("net.impair") if config.impaired else None
         self.trace = trace or Trace(enabled=False)
@@ -295,6 +302,15 @@ class Network:
             self.trace.emit("net.impair.partition", frame.src, dst=frame.dst,
                             frame_kind=frame.kind, frame_id=frame.frame_id)
             return
+        # a mute gray fault at the *sender* stamps affected frames; the
+        # stamp is consumed here, so a transport retransmission of the
+        # same frame after the mute window travels normally
+        if frame.meta.pop("gray_drop", False):
+            self.stats.frames_dropped_gray += 1
+            self.trace.emit("net.gray.drop", frame.src, dst=frame.dst,
+                            frame_kind=frame.kind, frame_id=frame.frame_id)
+            return
+        gray_delay = frame.meta.pop("gray_delay", 0.0)
         duplicate = False
         if self._impair is not None:
             # always three draws per frame, so one knob's setting never
@@ -320,10 +336,13 @@ class Network:
         elif mship_lane:
             jitter_stream = self._mship_jitter
             channel = (frame.src, frame.dst, "mship")
+        elif frame.kind == "hb":
+            jitter_stream = self._hb_jitter
+            channel = (frame.src, frame.dst, "hb")
         else:
             jitter_stream = self._jitter
             channel = (frame.src, frame.dst)
-        delay = self.delay_for(frame.size_bytes)
+        delay = self.delay_for(frame.size_bytes) + gray_delay
         if cfg.jitter_fraction > 0:
             delay += float(jitter_stream.uniform(0.0, cfg.jitter_fraction * cfg.base_latency))
         if cfg.shared_medium:

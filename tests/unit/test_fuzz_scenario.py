@@ -568,3 +568,150 @@ class TestChurnShrinking:
         scenario = generate_scenario(3)
         with_churn = scenario.with_(joins=((1, 0.004),))
         assert scenario_size(with_churn) > scenario_size(scenario)
+
+
+# ----------------------------------------------------------------------
+# Gray band (armed failure detector + non-fail-stop faults)
+# ----------------------------------------------------------------------
+
+class TestGrayBias:
+    def test_gray_bias_is_deterministic_and_distinct(self):
+        assert generate_scenario(7, "gray") == generate_scenario(7, "gray")
+        assert generate_scenario(7, "gray") != generate_scenario(7)
+        assert generate_scenario(7, "gray").name.endswith("-gray")
+
+    def test_unbiased_band_is_untouched_by_the_gray_salt(self):
+        # adding "gray" to the bias vocabulary must not reshuffle any
+        # existing band: unbiased draws stay gray-free and detector-off
+        for seed in range(40):
+            assert generate_scenario(seed).grays == ()
+            assert not generate_scenario(seed).detect
+
+    def test_every_gray_scenario_arms_the_detector(self):
+        for seed in range(60):
+            scenario = generate_scenario(seed, "gray")
+            assert scenario.detect
+            assert scenario.grayed
+
+    def test_gray_scenarios_are_structurally_valid(self):
+        for seed in range(60):
+            scenario = generate_scenario(seed, "gray")
+            assert scenario.validate() is None, scenario.describe()
+            # materialisation through the injector's own spec class
+            assert len(scenario.gray_specs()) == len(scenario.grays)
+
+    def test_gray_band_keeps_a_live_observer(self):
+        # condemnation-initiated recovery needs someone alive to
+        # condemn: victims never cover the whole cluster
+        for seed in range(120):
+            scenario = generate_scenario(seed, "gray")
+            assert scenario.nprocs >= 3
+            victims = {r for r, _ in scenario.faults}
+            assert len(victims) < scenario.nprocs
+
+    def test_gray_durations_straddle_the_condemnation_threshold(self):
+        short = long = 0
+        for seed in range(120):
+            for g in generate_scenario(seed, "gray").grays:
+                if g[3] < 1e-3:
+                    short += 1
+                else:
+                    long += 1
+        assert short > 0 and long > 0
+
+    def test_gray_band_never_draws_drop_without_transport(self):
+        for seed in range(120):
+            scenario = generate_scenario(seed, "gray")
+            if not scenario.impaired:
+                assert not any(g[7] for g in scenario.grays)
+
+    def test_round_trip_preserves_grays(self):
+        scenario = generate_scenario(11, "gray")
+        assert Scenario.from_json_dict(scenario.to_json_dict()) == scenario
+
+    def test_legacy_json_without_grays_loads(self):
+        data = generate_scenario(3).to_json_dict()
+        del data["grays"], data["detect"]
+        loaded = Scenario.from_json_dict(data)
+        assert loaded.grays == () and not loaded.detect
+
+    def test_describe_mentions_gray_and_detector(self):
+        scenario = generate_scenario(11, "gray")
+        text = scenario.describe()
+        assert "gray=" in text and "detector" in text
+
+    def test_validate_rejects_gray_kill_conflict(self):
+        scenario = generate_scenario(3).with_(
+            faults=((1, 0.002),),
+            grays=(((1, 0.002, "freeze", 0.001, 4.0, (), 2e-3, False)),),
+            detect=True)
+        assert "conflicting fault" in scenario.validate()
+
+    def test_validate_rejects_drop_without_impairment(self):
+        scenario = generate_scenario(3).with_(
+            drop_prob=0.0, dup_prob=0.0, corrupt_prob=0.0, partitions=(),
+            grays=((1, 0.002, "mute", 0.002, 4.0, (), 2e-3, True),),
+            detect=True)
+        assert "transport" in scenario.validate()
+
+    def test_gray_rides_only_the_faulted_legs(self):
+        from repro.fuzz.differential import scenario_requests
+        scenario = generate_scenario(3).with_(
+            faults=(),
+            grays=((1, 0.002, "freeze", 0.002, 4.0, (), 2e-3, False),),
+            detect=True)
+        requests = scenario_requests(scenario)
+        by_key = {r.key[2]: r for r in requests}
+        assert by_key["ff"].faults == ()
+        assert len(by_key["faulted"].faults) == 1
+        faulted_overrides = dict(by_key["faulted"].config_overrides)
+        assert faulted_overrides["detector"].enabled
+        assert "detector" not in dict(by_key["ff"].config_overrides)
+
+    def test_cli_accepts_gray_bias(self):
+        from repro.fuzz.__main__ import _parse_args
+        assert _parse_args(["--fault-bias", "gray"]).fault_bias == "gray"
+
+
+class TestGrayShrinking:
+    def _gray_scenario(self):
+        return generate_scenario(3).with_(
+            grays=((1, 0.002, "freeze", 0.002, 4.0, (), 2e-3, False),
+                   (0, 0.004, "mute", 0.003, 4.0, (), 2e-3, False)),
+            detect=True)
+
+    def test_calmer_gray_strips_grays_then_detector(self):
+        result = shrink_scenario(self._gray_scenario(), lambda s: True)
+        assert result.scenario.grays == ()
+        assert not result.scenario.detect
+        assert "calmer-gray" in result.passes_used
+
+    def test_calmer_gray_runs_before_everything_else(self):
+        from repro.fuzz.shrink import _PASSES
+        assert _PASSES[0][0] == "calmer-gray"
+
+    def test_grays_count_into_scenario_size(self):
+        scenario = generate_scenario(3)
+        with_gray = self._gray_scenario()
+        assert scenario_size(with_gray) > scenario_size(scenario)
+        assert (scenario_size(with_gray.with_(grays=with_gray.grays[:1]))
+                < scenario_size(with_gray))
+
+    def test_fewer_procs_candidates_stay_valid_with_grays(self):
+        from repro.fuzz.shrink import _fewer_procs
+        scenario = generate_scenario(3).with_(
+            nprocs=5, faults=((4, 0.002),),
+            grays=((4, 0.003, "mute", 0.002, 4.0, (1, 4), 2e-3, False),),
+            detect=True)
+        for candidate in _fewer_procs(scenario):
+            assert candidate.validate() is None, candidate.describe()
+
+    def test_calmer_network_clears_gray_drop_flags(self):
+        from repro.fuzz.shrink import _calmer_network
+        scenario = generate_scenario(3).with_(
+            drop_prob=0.01,
+            grays=((1, 0.002, "mute", 0.002, 4.0, (), 2e-3, True),),
+            detect=True)
+        calm = next(iter(_calmer_network(scenario)))
+        assert not calm.impaired
+        assert calm.validate() is None
